@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark harness.
+
+Every module in this directory regenerates one table or figure of the paper
+(see DESIGN.md §4 and EXPERIMENTS.md).  The experiments are deterministic
+simulations, not micro-benchmarks, so each one is executed exactly once via
+``benchmark.pedantic(..., rounds=1, iterations=1)``; pytest-benchmark then
+records its wall-clock cost while the test body asserts (and prints) the
+paper-shaped result.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark and return its result."""
+
+    def _run(function: Callable, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run
+
+
+def print_table(title: str, rows: Mapping[str, Mapping[str, float]], float_format: str = "{:.3f}") -> None:
+    """Pretty-print a nested mapping as an aligned table (visible with ``pytest -s``)."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(empty)")
+        return
+    columns = list(next(iter(rows.values())).keys())
+    header = f"{'':<28}" + "".join(f"{c:>18}" for c in columns)
+    print(header)
+    for name, row in rows.items():
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, (int, float)):
+                cells.append(f"{float_format.format(value):>18}")
+            else:
+                cells.append(f"{str(value):>18}")
+        print(f"{str(name):<28}" + "".join(cells))

@@ -1,0 +1,38 @@
+"""Ablation (Fig. 2): request-level vs continuous vs mixed continuous batching."""
+
+from repro.core.cluster import ClusterSimulation
+from repro.core.designs import baseline_h100
+from repro.workload.generator import generate_trace
+
+from benchmarks.conftest import print_table
+
+POLICIES = ("request-level", "continuous", "mixed")
+
+
+def _run_policies():
+    trace = generate_trace("conversation", rate_rps=4.0, duration_s=60.0, seed=21)
+    results = {}
+    for policy in POLICIES:
+        simulation = ClusterSimulation(baseline_h100(1), batching=policy)
+        result = simulation.run(trace)
+        metrics = result.request_metrics()
+        results[policy] = {
+            "ttft_p50_s": metrics.ttft.p50,
+            "ttft_p99_s": metrics.ttft.p99,
+            "tbt_p99_s": metrics.tbt.p99,
+            "e2e_p90_s": metrics.e2e.p90,
+        }
+    return results
+
+
+def test_ablation_batching_policies(run_once):
+    results = run_once(_run_policies)
+    print_table("Ablation: batching mechanisms on one DGX-H100 (Fig. 2)", results)
+
+    # Request-level batching forces late arrivals to wait for whole batches:
+    # much worse TTFT than either iteration-level scheme.
+    assert results["request-level"]["ttft_p99_s"] > 2 * results["mixed"]["ttft_p99_s"]
+    assert results["request-level"]["e2e_p90_s"] > results["mixed"]["e2e_p90_s"]
+    # Iteration-level scheduling (continuous/mixed) keeps TTFT comparable.
+    assert results["continuous"]["ttft_p50_s"] <= results["request-level"]["ttft_p50_s"]
+    assert results["mixed"]["ttft_p50_s"] <= results["request-level"]["ttft_p50_s"]

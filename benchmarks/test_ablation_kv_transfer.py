@@ -1,0 +1,41 @@
+"""Ablation (§IV-C): serialized-only vs adaptive KV-cache transfer."""
+
+from repro.core.kv_transfer import KVTransferModel, TransferMode
+from repro.hardware.interconnect import INFINIBAND_200, INFINIBAND_400
+from repro.hardware.machine import DGX_A100, DGX_H100
+from repro.models.llm import LLAMA2_70B
+from repro.models.performance import AnalyticalPerformanceModel
+
+from benchmarks.conftest import print_table
+
+PROMPT_SIZES = (128, 512, 1024, 2048, 4096, 8192)
+
+
+def _run_transfer_policy_comparison():
+    results = {}
+    for machine, link in ((DGX_A100, INFINIBAND_200), (DGX_H100, INFINIBAND_400)):
+        transfer = KVTransferModel(model=LLAMA2_70B, link=link)
+        perf = AnalyticalPerformanceModel(LLAMA2_70B, machine)
+        for tokens in PROMPT_SIZES:
+            prompt_latency = perf.prompt_latency(tokens)
+            results[f"{machine.gpu.name}@{tokens}"] = {
+                "serialized_ms": transfer.serialized_latency(tokens) * 1e3,
+                "per_layer_ms": transfer.per_layer_latency(tokens, prompt_latency) * 1e3,
+                "adaptive_ms": transfer.visible_latency(tokens, prompt_latency) * 1e3,
+            }
+    return results
+
+
+def test_ablation_kv_transfer_policy(run_once):
+    results = run_once(_run_transfer_policy_comparison)
+    print_table("Ablation: visible transfer latency by policy (ms)", results, "{:.2f}")
+
+    for key, row in results.items():
+        tokens = int(key.split("@")[1])
+        # The adaptive policy never does meaningfully worse than the better of
+        # the two fixed policies, and for large prompts it matches per-layer.
+        best_fixed = min(row["serialized_ms"], row["per_layer_ms"])
+        assert row["adaptive_ms"] <= best_fixed * 1.6 + 1.0
+        if tokens >= 2048:
+            assert row["adaptive_ms"] == row["per_layer_ms"]
+            assert row["adaptive_ms"] < row["serialized_ms"]

@@ -1,0 +1,69 @@
+"""Ablation (§IV-A): JSQ routing vs round-robin vs random routing."""
+
+from repro.core.cluster import ClusterSimulation
+from repro.core.designs import splitwise_hh
+from repro.workload.generator import generate_trace
+
+from benchmarks.conftest import print_table
+
+POLICIES = ("jsq", "round-robin", "random")
+
+
+def _run_routing_comparison():
+    trace = generate_trace("conversation", rate_rps=14.0, duration_s=50.0, seed=41)
+    design = splitwise_hh(3, 2)
+    results = {}
+    for routing in POLICIES:
+        result = ClusterSimulation(design, routing=routing).run(trace)
+        metrics = result.request_metrics()
+        results[routing] = {
+            "ttft_p50_s": metrics.ttft.p50,
+            "ttft_p99_s": metrics.ttft.p99,
+            "e2e_p90_s": metrics.e2e.p90,
+            "slo_ok": float(result.slo_report().satisfied),
+        }
+    return results
+
+
+def test_ablation_routing_policies(run_once):
+    results = run_once(_run_routing_comparison)
+    print_table("Ablation: CLS routing policy (Splitwise-HH 3P,2T, conversation)", results)
+
+    # JSQ (the paper's choice) is competitive with load-oblivious routing on
+    # tail prompt latency at every load, and never collapses the SLO while an
+    # alternative holds it.  (At moderate load the three policies are close —
+    # prompt sizes are i.i.d. — so this is a sanity band, not a strict order.)
+    assert results["jsq"]["ttft_p99_s"] <= results["random"]["ttft_p99_s"] * 1.25
+    assert results["jsq"]["ttft_p99_s"] <= results["round-robin"]["ttft_p99_s"] * 1.25
+    assert results["jsq"]["ttft_p50_s"] <= results["random"]["ttft_p50_s"] * 1.10
+    if results["random"]["slo_ok"] or results["round-robin"]["slo_ok"]:
+        assert results["jsq"]["slo_ok"]
+
+
+def _run_failure_injection():
+    trace = generate_trace("conversation", rate_rps=10.0, duration_s=50.0, seed=43)
+    design = splitwise_hh(3, 2)
+    results = {}
+    clean = ClusterSimulation(design).run(trace)
+    faulty = ClusterSimulation(design).run(trace, failures=[(20.0, "token-1"), (30.0, "prompt-2")])
+    for label, result in (("no failures", clean), ("2 machine failures", faulty)):
+        metrics = result.request_metrics()
+        results[label] = {
+            "completion": result.completion_rate,
+            "restarted": float(len(result.scheduler.restarted_requests)),
+            "ttft_p99_s": metrics.ttft.p99,
+            "e2e_p99_s": metrics.e2e.p99,
+        }
+    return results
+
+
+def test_ablation_failure_recovery(run_once):
+    """§IV-E: requests hit by machine failures restart and still complete."""
+    results = run_once(_run_failure_injection)
+    print_table("Fault tolerance: restart-on-failure under 2 injected machine failures", results)
+
+    assert results["no failures"]["completion"] == 1.0
+    assert results["2 machine failures"]["completion"] == 1.0
+    assert results["2 machine failures"]["restarted"] > 0
+    # Restarts cost latency at the tail but the cluster keeps serving.
+    assert results["2 machine failures"]["e2e_p99_s"] >= results["no failures"]["e2e_p99_s"]

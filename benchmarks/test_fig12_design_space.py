@@ -1,0 +1,39 @@
+"""Fig. 12: provisioning design space for Splitwise-HH on the coding workload."""
+
+from repro.experiments import fig12_design_space
+
+from benchmarks.conftest import print_table
+
+
+def test_fig12_design_space(run_once):
+    results = run_once(
+        fig12_design_space,
+        target_rps=10.0,
+        prompt_counts=(2, 3, 4),
+        token_counts=(1, 2),
+        trace_duration_s=40.0,
+    )
+    table = {
+        f"{p}P,{t}T": {
+            "feasible": float(row["feasible"]),
+            "cost_per_hour": row["cost_per_hour"],
+            "ttft_p90_s": row["ttft_p90"],
+            "e2e_p90_s": row["e2e_p90"],
+        }
+        for (p, t), row in results["grid"].items()
+    }
+    print_table(f"Fig. 12: design space, Splitwise-HH, coding @ {results['target_rps']} RPS (scaled)", table)
+    print("Cost-optimal feasible point (the paper's star):", results["optimal"])
+
+    assert results["grid"]
+    feasible = [key for key, row in results["grid"].items() if row["feasible"]]
+    infeasible = [key for key, row in results["grid"].items() if not row["feasible"]]
+    # The sweep must expose a feasibility frontier: some configurations meet
+    # the SLO at the target load and (with the smallest clusters) some do not.
+    assert feasible
+    assert results["optimal"] in feasible
+    optimal_cost = results["grid"][results["optimal"]]["cost_per_hour"]
+    assert all(results["grid"][key]["cost_per_hour"] >= optimal_cost for key in feasible)
+    # Bigger clusters dominate smaller ones in feasibility.
+    if infeasible:
+        assert min(feasible) > min(infeasible)

@@ -1,0 +1,23 @@
+"""Fig. 14: visible KV-cache transfer latency vs prompt size."""
+
+from repro.experiments import fig14_transfer_latency
+
+from benchmarks.conftest import print_table
+
+
+def test_fig14_kv_transfer(run_once):
+    results = run_once(fig14_transfer_latency)
+    print_table("Fig. 14: visible KV-cache transfer latency (ms) vs prompt size", results, "{:.1f}")
+
+    # Serialized transfer grows linearly with prompt size; H100 links (400 Gbps)
+    # move it about twice as fast as A100 links (200 Gbps).
+    assert results["A100-Serialized"][2048] > 3 * results["A100-Serialized"][512]
+    ratio = results["A100-Serialized"][2048] / results["H100-Serialized"][2048]
+    assert 1.8 <= ratio <= 2.2
+
+    # Per-layer overlapped transfer leaves only a small, roughly constant
+    # residue (~8 ms on A100, ~5 ms on H100 in the paper).
+    assert 4.0 <= results["A100-Per-Layer"][2048] <= 12.0
+    assert 2.0 <= results["H100-Per-Layer"][2048] <= 8.0
+    spread = max(results["H100-Per-Layer"].values()) - min(results["H100-Per-Layer"].values())
+    assert spread < 5.0

@@ -1,0 +1,41 @@
+"""Fig. 16: latency metrics across input loads for iso-power clusters."""
+
+from repro.experiments import fig16_latency_vs_load, scaled_design_suite
+
+from benchmarks.conftest import print_table
+
+RATES = (10.0, 16.0, 22.0)
+
+
+def test_fig16_conversation(run_once):
+    suite = scaled_design_suite(workload="conversation", scale=0.2)
+
+    def run():
+        return fig16_latency_vs_load(suite, workload="conversation", rates=RATES, duration_s=60.0)
+
+    results = run_once(run)
+    for rate in RATES:
+        table = {name: {
+            "ttft_p90_ms": per_rate[rate]["ttft_p90"] * 1e3,
+            "tbt_p90_ms": per_rate[rate]["tbt_p90"] * 1e3,
+            "e2e_p90_s": per_rate[rate]["e2e_p90"],
+            "slo_ok": per_rate[rate]["slo_ok"],
+        } for name, per_rate in results.items()}
+        print_table(f"Fig. 16b (conversation, iso-power, {rate:.0f} RPS scaled)", table, "{:.1f}")
+
+    low, high = RATES[0], RATES[-1]
+    # Splitwise designs improve P90 TTFT over the H100 baseline at moderate load.
+    assert results["Splitwise-HH"][low]["ttft_p90"] < results["Baseline-H100"][low]["ttft_p90"]
+    assert results["Splitwise-HHcap"][low]["ttft_p90"] < results["Baseline-H100"][low]["ttft_p90"]
+    # Every design that holds the SLO at the high load also held it at the low load.
+    for name, per_rate in results.items():
+        if per_rate[high]["slo_ok"]:
+            assert per_rate[low]["slo_ok"], name
+    # At least one Splitwise design sustains a load at which Baseline-A100 has
+    # already violated its SLO (the paper's headline throughput gain).
+    splitwise_ok = [
+        name for name, per_rate in results.items()
+        if name.startswith("Splitwise") and per_rate[high]["slo_ok"]
+    ]
+    assert splitwise_ok
+    assert not results["Baseline-A100"][high]["slo_ok"]

@@ -1,0 +1,22 @@
+"""Fig. 17: batched-token occupancy CDFs at low and high load."""
+
+from repro.experiments import fig17_batch_occupancy
+
+from benchmarks.conftest import print_table
+
+
+def test_fig17_batch_cdf(run_once):
+    results = run_once(
+        fig17_batch_occupancy, scale=0.2, low_rate=14.0, high_rate=24.0, duration_s=60.0
+    )
+    print_table("Fig. 17: fraction of busy time at small batches (iso-power, conversation)", results)
+
+    low, high = results["low"], results["high"]
+    # At low load the baseline spends most of its time at tiny batches while
+    # Splitwise token machines batch much better (paper: 70% <= 15 tokens).
+    assert low["baseline_h100_frac_le_15"] > 0.45
+    assert low["splitwise_token_frac_le_15"] <= low["baseline_h100_frac_le_15"]
+    # At high load the distributions converge as the mixed pool activates.
+    low_gap = low["baseline_h100_frac_le_15"] - low["splitwise_token_frac_le_15"]
+    high_gap = high["baseline_h100_frac_le_15"] - high["splitwise_token_frac_le_15"]
+    assert high_gap <= low_gap + 0.05

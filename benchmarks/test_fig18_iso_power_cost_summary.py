@@ -1,0 +1,40 @@
+"""Fig. 18: iso-power and iso-cost throughput-optimized cluster summaries."""
+
+from repro.experiments import iso_budget_summary
+
+from benchmarks.conftest import print_table
+
+
+def test_fig18a_iso_power_summary(run_once):
+    results = run_once(iso_budget_summary, budget="power", rate_rps=16.0, duration_s=60.0)
+    print_table("Fig. 18a: iso-power throughput-optimized (normalized to Baseline-A100)", results["normalized"])
+
+    raw = results["raw"]
+    normalized = results["normalized"]
+    # The suites are iso-power by construction (paper machine ratios, scaled).
+    powers = [row["power_kw"] for row in raw.values()]
+    assert max(powers) / min(powers) < 1.35
+    # Splitwise-AA uses the same number of servers and cost as Baseline-A100
+    # but sustains the offered load with a valid SLO.
+    assert normalized["Splitwise-AA"]["num_servers"] == 1.0
+    assert abs(normalized["Splitwise-AA"]["cost_per_hour"] - 1.0) < 0.01
+    # H100-based designs use fewer servers at higher cost (Table V ratios).
+    assert normalized["Splitwise-HH"]["num_servers"] < 0.7
+    assert normalized["Splitwise-HH"]["cost_per_hour"] > 1.0
+    # At this load every Splitwise design still meets the SLO.
+    for name, row in raw.items():
+        if name.startswith("Splitwise"):
+            assert row["completion_rate"] >= 0.98, name
+
+
+def test_fig18b_iso_cost_summary(run_once):
+    results = run_once(iso_budget_summary, budget="cost", rate_rps=16.0, duration_s=60.0)
+    print_table("Fig. 18b: iso-cost throughput-optimized (normalized to Baseline-A100)", results["normalized"])
+
+    raw = results["raw"]
+    # The iso-cost suites have (approximately) matched cost across designs.
+    costs = [row["cost_per_hour"] for row in raw.values()]
+    assert max(costs) / min(costs) < 1.45
+    # A100-heavy designs carry more servers and power for the same cost.
+    assert raw["Splitwise-AA"]["num_servers"] > raw["Splitwise-HH"]["num_servers"]
+    assert raw["Baseline-A100"]["power_kw"] > raw["Baseline-H100"]["power_kw"] * 1.1

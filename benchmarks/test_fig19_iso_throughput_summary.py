@@ -1,0 +1,33 @@
+"""Fig. 19: iso-throughput power-optimized and cost-optimized cluster summaries."""
+
+from repro.experiments import iso_throughput_summary
+
+from benchmarks.conftest import print_table
+
+
+def test_fig19a_power_optimized(run_once):
+    results = run_once(iso_throughput_summary, goal="power", rate_rps=12.0, duration_s=60.0)
+    print_table("Fig. 19a: iso-throughput power-optimized (normalized to Baseline-A100)", results["normalized"])
+    normalized = results["normalized"]
+    raw = results["raw"]
+    # Splitwise designs reach the target throughput with fewer servers and
+    # less provisioned power than the A100 baseline.
+    for name in ("Splitwise-HH", "Splitwise-HHcap", "Splitwise-AA"):
+        assert normalized[name]["num_servers"] < 1.0
+        assert normalized[name]["power_kw"] < 1.0
+    # HHcap trades a little cost for the lowest power of the H100 designs.
+    assert raw["Splitwise-HHcap"]["power_kw"] <= raw["Splitwise-HH"]["power_kw"] * 1.05
+    # Every design sustains the common target load.
+    for name, row in raw.items():
+        assert row["completion_rate"] >= 0.95, name
+
+
+def test_fig19b_cost_optimized(run_once):
+    results = run_once(iso_throughput_summary, goal="cost", rate_rps=12.0, duration_s=60.0)
+    print_table("Fig. 19b: iso-throughput cost-optimized (normalized to Baseline-A100)", results["normalized"])
+    normalized = results["normalized"]
+    # The cost-optimized Splitwise configurations undercut the A100 baseline
+    # on cost while also using far fewer servers.
+    for name in ("Splitwise-HH", "Splitwise-HA", "Splitwise-AA"):
+        assert normalized[name]["cost_per_hour"] < 1.0
+        assert normalized[name]["num_servers"] < 1.0

@@ -1,0 +1,63 @@
+"""Fig. 20: robustness to workload and model changes on fixed clusters."""
+
+from repro.experiments import fig20_robustness
+from repro.models.llm import LLAMA2_70B
+
+from benchmarks.conftest import print_table
+
+RATES = (8.0, 12.0)
+
+
+def test_fig20a_conversation_on_coding_cluster(run_once):
+    """Run the conversation trace on clusters provisioned for coding."""
+    results = run_once(
+        fig20_robustness,
+        provisioned_for="coding",
+        run_workload="conversation",
+        scale=0.2,
+        rates=RATES,
+        duration_s=50.0,
+    )
+    table = {name: {
+        "ttft_p90_ms@8": per_rate[8.0]["ttft_p90"] * 1e3,
+        "tbt_p90_ms@8": per_rate[8.0]["tbt_p90"] * 1e3,
+        "slo_ok@8": per_rate[8.0]["slo_ok"],
+        "slo_ok@12": per_rate[12.0]["slo_ok"],
+    } for name, per_rate in results.items()}
+    print_table("Fig. 20a: conversation trace on a coding-provisioned, iso-power cluster", table, "{:.1f}")
+
+    # The homogeneous Splitwise designs morph via the mixed pool and still
+    # sustain the foreign workload at moderate load.
+    assert results["Splitwise-AA"][8.0]["completion_rate"] >= 0.98
+    assert results["Splitwise-HH"][8.0]["completion_rate"] >= 0.98
+    assert results["Splitwise-HH"][8.0]["slo_ok"]
+    # Splitwise still improves TTFT over the H100 baseline despite the
+    # mismatched provisioning.
+    assert results["Splitwise-HH"][8.0]["ttft_p90"] <= results["Baseline-H100"][8.0]["ttft_p90"] * 1.1
+
+
+def test_fig20b_model_change(run_once):
+    """Run Llama2-70B on clusters provisioned for BLOOM-176B (conversation)."""
+    results = run_once(
+        fig20_robustness,
+        provisioned_for="conversation",
+        run_workload="conversation",
+        scale=0.2,
+        rates=RATES,
+        duration_s=50.0,
+        model=LLAMA2_70B,
+    )
+    table = {name: {
+        "e2e_p90_s@12": per_rate[12.0]["e2e_p90"],
+        "slo_ok@12": per_rate[12.0]["slo_ok"],
+        "completion@12": per_rate[12.0]["completion_rate"],
+    } for name, per_rate in results.items()}
+    print_table("Fig. 20b: Llama2-70B on the conversation-provisioned (BLOOM-sized) cluster", table)
+
+    # The smaller model is comfortably served by the BLOOM-sized cluster:
+    # every Splitwise design completes the trace and meets the SLO at 12 RPS.
+    for name, per_rate in results.items():
+        if name.startswith("Splitwise"):
+            assert per_rate[12.0]["completion_rate"] >= 0.98, name
+    assert results["Splitwise-HH"][12.0]["slo_ok"]
+    assert results["Splitwise-HHcap"][12.0]["slo_ok"]

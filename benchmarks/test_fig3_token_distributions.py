@@ -1,0 +1,14 @@
+"""Fig. 3: prompt and generated token distributions of the two workloads."""
+
+from repro.experiments import fig3_token_distributions
+
+from benchmarks.conftest import print_table
+
+
+def test_fig3_token_distributions(run_once):
+    table = run_once(fig3_token_distributions, sample_size=50000)
+    print_table("Fig. 3: token-count distributions (paper medians: coding 1500/13, conversation 1020/129)", table)
+    assert abs(table["coding"]["prompt_p50"] - 1500) / 1500 < 0.08
+    assert 10 <= table["coding"]["output_p50"] <= 17
+    assert abs(table["conversation"]["prompt_p50"] - 1020) / 1020 < 0.10
+    assert 60 <= table["conversation"]["output_p50"] <= 250  # wide bimodal plateau around the median

@@ -1,0 +1,15 @@
+"""Fig. 4: time spent at various active batched token counts (mixed batching)."""
+
+from repro.experiments import fig4_batch_utilization
+
+from benchmarks.conftest import print_table
+
+
+def test_fig4_batch_utilization(run_once):
+    table = run_once(fig4_batch_utilization, rate_rps=2.0, duration_s=120.0)
+    print_table("Fig. 4: batch utilization at 2 RPS on one DGX-H100 (paper: 60-70% of time <= 20 tokens)", table)
+    # Insight II: mixed continuous batching mostly runs very few active tokens.
+    assert table["conversation"]["fraction_at_or_below_20_tokens"] > 0.4
+    # The coding service generates so few tokens that it often runs a single one.
+    assert table["coding"]["fraction_at_1_token"] > 0.15
+    assert table["coding"]["fraction_at_1_token"] > table["conversation"]["fraction_at_1_token"]

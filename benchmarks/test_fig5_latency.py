@@ -1,0 +1,31 @@
+"""Fig. 5: TTFT vs prompt size, TBT vs batch size, E2E percentiles."""
+
+from repro.experiments import fig5_latency
+
+from benchmarks.conftest import print_table
+
+
+def test_fig5_latency(run_once):
+    results = run_once(fig5_latency, num_requests=400)
+    print_table("Fig. 5a: TTFT (ms) vs batched prompt tokens", results["ttft"], "{:.0f}")
+    print_table("Fig. 5b: TBT (ms) vs decode batch size", results["tbt"], "{:.1f}")
+    print_table("Fig. 5c: E2E latency percentiles (s, no batching)", results["e2e"])
+
+    llama_ttft = results["ttft"]["Llama2-70B"]
+    bloom_ttft = results["ttft"]["BLOOM-176B"]
+    # Paper anchor: Llama TTFT ~95 ms at ~1500 prompt tokens on DGX-H100
+    # (interpolating between the 1024 and 2048 grid points).
+    assert llama_ttft[1024] < 95 < llama_ttft[2048]
+    # TTFT grows close to linearly, BLOOM slower than Llama.
+    assert llama_ttft[8192] > 4 * llama_ttft[512]
+    assert bloom_ttft[2048] > llama_ttft[2048]
+
+    llama_tbt = results["tbt"]["Llama2-70B"]
+    # Paper anchor: ~28 ms unbatched, about 2x at decode batch 64.
+    assert 24 <= llama_tbt[1] <= 33
+    assert llama_tbt[64] < 2.6 * llama_tbt[1]
+
+    # Insight III: most E2E time is the token phase (conversation P50 >> TTFT).
+    e2e = results["e2e"]["conversation-Llama2-70B"]
+    assert e2e["p50"] * 1e3 > 5 * llama_ttft[1024]
+    assert e2e["p99"] > e2e["p90"] > e2e["p50"]

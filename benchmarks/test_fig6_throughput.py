@@ -1,0 +1,25 @@
+"""Fig. 6: phase throughput vs batched tokens / batch size."""
+
+from repro.experiments import fig6_throughput
+
+from benchmarks.conftest import print_table
+
+
+def test_fig6_throughput(run_once):
+    results = run_once(fig6_throughput)
+    print_table("Fig. 6a: prompt throughput (tokens/s) vs batched prompt tokens", results["prompt"], "{:.0f}")
+    print_table("Fig. 6b: token throughput (tokens/s) vs decode batch size", results["token"], "{:.0f}")
+
+    for model_name, curve in results["prompt"].items():
+        peak = max(curve, key=curve.get)
+        # Insight IV: prompt throughput peaks near 2048 batched tokens and
+        # declines afterwards — the basis of the 2048-token MLS limit.
+        assert 1024 <= peak <= 4096, model_name
+        assert curve[32768] < curve[peak]
+
+    for model_name, curve in results["token"].items():
+        # Token throughput keeps increasing with batch size (until memory).
+        batches = sorted(curve)
+        values = [curve[b] for b in batches]
+        assert values == sorted(values), model_name
+        assert curve[64] > 5 * curve[1]

@@ -1,0 +1,24 @@
+"""Fig. 7: GPU memory required vs number of batched tokens (BLOOM-176B)."""
+
+from repro.experiments import fig7_memory
+
+from benchmarks.conftest import print_table
+
+
+def test_fig7_memory(run_once):
+    results = run_once(fig7_memory)
+    print_table("Fig. 7: memory (GB) vs cached tokens on a DGX-H100, BLOOM-176B", {
+        "memory_gb": results["memory_gb"],
+    }, "{:.0f}")
+    memory = results["memory_gb"]
+    model_size = results["model_size_gb"][0]
+    capacity = results["capacity_gb"][0]
+    # The curve starts at roughly the model size (~352 GB) ...
+    assert abs(memory[1] - model_size) < 30
+    # ... grows monotonically with cached tokens ...
+    ordered = [memory[k] for k in sorted(memory)]
+    assert ordered == sorted(ordered)
+    # ... and approaches but does not exceed the machine capacity at the
+    # KV-token limit (~60-70k tokens), which is why decode batching saturates.
+    assert memory[60000] <= capacity
+    assert 30000 < results["max_kv_tokens"][0] < 120000

@@ -1,0 +1,18 @@
+"""Fig. 8: GPU power draw vs batch size for the prompt and token phases."""
+
+from repro.experiments import fig8_power
+
+from benchmarks.conftest import print_table
+
+
+def test_fig8_power(run_once):
+    results = run_once(fig8_power)
+    print_table("Fig. 8: power draw (fraction of TDP)", results, "{:.2f}")
+    prompt = results["prompt"]
+    token = results["token"]
+    # Prompt power climbs toward TDP with batch size.
+    assert prompt[8192] >= 0.95
+    assert prompt[8192] > prompt[512]
+    # Token power is flat and close to half of TDP regardless of batching.
+    assert max(token.values()) - min(token.values()) < 0.1
+    assert 0.35 <= max(token.values()) <= 0.6

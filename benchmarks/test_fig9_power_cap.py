@@ -1,0 +1,18 @@
+"""Fig. 9: impact of GPU power caps on prompt and token latency."""
+
+from repro.experiments import fig9_power_cap
+
+from benchmarks.conftest import print_table
+
+
+def test_fig9_power_cap(run_once):
+    results = run_once(fig9_power_cap)
+    print_table("Fig. 9: latency (ms) under per-GPU power caps (700W -> 200W)", results, "{:.0f}")
+    ttft = results["ttft_ms"]
+    tbt = results["tbt_ms"]
+    # The prompt phase degrades sharply under capping ...
+    assert ttft[350] > 1.8 * ttft[700]
+    assert ttft[200] > 3.0 * ttft[700]
+    # ... while the token phase is unaffected down to ~50% of TDP (Insight VI).
+    assert tbt[350] / tbt[700] < 1.05
+    assert tbt[200] > tbt[700]

@@ -1,0 +1,35 @@
+"""Headline claims: Splitwise's throughput gains at matched power and cost."""
+
+from repro.experiments import headline_claims
+
+from benchmarks.conftest import print_table
+
+
+def test_headline_claims(run_once):
+    results = run_once(
+        headline_claims,
+        workload="conversation",
+        scale=0.15,
+        rates=(6.0, 9.0, 12.0, 15.0, 18.0, 21.0, 24.0),
+        duration_s=40.0,
+    )
+    print_table("Sustainable rate (RPS, scaled) per design", {
+        "iso-power": results["sustainable_rates_iso_power"],
+        "iso-cost": results["sustainable_rates_iso_cost"],
+    }, "{:.0f}")
+    claims_table = {
+        name: {"measured": claim["measured"], "paper": claim["paper"]}
+        for name, claim in results["claims"].items()
+    }
+    print_table("Headline ratios (measured vs paper)", claims_table, "{:.2f}")
+
+    claims = results["claims"]
+    # Iso-cost: the best Splitwise design sustains at least the Baseline-H100
+    # load (the paper reports 1.4x more throughput at the same cost).
+    assert claims["throughput_vs_baseline_h100_iso_cost"]["measured"] >= 1.0
+    # Iso-power: the best Splitwise design beats both baselines (the paper
+    # reports 2.15x over Baseline-A100 and 2.35x over Baseline-H100).
+    assert claims["throughput_vs_baseline_a100_iso_power"]["measured"] >= 1.2
+    assert claims["throughput_vs_baseline_h100_iso_power"]["measured"] >= 1.2
+    # The winning iso-cost Splitwise design does not cost more than the baseline suite.
+    assert claims["cost_ratio_of_best_splitwise_iso_cost"]["measured"] <= 1.1

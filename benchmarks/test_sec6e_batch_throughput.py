@@ -1,0 +1,22 @@
+"""§VI-E: batch-job throughput per cost when clusters are stressed."""
+
+from repro.experiments import batch_job_throughput_per_cost
+
+from benchmarks.conftest import print_table
+
+
+def test_sec6e_batch_throughput_per_cost(run_once):
+    results = run_once(
+        batch_job_throughput_per_cost, scale=0.15, stress_rate=35.0, duration_s=40.0
+    )
+    print_table("§VI-E: stressed clusters, throughput per cost (batch jobs, no SLO)", results)
+
+    # Paper: A100-based clusters deliver the best RPS/$ for batch jobs
+    # (0.89 vs 0.75 RPS/$); Splitwise devolves into its baseline at saturation,
+    # so the split and non-split variants land close together.
+    assert results["Baseline-A100"]["rps_per_dollar_hour"] >= results["Baseline-H100"]["rps_per_dollar_hour"]
+    assert results["Splitwise-AA"]["rps_per_dollar_hour"] >= results["Splitwise-HH"]["rps_per_dollar_hour"] * 0.95
+    aa_vs_baseline = (
+        results["Splitwise-AA"]["rps_per_dollar_hour"] / results["Baseline-A100"]["rps_per_dollar_hour"]
+    )
+    assert 0.7 <= aa_vs_baseline <= 1.3

@@ -1,0 +1,15 @@
+"""Table I: A100 vs H100 specifications and ratios."""
+
+from repro.experiments import table1_hardware_comparison
+
+from benchmarks.conftest import print_table
+
+
+def test_table1_hardware(run_once):
+    table = run_once(table1_hardware_comparison)
+    print_table("Table I: A100 vs H100", table)
+    assert table["TFLOPs"]["ratio"] > 3.0
+    assert table["HBM capacity (GB)"]["ratio"] == 1.0
+    assert 1.5 < table["HBM bandwidth (GBps)"]["ratio"] < 1.8
+    assert table["Power (W)"]["ratio"] == 1.75
+    assert 2.0 < table["Cost per machine ($/hr)"]["ratio"] < 2.3

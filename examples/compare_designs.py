@@ -1,0 +1,47 @@
+"""Design comparison: the paper's iso-power cluster suite across loads.
+
+Runs the six cluster designs of the paper (two baselines and four Splitwise
+variants), provisioned with the paper's iso-power machine ratios at 20%
+scale, across a sweep of request rates for the conversation workload — a
+laptop-scale version of Fig. 16 and the Fig. 18 summary.
+
+Run with::
+
+    python examples/compare_designs.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.cluster_eval import fig16_latency_vs_load, scaled_design_suite
+
+RATES = (8.0, 14.0, 20.0)
+
+
+def main() -> None:
+    suite = scaled_design_suite(workload="conversation", scale=0.2)
+    print("Iso-power suite (paper machine ratios at 0.2x scale):")
+    for name, design in suite.items():
+        print(f"  {design.label:<28} cost {design.cost_per_hour:6.0f} $/hr, "
+              f"power {design.provisioned_power_kw:5.1f} kW")
+
+    print("\nSimulating the conversation workload at", ", ".join(f"{r:.0f}" for r in RATES), "RPS ...")
+    results = fig16_latency_vs_load(suite, workload="conversation", rates=RATES, duration_s=60.0)
+
+    header = f"{'design':<18}" + "".join(f"{f'{rate:.0f} RPS':>22}" for rate in RATES)
+    print("\nP90 TTFT / P90 TBT / SLO")
+    print(header)
+    for name, per_rate in results.items():
+        cells = []
+        for rate in RATES:
+            row = per_rate[rate]
+            cells.append(
+                f"{row['ttft_p90'] * 1e3:6.0f}ms {row['tbt_p90'] * 1e3:5.0f}ms {'ok' if row['slo_ok'] else 'VIOL':>5}"
+            )
+        print(f"{name:<18}" + "".join(f"{c:>22}" for c in cells))
+
+    print("\nExpected shape (paper Fig. 16b): Splitwise designs hold the SLO to higher loads")
+    print("than the baselines; Splitwise-HHcap does so at the lowest provisioned power.")
+
+
+if __name__ == "__main__":
+    main()

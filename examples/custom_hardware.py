@@ -1,0 +1,92 @@
+"""Extensibility: evaluate Splitwise with your own accelerator and model.
+
+The paper's Discussion section argues that any hardware matching the phase
+requirements (high compute for prompts, high memory bandwidth/capacity for
+tokens) can serve as a token machine — e.g. AMD MI250 or CPUs with HBM.
+This example defines a hypothetical "MI250-class" token machine and a custom
+30B-parameter model, builds a heterogeneous Splitwise design around them, and
+compares it with the stock designs.
+
+Run with::
+
+    python examples/custom_hardware.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro import (
+    DGX_H100,
+    ClusterDesign,
+    GpuSpec,
+    MachineSpec,
+    ModelSpec,
+    baseline_h100,
+    generate_trace,
+    simulate_design,
+)
+
+# A hypothetical MI250-class accelerator: less compute than an H100, similar
+# memory bandwidth, lower power and cost — a good token machine on paper.
+MI250 = GpuSpec(
+    name="MI250",
+    fp16_tflops=45.0,
+    hbm_capacity_gb=128.0,
+    hbm_bandwidth_gbps=3276.0,
+    tdp_watts=560.0,
+    power_cap_watts=560.0,
+    nvlink_gbps=50.0,
+    infiniband_gbps=200.0,
+    cost_per_hour=21.0,
+)
+MI250_MACHINE = MachineSpec(name="MI250x8", gpu=MI250)
+
+# A custom mid-size model (GQA, 30B parameters).
+CUSTOM_30B = ModelSpec(
+    name="Custom-30B",
+    num_parameters=30e9,
+    num_layers=48,
+    hidden_size=6144,
+    num_heads=48,
+    num_kv_heads=8,
+)
+
+
+def main() -> None:
+    splitwise_hm = ClusterDesign(
+        name="Splitwise-H/MI250",
+        prompt_machine=DGX_H100,
+        token_machine=MI250_MACHINE,
+        num_prompt=2,
+        num_token=2,
+    )
+    designs = {
+        "Baseline-H100 (4)": baseline_h100(4),
+        "Splitwise-H/MI250": splitwise_hm,
+    }
+
+    trace = generate_trace("conversation", rate_rps=10.0, duration_s=60.0, seed=2)
+    print(f"Serving {CUSTOM_30B.name} ({CUSTOM_30B.num_parameters / 1e9:.0f}B params, "
+          f"{CUSTOM_30B.kv_bytes_per_token / 1024:.0f} KiB KV-cache per token)\n")
+
+    print(f"{'design':<22}{'$/hr':>8}{'kW':>8}{'TTFT p90':>10}{'TBT p90':>10}{'SLO':>6}")
+    for name, design in designs.items():
+        result = simulate_design(design, trace, model=CUSTOM_30B)
+        metrics = result.request_metrics()
+        slo = result.slo_report(model=CUSTOM_30B)
+        print(
+            f"{name:<22}{design.cost_per_hour:>8.0f}{design.provisioned_power_kw:>8.1f}"
+            f"{metrics.ttft.p90 * 1e3:>9.0f}ms{metrics.tbt.p90 * 1e3:>9.0f}ms"
+            f"{'  ok' if slo.satisfied else ' VIOL':>6}"
+        )
+
+    capped_token_machine = replace(MI250_MACHINE, gpu=replace(MI250, power_cap_watts=300.0), name="MI250x8-cap")
+    capped = replace(splitwise_hm, name="Splitwise-H/MI250cap", token_machine=capped_token_machine)
+    print(f"\nPower-capping the MI250 token pool saves "
+          f"{splitwise_hm.provisioned_power_kw - capped.provisioned_power_kw:.1f} kW "
+          f"({capped.provisioned_power_kw:.1f} kW total) — the Splitwise-HHcap recipe on custom hardware.")
+
+
+if __name__ == "__main__":
+    main()

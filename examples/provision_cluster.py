@@ -1,0 +1,62 @@
+"""Cluster provisioning: size a Splitwise cluster for a target load.
+
+Walks through the paper's §IV-D methodology at laptop scale:
+
+1. get an analytical first-cut estimate of the pool sizes,
+2. sweep the (prompt, token) machine-count design space with the simulator
+   (the paper's Fig. 12),
+3. report the cost-optimal configuration that meets the Table VI SLOs.
+
+Run with::
+
+    python examples/provision_cluster.py
+"""
+
+from __future__ import annotations
+
+from repro import OptimizationGoal, Provisioner
+from repro.core.provisioning import estimate_pool_sizes
+
+TARGET_RPS = 10.0
+WORKLOAD = "coding"
+FAMILY = "Splitwise-HH"
+
+
+def main() -> None:
+    estimate = estimate_pool_sizes(FAMILY, rate_rps=TARGET_RPS, workload=WORKLOAD)
+    print(f"Analytical first cut for {FAMILY} at {TARGET_RPS:.0f} RPS ({WORKLOAD}): "
+          f"{estimate[0]} prompt + {estimate[1]} token machines")
+
+    provisioner = Provisioner(workload=WORKLOAD, trace_duration_s=45.0, seed=0)
+    prompt_counts = range(max(1, estimate[0] - 1), estimate[0] + 3)
+    token_counts = range(max(1, estimate[1]), estimate[1] + 2)
+    print(f"Sweeping prompt machines {list(prompt_counts)} x token machines {list(token_counts)} ...\n")
+
+    result = provisioner.size_for_throughput(
+        FAMILY,
+        target_rps=TARGET_RPS,
+        prompt_counts=prompt_counts,
+        token_counts=token_counts,
+        goal=OptimizationGoal.COST,
+    )
+
+    print(f"{'config':<14}{'$/hr':>8}{'kW':>8}{'TTFT p90':>10}{'E2E p90':>10}{'SLO':>6}")
+    for candidate in result.candidates:
+        design = candidate.design
+        print(
+            f"{design.num_prompt}P,{design.num_token}T{'':<8}{candidate.cost_per_hour:>8.0f}"
+            f"{candidate.provisioned_power_kw:>8.1f}{candidate.metrics.ttft.p90 * 1e3:>9.0f}ms"
+            f"{candidate.metrics.e2e.p90:>9.1f}s{'  ok' if candidate.feasible else ' VIOL':>6}"
+        )
+
+    if result.best is not None:
+        best = result.best.design
+        print(f"\nCost-optimal feasible configuration (the paper's Fig. 12 star): "
+              f"{best.num_prompt} prompt + {best.num_token} token machines "
+              f"({result.best.cost_per_hour:.0f} $/hr, {result.best.provisioned_power_kw:.1f} kW)")
+    else:
+        print("\nNo configuration in the swept range met the SLO; widen the sweep.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Iteration-level batching policies (Fig. 2 of the paper).
+
+Three mechanisms are modeled:
+
+* request-level batching — a batch runs to completion before new requests join;
+* continuous batching — batches are re-formed each iteration but hold either
+  only prompt-phase or only token-phase requests, with prompts preempting;
+* mixed continuous batching — prompts and token generation share an
+  iteration (the paper's default, and what Splitwise mixed-pool machines run).
+"""
+
+from repro.batching.policies import (
+    BatchConstraints,
+    BatchPlan,
+    BatchingPolicy,
+    ContinuousBatching,
+    MixedContinuousBatching,
+    RequestLevelBatching,
+    make_policy,
+)
+
+__all__ = [
+    "BatchConstraints",
+    "BatchPlan",
+    "BatchingPolicy",
+    "RequestLevelBatching",
+    "ContinuousBatching",
+    "MixedContinuousBatching",
+    "make_policy",
+]

@@ -1,0 +1,259 @@
+"""Batching policies that decide the composition of each forward-pass iteration.
+
+A policy receives the machine's pending prompt queue and the set of requests
+currently in their token phase, plus the machine's constraints (prompt token
+budget, maximum batch size, KV-cache memory headroom), and returns a
+:class:`BatchPlan` for the next iteration.
+
+The three policies mirror Fig. 2 of the paper.  All policies respect the
+same constraints; they differ only in *when* requests are admitted and
+whether prompt and token work may share an iteration.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.models.performance import BatchSpec
+from repro.simulation.request import Request
+
+#: Default cap on batched prompt tokens per iteration (Insight IV / §IV-B:
+#: prompt throughput degrades past ~2048 batched tokens).
+DEFAULT_MAX_PROMPT_TOKENS = 2048
+
+#: Default cap on the number of requests decoded together in one iteration.
+DEFAULT_MAX_BATCH_SIZE = 64
+
+
+@dataclass(frozen=True)
+class BatchConstraints:
+    """Limits the scheduler must respect when composing an iteration.
+
+    Attributes:
+        max_prompt_tokens: Maximum batched prompt tokens per iteration.
+        max_batch_size: Maximum number of requests (prompt + token) batched.
+        max_kv_tokens: KV-cache capacity of the machine in tokens; requests
+            whose combined context would exceed it cannot all be batched.
+    """
+
+    max_prompt_tokens: int = DEFAULT_MAX_PROMPT_TOKENS
+    max_batch_size: int = DEFAULT_MAX_BATCH_SIZE
+    max_kv_tokens: int = 10_000_000
+
+    def __post_init__(self) -> None:
+        if self.max_prompt_tokens < 1:
+            raise ValueError(f"max_prompt_tokens must be >= 1, got {self.max_prompt_tokens}")
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.max_kv_tokens < 1:
+            raise ValueError(f"max_kv_tokens must be >= 1, got {self.max_kv_tokens}")
+
+
+@dataclass
+class BatchPlan:
+    """The composition of one iteration.
+
+    Attributes:
+        prompt_requests: Requests whose prompt phase runs this iteration.
+        token_requests: Requests that generate one token this iteration.
+    """
+
+    prompt_requests: list[Request] = field(default_factory=list)
+    token_requests: list[Request] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the iteration has no work."""
+        return not self.prompt_requests and not self.token_requests
+
+    @property
+    def prompt_tokens(self) -> int:
+        """Total prompt tokens processed this iteration."""
+        return sum(r.prompt_tokens for r in self.prompt_requests)
+
+    @property
+    def context_tokens(self) -> int:
+        """Total cached context read by token-phase requests this iteration."""
+        return sum(r.context_tokens for r in self.token_requests)
+
+    @property
+    def active_tokens(self) -> int:
+        """Active tokens as defined in Fig. 4."""
+        return self.prompt_tokens + len(self.token_requests)
+
+    def to_batch_spec(self) -> BatchSpec:
+        """Convert to the performance-model batch description."""
+        return BatchSpec(
+            prompt_tokens=self.prompt_tokens,
+            token_requests=len(self.token_requests),
+            context_tokens=self.context_tokens,
+        )
+
+
+class BatchingPolicy(ABC):
+    """Decides which requests run in the next iteration of one machine."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def plan_iteration(
+        self,
+        pending_prompts: deque[Request],
+        token_pool: Sequence[Request],
+        constraints: BatchConstraints,
+    ) -> BatchPlan:
+        """Compose the next iteration.
+
+        Args:
+            pending_prompts: FCFS queue of requests waiting for their prompt
+                phase.  The policy pops the requests it admits.
+            token_pool: Requests currently in their token-generation phase on
+                this machine (never popped; the policy selects a subset).
+            constraints: Machine limits.
+        """
+
+    @staticmethod
+    def _select_tokens(
+        token_pool: Iterable[Request], constraints: BatchConstraints, slots: int, kv_budget: int
+    ) -> list[Request]:
+        """Pick token-phase requests FCFS by arrival, respecting slots and memory."""
+        selected: list[Request] = []
+        used_kv = 0
+        ordered = sorted(token_pool, key=lambda r: (-r.priority_boost, r.arrival_time, r.request_id))
+        for request in ordered:
+            if len(selected) >= slots:
+                break
+            if used_kv + request.context_tokens > kv_budget:
+                continue
+            selected.append(request)
+            used_kv += request.context_tokens
+        return selected
+
+    @staticmethod
+    def _select_prompts(
+        pending_prompts: deque[Request], constraints: BatchConstraints, slots: int
+    ) -> list[Request]:
+        """Pop prompts FCFS until the token budget or slot budget is exhausted.
+
+        The first prompt is always admitted even if it alone exceeds the token
+        budget (a single oversized prompt must still run).
+        """
+        selected: list[Request] = []
+        used_tokens = 0
+        while pending_prompts and len(selected) < slots:
+            candidate = pending_prompts[0]
+            if selected and used_tokens + candidate.prompt_tokens > constraints.max_prompt_tokens:
+                break
+            selected.append(pending_prompts.popleft())
+            used_tokens += candidate.prompt_tokens
+        return selected
+
+
+class MixedContinuousBatching(BatchingPolicy):
+    """Prompts and token generation share each iteration (Fig. 2c).
+
+    Prompts are admitted first (they gate TTFT and are considered more
+    important, §IV-B); remaining batch slots and KV-cache headroom go to
+    token-phase requests.  Token requests that do not fit are effectively
+    preempted for this iteration.
+    """
+
+    name = "mixed-continuous"
+
+    def plan_iteration(
+        self,
+        pending_prompts: deque[Request],
+        token_pool: Sequence[Request],
+        constraints: BatchConstraints,
+    ) -> BatchPlan:
+        prompts = self._select_prompts(pending_prompts, constraints, constraints.max_batch_size)
+        remaining_slots = constraints.max_batch_size - len(prompts)
+        kv_budget = constraints.max_kv_tokens - sum(r.prompt_tokens for r in prompts)
+        tokens = self._select_tokens(token_pool, constraints, remaining_slots, max(0, kv_budget))
+        return BatchPlan(prompt_requests=prompts, token_requests=tokens)
+
+
+class ContinuousBatching(BatchingPolicy):
+    """Iteration-level batching with phase-exclusive batches (Fig. 2b).
+
+    Scheduling decisions happen every iteration, but an iteration holds either
+    only prompt-phase requests or only token-phase requests.  Waiting prompts
+    preempt token generation, which shortens TTFT but inflates tail TBT.
+    """
+
+    name = "continuous"
+
+    def plan_iteration(
+        self,
+        pending_prompts: deque[Request],
+        token_pool: Sequence[Request],
+        constraints: BatchConstraints,
+    ) -> BatchPlan:
+        if pending_prompts:
+            prompts = self._select_prompts(pending_prompts, constraints, constraints.max_batch_size)
+            return BatchPlan(prompt_requests=prompts)
+        tokens = self._select_tokens(
+            token_pool, constraints, constraints.max_batch_size, constraints.max_kv_tokens
+        )
+        return BatchPlan(token_requests=tokens)
+
+
+class RequestLevelBatching(BatchingPolicy):
+    """Classic request-level batching (Fig. 2a).
+
+    A batch is formed from the pending queue and runs — prompt phase then all
+    token iterations — until every request in it completes; only then is the
+    next batch admitted.  Requests arriving in between wait, which is what
+    produces the long TTFT tail in the paper's comparison.
+
+    The policy is stateful (it tracks the in-flight batch), so use one
+    instance per machine.
+    """
+
+    name = "request-level"
+
+    def __init__(self) -> None:
+        self._current_batch: list[Request] = []
+
+    def plan_iteration(
+        self,
+        pending_prompts: deque[Request],
+        token_pool: Sequence[Request],
+        constraints: BatchConstraints,
+    ) -> BatchPlan:
+        self._current_batch = [r for r in self._current_batch if not r.is_complete]
+        if not self._current_batch:
+            # Admit a new batch: all its prompts run in the first iteration.
+            admitted = self._select_prompts(pending_prompts, constraints, constraints.max_batch_size)
+            self._current_batch = admitted
+            return BatchPlan(prompt_requests=admitted)
+        # Continue decoding only the members of the in-flight batch.
+        in_flight = [r for r in token_pool if r in self._current_batch]
+        tokens = self._select_tokens(
+            in_flight, constraints, constraints.max_batch_size, constraints.max_kv_tokens
+        )
+        return BatchPlan(token_requests=tokens)
+
+
+_POLICIES = {
+    "request-level": RequestLevelBatching,
+    "continuous": ContinuousBatching,
+    "mixed-continuous": MixedContinuousBatching,
+    "mixed": MixedContinuousBatching,
+}
+
+
+def make_policy(name: str) -> BatchingPolicy:
+    """Instantiate a batching policy by name.
+
+    Raises:
+        KeyError: if the policy name is unknown.
+    """
+    key = name.lower()
+    if key not in _POLICIES:
+        known = ", ".join(sorted(_POLICIES))
+        raise KeyError(f"Unknown batching policy {name!r}; known policies: {known}")
+    return _POLICIES[key]()

@@ -1,0 +1,190 @@
+"""Command-line interface for the Splitwise reproduction.
+
+Four subcommands cover the common workflows without writing Python:
+
+* ``repro-sim trace`` — generate a synthetic trace (Azure-like distributions)
+  and write it to CSV.
+* ``repro-sim simulate`` — run a trace (or a freshly generated one) through a
+  cluster design and print the latency/SLO summary.
+* ``repro-sim provision`` — sweep machine counts for a design family and
+  report the cost-optimal configuration for a target load.
+* ``repro-sim designs`` — list the built-in cluster designs with their cost
+  and power at a given size.
+
+Examples::
+
+    repro-sim trace --workload coding --rate 5 --duration 120 -o coding.csv
+    repro-sim simulate --design Splitwise-HA --prompt 2 --token 4 --rate 8
+    repro-sim provision --design Splitwise-HH --workload coding --rate 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.core.cluster import simulate_design
+from repro.core.designs import get_design_family
+from repro.core.provisioning import OptimizationGoal, Provisioner, estimate_pool_sizes
+from repro.models.llm import get_model
+from repro.workload.generator import generate_trace
+from repro.workload.trace import Trace
+
+_DESIGN_FAMILIES = (
+    "Baseline-A100",
+    "Baseline-H100",
+    "Splitwise-AA",
+    "Splitwise-HH",
+    "Splitwise-HA",
+    "Splitwise-HHcap",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro-sim`` entry point."""
+    parser = argparse.ArgumentParser(prog="repro-sim", description=__doc__.splitlines()[0])
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    trace = subparsers.add_parser("trace", help="generate a synthetic request trace")
+    trace.add_argument("--workload", choices=("coding", "conversation"), default="conversation")
+    trace.add_argument("--rate", type=float, default=2.0, help="requests per second")
+    trace.add_argument("--duration", type=float, default=60.0, help="trace length in seconds")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("-o", "--output", required=True, help="CSV file to write")
+
+    simulate = subparsers.add_parser("simulate", help="simulate a cluster design on a trace")
+    simulate.add_argument("--design", choices=_DESIGN_FAMILIES, default="Splitwise-HH")
+    simulate.add_argument("--prompt", type=int, default=2, help="prompt machines (or total for baselines)")
+    simulate.add_argument("--token", type=int, default=1, help="token machines (ignored for baselines)")
+    simulate.add_argument("--model", default="Llama2-70B", help="LLM to serve")
+    simulate.add_argument("--trace", help="CSV trace to replay (generated if omitted)")
+    simulate.add_argument("--workload", choices=("coding", "conversation"), default="conversation")
+    simulate.add_argument("--rate", type=float, default=2.0)
+    simulate.add_argument("--duration", type=float, default=60.0)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--json", action="store_true", help="print machine-readable JSON")
+
+    provision = subparsers.add_parser("provision", help="search machine counts for a target load")
+    provision.add_argument("--design", choices=_DESIGN_FAMILIES, default="Splitwise-HH")
+    provision.add_argument("--workload", choices=("coding", "conversation"), default="coding")
+    provision.add_argument("--rate", type=float, required=True, help="target requests per second")
+    provision.add_argument("--goal", choices=("cost", "power"), default="cost")
+    provision.add_argument("--duration", type=float, default=45.0, help="evaluation trace length")
+    provision.add_argument("--spread", type=int, default=2, help="sweep +/- this many machines around the estimate")
+    provision.add_argument("--seed", type=int, default=0)
+
+    designs = subparsers.add_parser("designs", help="list cluster designs with cost and power")
+    designs.add_argument("--prompt", type=int, default=2)
+    designs.add_argument("--token", type=int, default=1)
+
+    return parser
+
+
+def _build_design(family: str, prompt: int, token: int):
+    factory = get_design_family(family)
+    if family.startswith("Baseline"):
+        return factory(prompt + token if token else prompt)
+    return factory(prompt, token)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace = generate_trace(args.workload, rate_rps=args.rate, duration_s=args.duration, seed=args.seed)
+    path = trace.to_csv(args.output)
+    print(f"wrote {len(trace)} requests ({args.workload}, {args.rate:g} RPS, {args.duration:g}s) to {path}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    design = _build_design(args.design, args.prompt, args.token)
+    model = get_model(args.model)
+    if args.trace:
+        trace = Trace.from_csv(args.trace)
+    else:
+        trace = generate_trace(args.workload, rate_rps=args.rate, duration_s=args.duration, seed=args.seed)
+    result = simulate_design(design, trace, model=model)
+    metrics = result.request_metrics()
+    slo = result.slo_report(model=model)
+    summary = {
+        "design": design.label,
+        "model": model.name,
+        "trace": trace.name,
+        "requests": len(trace),
+        "completion_rate": round(result.completion_rate, 4),
+        "throughput_rps": round(metrics.throughput_rps, 3),
+        "ttft_p50_ms": round(metrics.ttft.p50 * 1e3, 1),
+        "ttft_p90_ms": round(metrics.ttft.p90 * 1e3, 1),
+        "tbt_p50_ms": round(metrics.tbt.p50 * 1e3, 1),
+        "tbt_p90_ms": round(metrics.tbt.p90 * 1e3, 1),
+        "e2e_p50_s": round(metrics.e2e.p50, 2),
+        "e2e_p90_s": round(metrics.e2e.p90, 2),
+        "energy_wh": round(result.total_energy_wh(), 1),
+        "cost_per_hour": round(design.cost_per_hour, 1),
+        "power_kw": round(design.provisioned_power_kw, 2),
+        "slo_satisfied": slo.satisfied,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        width = max(len(key) for key in summary)
+        for key, value in summary.items():
+            print(f"{key:<{width}}  {value}")
+    return 0 if slo.satisfied else 2
+
+
+def _cmd_provision(args: argparse.Namespace) -> int:
+    estimate_prompt, estimate_token = estimate_pool_sizes(args.design, rate_rps=args.rate, workload=args.workload)
+    provisioner = Provisioner(workload=args.workload, trace_duration_s=args.duration, seed=args.seed)
+    prompt_counts = range(max(1, estimate_prompt - args.spread), estimate_prompt + args.spread + 1)
+    token_counts = (
+        range(max(1, estimate_token - args.spread), estimate_token + args.spread + 1)
+        if not args.design.startswith("Baseline")
+        else (0,)
+    )
+    goal = OptimizationGoal.COST if args.goal == "cost" else OptimizationGoal.POWER
+    result = provisioner.size_for_throughput(
+        args.design, target_rps=args.rate, prompt_counts=prompt_counts, token_counts=token_counts, goal=goal
+    )
+    print(f"analytical estimate: {estimate_prompt} prompt, {estimate_token} token machines")
+    print(f"{'config':<12}{'$/hr':>10}{'kW':>8}{'feasible':>10}")
+    for candidate in result.candidates:
+        design = candidate.design
+        label = f"{design.num_prompt}P,{design.num_token}T"
+        print(f"{label:<12}{candidate.cost_per_hour:>10.0f}{candidate.provisioned_power_kw:>8.1f}"
+              f"{'yes' if candidate.feasible else 'no':>10}")
+    if result.best is None:
+        print("no feasible configuration in the swept range")
+        return 1
+    best = result.best.design
+    print(f"optimal ({args.goal}): {best.num_prompt} prompt + {best.num_token} token machines "
+          f"= {result.best.cost_per_hour:.0f} $/hr, {result.best.provisioned_power_kw:.1f} kW")
+    return 0
+
+
+def _cmd_designs(args: argparse.Namespace) -> int:
+    print(f"{'family':<18}{'machines':>10}{'$/hr':>10}{'kW':>8}")
+    for family in _DESIGN_FAMILIES:
+        design = _build_design(family, args.prompt, args.token)
+        print(f"{family:<18}{design.num_machines:>10}{design.cost_per_hour:>10.1f}"
+              f"{design.provisioned_power_kw:>8.2f}")
+    return 0
+
+
+_COMMANDS = {
+    "trace": _cmd_trace,
+    "simulate": _cmd_simulate,
+    "provision": _cmd_provision,
+    "designs": _cmd_designs,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""The Splitwise technique: phase-split scheduling, transfers, and designs.
+
+This package contains the paper's primary contribution:
+
+* :mod:`repro.core.kv_transfer` — serialized and per-layer-overlapped
+  KV-cache transfer models (§IV-C, Figs. 11/14/15).
+* :mod:`repro.core.machine` — the simulated DGX machine with its
+  machine-level scheduler (MLS): pending queues, batching, preemption (§IV-B).
+* :mod:`repro.core.cluster_scheduler` — the cluster-level scheduler (CLS):
+  JSQ routing and prompt/token/mixed pool management (§IV-A).
+* :mod:`repro.core.cluster` — the end-to-end cluster simulation wiring
+  machines, scheduler, transfers, and metrics together.
+* :mod:`repro.core.designs` — Baseline-A100/H100 and the four Splitwise
+  cluster designs (Table V).
+* :mod:`repro.core.provisioning` — the design-space search used to size
+  clusters for iso-power / iso-cost / iso-throughput targets (§IV-D, Fig. 12).
+"""
+
+from repro.core.cluster import ClusterSimulation, SimulationResult, simulate_design
+from repro.core.cluster_scheduler import ClusterScheduler, MachinePool
+from repro.core.designs import (
+    ClusterDesign,
+    baseline_a100,
+    baseline_h100,
+    get_design_family,
+    splitwise_aa,
+    splitwise_ha,
+    splitwise_hh,
+    splitwise_hhcap,
+)
+from repro.core.kv_transfer import KVTransferModel, TransferMode
+from repro.core.machine import MachineRole, SimulatedMachine
+from repro.core.provisioning import (
+    OptimizationGoal,
+    ProvisioningConstraints,
+    ProvisioningResult,
+    Provisioner,
+    find_max_throughput,
+)
+
+__all__ = [
+    "KVTransferModel",
+    "TransferMode",
+    "SimulatedMachine",
+    "MachineRole",
+    "ClusterScheduler",
+    "MachinePool",
+    "ClusterSimulation",
+    "SimulationResult",
+    "simulate_design",
+    "ClusterDesign",
+    "baseline_a100",
+    "baseline_h100",
+    "splitwise_aa",
+    "splitwise_hh",
+    "splitwise_ha",
+    "splitwise_hhcap",
+    "get_design_family",
+    "Provisioner",
+    "ProvisioningConstraints",
+    "ProvisioningResult",
+    "OptimizationGoal",
+    "find_max_throughput",
+]

@@ -1,0 +1,276 @@
+"""End-to-end cluster simulation.
+
+:class:`ClusterSimulation` instantiates the machines of a
+:class:`~repro.core.designs.ClusterDesign`, wires them to a
+:class:`~repro.core.cluster_scheduler.ClusterScheduler`, replays a request
+trace through the discrete-event engine, and returns a
+:class:`SimulationResult` with every request's timestamps plus cluster-level
+metrics (utilization, energy, batch occupancy).
+
+This is the reproduction of the paper's SplitwiseSim (Section V-B): the same
+inputs (trace, performance model, cluster and scheduler configuration) and
+the same outputs (per-request TTFT/TBT/E2E, machine utilization levels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.batching.policies import make_policy
+from repro.core.cluster_scheduler import ClusterScheduler
+from repro.core.designs import ClusterDesign
+from repro.core.kv_transfer import KVTransferModel
+from repro.core.machine import MachineRole, SimulatedMachine
+from repro.hardware.interconnect import infiniband_for
+from repro.hardware.machine import DGX_A100
+from repro.metrics.collectors import BatchOccupancyTracker, MetricsCollector
+from repro.metrics.slo import DEFAULT_SLO, SloPolicy, SloReport, evaluate_slo
+from repro.metrics.summary import RequestMetrics, summarize_requests
+from repro.models.llm import LLAMA2_70B, ModelSpec
+from repro.models.performance import AnalyticalPerformanceModel, PerformanceModel
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.request import Request
+from repro.workload.trace import Trace
+
+#: Event priority for request arrivals (after iteration completions so that
+#: freed machines are visible to the router at the same timestamp).
+_ARRIVAL_PRIORITY = 2
+
+
+@dataclass
+class SimulationResult:
+    """Everything a cluster simulation produced.
+
+    Attributes:
+        design: The cluster design that was simulated.
+        trace_name: Name of the input trace.
+        requests: All requests that were submitted (completed or not).
+        metrics: Per-machine iteration metrics.
+        duration_s: Simulated time span (last event time).
+        scheduler: The cluster scheduler (exposes pool statistics).
+    """
+
+    design: ClusterDesign
+    trace_name: str
+    requests: list[Request]
+    metrics: MetricsCollector
+    duration_s: float
+    scheduler: ClusterScheduler = field(repr=False)
+
+    @property
+    def completed_requests(self) -> list[Request]:
+        """Requests that generated all their output tokens."""
+        return [r for r in self.requests if r.is_complete]
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of submitted requests that completed."""
+        return len(self.completed_requests) / len(self.requests) if self.requests else 0.0
+
+    def request_metrics(self) -> RequestMetrics:
+        """Latency and throughput summary over completed requests."""
+        return summarize_requests(self.requests, duration_s=self.duration_s)
+
+    def slo_report(
+        self,
+        reference_model: PerformanceModel | None = None,
+        policy: SloPolicy = DEFAULT_SLO,
+        model: ModelSpec | None = None,
+    ) -> SloReport:
+        """Evaluate the paper's Table VI SLO against an uncontended reference.
+
+        Args:
+            reference_model: Reference performance model; defaults to the
+                model running on an uncontended DGX-A100 (the paper's choice).
+            policy: SLO percentile limits.
+            model: LLM used to build the default reference model.
+        """
+        if reference_model is None:
+            reference_model = AnalyticalPerformanceModel(model or LLAMA2_70B, DGX_A100)
+        return evaluate_slo(self.requests, reference_model, policy)
+
+    def total_energy_wh(self) -> float:
+        """Total GPU energy consumed by the cluster in watt-hours."""
+        return self.metrics.total_energy_wh()
+
+    def mean_utilization(self) -> float:
+        """Mean machine utilization over the simulated span."""
+        machine_names = [m.name for m in self.scheduler.machines]
+        return self.metrics.mean_utilization(self.duration_s, machine_names)
+
+    def occupancy_by_home_role(self, role: MachineRole) -> BatchOccupancyTracker:
+        """Merged batch-occupancy CDF of all machines with the given home role (Fig. 17)."""
+        names = [m.name for m in self.scheduler.machines_by_home_role(role)]
+        return self.metrics.group_occupancy(names)
+
+
+class ClusterSimulation:
+    """Builds and runs one cluster simulation.
+
+    Args:
+        design: The cluster design to instantiate.
+        model: The LLM served by every machine.
+        max_prompt_batch_tokens: MLS prompt batching limit.
+        max_batch_size: MLS batch size limit.
+        prompt_queue_threshold: CLS overflow threshold for prompt machines.
+        decode_queue_threshold: CLS overflow threshold for token machines.
+        batching: Batching policy name for every machine (``"mixed"``, the
+            paper's default, or ``"continuous"`` / ``"request-level"`` for the
+            Fig. 2 comparison).
+        routing: CLS routing policy (``"jsq"``, ``"round-robin"``, ``"random"``).
+    """
+
+    def __init__(
+        self,
+        design: ClusterDesign,
+        model: ModelSpec = LLAMA2_70B,
+        max_prompt_batch_tokens: int = 2048,
+        max_batch_size: int = 64,
+        prompt_queue_threshold: int | None = None,
+        decode_queue_threshold: int | None = None,
+        batching: str = "mixed",
+        routing: str = "jsq",
+    ) -> None:
+        self.design = design
+        self.model = model
+        self.batching = batching
+        self.routing = routing
+        self.engine = SimulationEngine()
+        self.metrics = MetricsCollector()
+        self.machines = self._build_machines(max_prompt_batch_tokens, max_batch_size)
+        scheduler_kwargs = {}
+        if prompt_queue_threshold is not None:
+            scheduler_kwargs["prompt_queue_threshold"] = prompt_queue_threshold
+        if decode_queue_threshold is not None:
+            scheduler_kwargs["decode_queue_threshold"] = decode_queue_threshold
+        self.scheduler = ClusterScheduler(
+            engine=self.engine,
+            machines=self.machines,
+            model=model,
+            split=design.split,
+            routing=routing,
+            **scheduler_kwargs,
+        )
+
+    def _build_machines(self, max_prompt_batch_tokens: int, max_batch_size: int) -> list[SimulatedMachine]:
+        machines: list[SimulatedMachine] = []
+        design = self.design
+        if design.split:
+            prompt_link = infiniband_for(
+                design.prompt_machine.interconnect_gbps, design.token_machine.interconnect_gbps
+            )
+            prompt_transfer = KVTransferModel(model=self.model, link=prompt_link)
+            for index in range(design.num_prompt):
+                machines.append(
+                    SimulatedMachine(
+                        name=f"prompt-{index}",
+                        spec=design.prompt_machine,
+                        model=self.model,
+                        engine=self.engine,
+                        role=MachineRole.PROMPT,
+                        policy=make_policy(self.batching),
+                        metrics=self.metrics,
+                        kv_transfer=prompt_transfer,
+                        max_prompt_batch_tokens=max_prompt_batch_tokens,
+                        max_batch_size=max_batch_size,
+                    )
+                )
+            for index in range(design.num_token):
+                machines.append(
+                    SimulatedMachine(
+                        name=f"token-{index}",
+                        spec=design.token_machine,
+                        model=self.model,
+                        engine=self.engine,
+                        role=MachineRole.TOKEN,
+                        policy=make_policy(self.batching),
+                        metrics=self.metrics,
+                        max_prompt_batch_tokens=max_prompt_batch_tokens,
+                        max_batch_size=max_batch_size,
+                    )
+                )
+        else:
+            for index in range(design.num_prompt):
+                machines.append(
+                    SimulatedMachine(
+                        name=f"machine-{index}",
+                        spec=design.prompt_machine,
+                        model=self.model,
+                        engine=self.engine,
+                        role=MachineRole.MIXED,
+                        policy=make_policy(self.batching),
+                        metrics=self.metrics,
+                        max_prompt_batch_tokens=max_prompt_batch_tokens,
+                        max_batch_size=max_batch_size,
+                    )
+                )
+        return machines
+
+    def run(
+        self,
+        trace: Trace,
+        drain: bool = True,
+        horizon_s: float | None = None,
+        failures: Sequence[tuple[float, str]] = (),
+    ) -> SimulationResult:
+        """Replay ``trace`` through the cluster.
+
+        Args:
+            trace: The request trace to replay.
+            drain: Whether to keep simulating until every request completes
+                (``True``, the default) or stop at the trace end.
+            horizon_s: Optional hard simulated-time limit.
+            failures: Optional ``(time_s, machine_name)`` machine failures to
+                inject; affected requests restart from scratch (§IV-E).
+
+        Returns:
+            The populated :class:`SimulationResult`.
+        """
+        requests = [Request(descriptor=descriptor) for descriptor in trace]
+        for failure_time, machine_name in failures:
+            self.engine.schedule_at(
+                failure_time,
+                lambda name=machine_name: self.scheduler.fail_machine(name),
+                priority=1,
+                tag=f"failure:{machine_name}",
+            )
+        for request in requests:
+            self.engine.schedule_at(
+                request.arrival_time,
+                lambda req=request: self.scheduler.submit(req),
+                priority=_ARRIVAL_PRIORITY,
+                tag=f"arrival:{request.request_id}",
+            )
+        until = horizon_s if horizon_s is not None else (None if drain else trace.duration_s)
+        self.engine.run(until=until)
+        duration = max(self.engine.now, trace.duration_s)
+        return SimulationResult(
+            design=self.design,
+            trace_name=trace.name,
+            requests=requests,
+            metrics=self.metrics,
+            duration_s=duration,
+            scheduler=self.scheduler,
+        )
+
+
+def simulate_design(
+    design: ClusterDesign,
+    trace: Trace,
+    model: ModelSpec = LLAMA2_70B,
+    **kwargs,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`ClusterSimulation` and run it."""
+    simulation = ClusterSimulation(design=design, model=model, **kwargs)
+    return simulation.run(trace)
+
+
+def simulate_designs(
+    designs: Sequence[ClusterDesign],
+    trace: Trace,
+    model: ModelSpec = LLAMA2_70B,
+    **kwargs,
+) -> dict[str, SimulationResult]:
+    """Run the same trace through several designs and key results by design label."""
+    return {design.label: simulate_design(design, trace, model, **kwargs) for design in designs}

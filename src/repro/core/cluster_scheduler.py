@@ -1,0 +1,425 @@
+"""The cluster-level scheduler (CLS) — §IV-A of the paper.
+
+The CLS owns machine-pool management and request routing:
+
+* **Pools.**  Machines are assigned a home pool (prompt or token).  Under
+  pressure a machine is temporarily pulled into the *mixed pool*, where it
+  also accepts work of the opposite kind (batched with mixed continuous
+  batching); it returns to its home pool once the foreign work drains.
+* **Routing.**  Each arriving request is simultaneously assigned a prompt
+  machine and a token machine using Join-the-Shortest-Queue, where queue
+  length is measured in pending tokens.  Assigning both up front lets the
+  KV-cache transfer overlap with the prompt computation.
+* **Overflow.**  If every machine of the needed kind is beyond its queue
+  threshold, the CLS looks in the mixed pool, and failing that pulls a
+  machine from the opposite pool into the mixed pool.
+
+For non-split (baseline) clusters the same scheduler routes each request to a
+single machine (JSQ over total pending tokens) and no KV transfer happens.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.core.kv_transfer import KVTransferModel
+from repro.core.machine import MachineRole, SimulatedMachine
+from repro.hardware.interconnect import infiniband_for
+from repro.models.llm import ModelSpec
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.request import Request, RequestPhase
+
+#: A prompt pool machine whose queue exceeds this many pending prompt tokens
+#: is considered overloaded, triggering mixed-pool overflow.
+DEFAULT_PROMPT_QUEUE_THRESHOLD_TOKENS = 4096
+
+#: A token pool machine whose pending decode work exceeds this many tokens is
+#: considered overloaded, triggering mixed-pool overflow.
+DEFAULT_DECODE_QUEUE_THRESHOLD_TOKENS = 16384
+
+#: Minimum KV-cache headroom a token machine must have before accepting more
+#: work without being considered overloaded.
+DEFAULT_MEMORY_HEADROOM_FRACTION = 0.05
+
+
+@dataclass
+class MachinePool:
+    """A named collection of machines with JSQ selection helpers.
+
+    Attributes:
+        name: Pool name (``"prompt"``, ``"token"``, or ``"mixed"``).
+        machines: Member machines.
+    """
+
+    name: str
+    machines: list[SimulatedMachine] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.machines)
+
+    def __iter__(self):
+        return iter(self.machines)
+
+    def add(self, machine: SimulatedMachine) -> None:
+        """Add a machine if not already a member."""
+        if machine not in self.machines:
+            self.machines.append(machine)
+
+    def remove(self, machine: SimulatedMachine) -> None:
+        """Remove a machine if present."""
+        if machine in self.machines:
+            self.machines.remove(machine)
+
+    def least_loaded(self, load: Callable[[SimulatedMachine], float]) -> SimulatedMachine | None:
+        """The member machine minimizing ``load`` (ties broken by name)."""
+        if not self.machines:
+            return None
+        return min(self.machines, key=lambda m: (load(m), m.name))
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """Outcome of routing one request.
+
+    Attributes:
+        prompt_machine: Machine that will run the prompt phase.
+        token_machine: Machine that will run the token phase (same machine
+            for non-split clusters).
+    """
+
+    prompt_machine: SimulatedMachine
+    token_machine: SimulatedMachine
+
+
+class ClusterScheduler:
+    """Cluster-level scheduler for split or baseline clusters.
+
+    Args:
+        engine: The simulation engine.
+        machines: All machines in the cluster.
+        model: The LLM being served (used to size KV-cache transfers).
+        split: ``True`` for Splitwise clusters (separate prompt/token pools),
+            ``False`` for baseline clusters (every machine runs both phases).
+        prompt_queue_threshold: Pending prompt tokens beyond which a prompt
+            machine is considered overloaded.
+        decode_queue_threshold: Pending decode tokens beyond which a token
+            machine is considered overloaded.
+        memory_headroom_fraction: Minimum free KV-cache fraction for a token
+            machine to be considered healthy.
+        routing: Request routing policy — ``"jsq"`` (the paper's
+            Join-the-Shortest-Queue, default), ``"round-robin"``, or
+            ``"random"``.  The alternatives exist for ablation studies.
+        routing_seed: Seed for the ``"random"`` routing policy.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        machines: Sequence[SimulatedMachine],
+        model: ModelSpec,
+        split: bool = True,
+        prompt_queue_threshold: int = DEFAULT_PROMPT_QUEUE_THRESHOLD_TOKENS,
+        decode_queue_threshold: int = DEFAULT_DECODE_QUEUE_THRESHOLD_TOKENS,
+        memory_headroom_fraction: float = DEFAULT_MEMORY_HEADROOM_FRACTION,
+        routing: str = "jsq",
+        routing_seed: int = 0,
+    ) -> None:
+        if routing not in ("jsq", "round-robin", "random"):
+            raise ValueError(f"routing must be 'jsq', 'round-robin' or 'random', got {routing!r}")
+        self.engine = engine
+        self.model = model
+        self.split = split
+        self.prompt_queue_threshold = prompt_queue_threshold
+        self.decode_queue_threshold = decode_queue_threshold
+        self.memory_headroom_fraction = memory_headroom_fraction
+        self.routing = routing
+        self._routing_rng = random.Random(routing_seed)
+        self._round_robin_counters: dict[str, int] = {"prompt": 0, "token": 0, "mixed": 0}
+
+        self.prompt_pool = MachinePool("prompt")
+        self.token_pool = MachinePool("token")
+        self.mixed_pool = MachinePool("mixed")
+        self._assignments: dict[int, RoutingDecision] = {}
+        self._transfer_models: dict[tuple[str, str], KVTransferModel] = {}
+        self.completed_requests: list[Request] = []
+        self.restarted_requests: list[Request] = []
+        self.failed_machines: list[SimulatedMachine] = []
+        self.pool_switches = 0
+
+        for machine in machines:
+            machine.on_prompt_complete = self._handle_prompt_complete
+            machine.on_request_complete = self._handle_request_complete
+            machine.on_iteration_complete = self._handle_iteration_complete
+            if not split or machine.home_role is MachineRole.MIXED:
+                self.mixed_pool.add(machine)
+            elif machine.home_role is MachineRole.PROMPT:
+                self.prompt_pool.add(machine)
+            elif machine.home_role is MachineRole.TOKEN:
+                self.token_pool.add(machine)
+
+    # -- public API -----------------------------------------------------------------
+
+    @property
+    def machines(self) -> list[SimulatedMachine]:
+        """All machines managed by this scheduler."""
+        return list(self.prompt_pool) + list(self.token_pool) + list(self.mixed_pool)
+
+    def submit(self, request: Request) -> RoutingDecision:
+        """Route a newly arrived request and enqueue its prompt phase."""
+        if self.split:
+            decision = self._route_split(request)
+        else:
+            decision = self._route_unsplit(request)
+        self._assignments[request.request_id] = decision
+        if decision.token_machine is not decision.prompt_machine and request.output_tokens > 1:
+            decision.token_machine.expect_transfer(request)
+        decision.prompt_machine.enqueue_prompt(request)
+        return decision
+
+    # -- routing ---------------------------------------------------------------------
+
+    def _route_unsplit(self, request: Request) -> RoutingDecision:
+        del request
+        machine = self._pick(
+            "mixed", self.mixed_pool, lambda m: m.pending_prompt_tokens + m.pending_decode_tokens
+        )
+        if machine is None:
+            raise RuntimeError("baseline cluster has no machines")
+        return RoutingDecision(prompt_machine=machine, token_machine=machine)
+
+    def _pick(
+        self, pool_name: str, pool: MachinePool, load: Callable[[SimulatedMachine], float]
+    ) -> SimulatedMachine | None:
+        """Select a machine from a pool according to the routing policy."""
+        if len(pool) == 0:
+            return None
+        if self.routing == "jsq":
+            return pool.least_loaded(load)
+        if self.routing == "random":
+            return self._routing_rng.choice(pool.machines)
+        index = self._round_robin_counters[pool_name] % len(pool)
+        self._round_robin_counters[pool_name] += 1
+        return pool.machines[index]
+
+    def _route_split(self, request: Request) -> RoutingDecision:
+        del request
+        prompt_machine = self._select_prompt_machine()
+        token_machine = self._select_token_machine()
+        return RoutingDecision(prompt_machine=prompt_machine, token_machine=token_machine)
+
+    def _select_prompt_machine(self) -> SimulatedMachine:
+        best = self._pick("prompt", self.prompt_pool, lambda m: m.pending_prompt_tokens)
+        if best is not None and best.pending_prompt_tokens <= self.prompt_queue_threshold:
+            return best
+        # Prompt pool is overloaded: look for help in the mixed pool, then pull
+        # a token-home machine into the mixed pool.
+        mixed = self._least_loaded_mixed(lambda m: m.pending_prompt_tokens)
+        if mixed is not None and mixed.pending_prompt_tokens <= self.prompt_queue_threshold:
+            return mixed
+        donor = self.token_pool.least_loaded(lambda m: m.pending_prompt_tokens + m.pending_decode_tokens)
+        if donor is not None:
+            self._move_to_mixed(donor)
+            return donor
+        if best is not None:
+            return best
+        if mixed is not None:
+            return mixed
+        raise RuntimeError("cluster has no machine able to run a prompt phase")
+
+    def _select_token_machine(self) -> SimulatedMachine:
+        best = self._pick("token", self.token_pool, lambda m: m.pending_decode_tokens)
+        if best is not None and self._token_machine_healthy(best):
+            return best
+        mixed = self._least_loaded_mixed(lambda m: m.pending_decode_tokens)
+        if mixed is not None and self._token_machine_healthy(mixed):
+            return mixed
+        donor = self.prompt_pool.least_loaded(lambda m: m.pending_prompt_tokens + m.pending_decode_tokens)
+        if donor is not None:
+            self._move_to_mixed(donor)
+            return donor
+        if best is not None:
+            return best
+        if mixed is not None:
+            return mixed
+        raise RuntimeError("cluster has no machine able to run a token phase")
+
+    def _token_machine_healthy(self, machine: SimulatedMachine) -> bool:
+        return (
+            machine.pending_decode_tokens <= self.decode_queue_threshold
+            and machine.memory_headroom_fraction > self.memory_headroom_fraction
+        )
+
+    def _least_loaded_mixed(self, load: Callable[[SimulatedMachine], float]) -> SimulatedMachine | None:
+        if len(self.mixed_pool) == 0:
+            return None
+        return self.mixed_pool.least_loaded(load)
+
+    def _move_to_mixed(self, machine: SimulatedMachine) -> None:
+        """Temporarily pull a machine into the mixed pool."""
+        if machine.role is MachineRole.MIXED:
+            return
+        self.prompt_pool.remove(machine)
+        self.token_pool.remove(machine)
+        self.mixed_pool.add(machine)
+        machine.role = MachineRole.MIXED
+        self.pool_switches += 1
+
+    def _restore_home_pool(self, machine: SimulatedMachine) -> None:
+        """Return a mixed-pool machine to its home pool once foreign work drains."""
+        if machine.role is not MachineRole.MIXED or machine.home_role is MachineRole.MIXED:
+            return
+        if machine.has_foreign_work():
+            return
+        self.mixed_pool.remove(machine)
+        machine.role = machine.home_role
+        if machine.home_role is MachineRole.PROMPT:
+            self.prompt_pool.add(machine)
+        else:
+            self.token_pool.add(machine)
+
+    # -- fault tolerance (§IV-E) ------------------------------------------------------------
+
+    def fail_machine(self, machine: SimulatedMachine | str) -> list[Request]:
+        """Fail a machine and restart its incomplete requests from scratch.
+
+        The paper's fault-tolerance policy (§IV-E) is to simply restart any
+        request whose prompt or token machine fails.  The failed machine is
+        removed from every pool; every incomplete request it held — plus any
+        request that was routed to it as a future token machine — is reset and
+        resubmitted through the normal routing path.
+
+        Returns:
+            The requests that were restarted.
+
+        Raises:
+            KeyError: if a machine name is given and no machine matches it.
+        """
+        target = self._resolve_machine(machine)
+        if target.failed:
+            return []
+        affected = target.fail()
+        self.prompt_pool.remove(target)
+        self.token_pool.remove(target)
+        self.mixed_pool.remove(target)
+        self.failed_machines.append(target)
+
+        # Requests routed to the failed machine for a later phase must also restart.
+        to_restart = {id(r): r for r in affected}
+        for request_id, decision in list(self._assignments.items()):
+            if decision.prompt_machine is target or decision.token_machine is target:
+                request = self._find_outstanding_request(request_id, decision)
+                if request is not None and not request.is_complete:
+                    to_restart.setdefault(id(request), request)
+
+        restarted: list[Request] = []
+        for request in to_restart.values():
+            self._withdraw(request)
+            request.reset_for_restart()
+            self._assignments.pop(request.request_id, None)
+            self.submit(request)
+            restarted.append(request)
+        self.restarted_requests.extend(restarted)
+        return restarted
+
+    def _resolve_machine(self, machine: SimulatedMachine | str) -> SimulatedMachine:
+        if isinstance(machine, SimulatedMachine):
+            return machine
+        for candidate in self.machines + self.failed_machines:
+            if candidate.name == machine:
+                return candidate
+        raise KeyError(f"no machine named {machine!r} in this cluster")
+
+    def _find_outstanding_request(self, request_id: int, decision: RoutingDecision) -> Request | None:
+        for machine in (decision.prompt_machine, decision.token_machine):
+            for request in list(machine.pending_prompts) + machine.token_pool:
+                if request.request_id == request_id:
+                    return request
+        return None
+
+    def _withdraw(self, request: Request) -> None:
+        """Remove a request from every surviving machine's queues before restart."""
+        for machine in self.machines:
+            if request in machine.pending_prompts:
+                machine.pending_prompts.remove(request)
+            if request in machine.token_pool:
+                machine.token_pool.remove(request)
+            machine.cancel_transfer(request)
+
+    # -- KV-cache transfer ---------------------------------------------------------------
+
+    def _transfer_model(self, source: SimulatedMachine, destination: SimulatedMachine) -> KVTransferModel:
+        key = (source.spec.name, destination.spec.name)
+        if key not in self._transfer_models:
+            link = infiniband_for(source.spec.interconnect_gbps, destination.spec.interconnect_gbps)
+            self._transfer_models[key] = KVTransferModel(model=self.model, link=link)
+        return self._transfer_models[key]
+
+    # -- machine callbacks ----------------------------------------------------------------
+
+    def _handle_prompt_complete(
+        self, request: Request, machine: SimulatedMachine, prompt_latency: float
+    ) -> None:
+        decision = self._assignments.get(request.request_id)
+        if decision is None:
+            return
+        destination = decision.token_machine
+        if request.is_complete:
+            if destination is not machine:
+                destination.cancel_transfer(request)
+            return
+        if destination is machine:
+            # Same machine (baseline or overflow onto itself): no transfer.
+            machine.admit_token_request(request)
+            return
+        transfer = self._transfer_model(machine, destination)
+        latency = transfer.visible_latency(request.prompt_tokens, prompt_latency)
+        request.start_kv_transfer(self.engine.now)
+        self.engine.schedule_after(
+            latency,
+            lambda: self._complete_transfer(request, destination),
+            tag=f"kv-transfer:{request.request_id}",
+        )
+
+    def _complete_transfer(self, request: Request, destination: SimulatedMachine) -> None:
+        if request.phase is not RequestPhase.KV_TRANSFER and not request.is_complete:
+            # The request was restarted (machine failure) while its KV-cache
+            # was in flight; the stale transfer completion is dropped.
+            return
+        if destination.failed:
+            # The token machine died while (or after) the cache was in flight:
+            # restart the request from scratch on surviving machines (§IV-E).
+            self._assignments.pop(request.request_id, None)
+            request.reset_for_restart()
+            self.restarted_requests.append(request)
+            self.submit(request)
+            return
+        request.finish_kv_transfer(self.engine.now)
+        destination.admit_token_request(request)
+
+    def _handle_request_complete(self, request: Request, machine: SimulatedMachine) -> None:
+        del machine
+        self.completed_requests.append(request)
+        self._assignments.pop(request.request_id, None)
+
+    def _handle_iteration_complete(self, machine: SimulatedMachine) -> None:
+        self._restore_home_pool(machine)
+
+    # -- introspection -----------------------------------------------------------------------
+
+    def pool_sizes(self) -> dict[str, int]:
+        """Current number of machines in each pool."""
+        return {"prompt": len(self.prompt_pool), "token": len(self.token_pool), "mixed": len(self.mixed_pool)}
+
+    def machines_by_home_role(self, role: MachineRole) -> list[SimulatedMachine]:
+        """All machines whose home pool is ``role`` regardless of current pool."""
+        return [m for m in self.machines if m.home_role is role]
+
+    def outstanding_requests(self) -> Iterable[Request]:
+        """Requests routed but not yet completed."""
+        seen = {r.request_id for r in self.completed_requests}
+        for machine in self.machines:
+            for request in list(machine.pending_prompts) + machine.token_pool:
+                if request.request_id not in seen:
+                    yield request

@@ -1,0 +1,154 @@
+"""KV-cache transfer between prompt and token machines (§IV-C of the paper).
+
+After the prompt machine finishes the prefill it must ship the request's
+KV-cache to the token machine.  Two transfer schemes are modeled (Fig. 11):
+
+* **Serialized** — the whole KV-cache is sent after the prompt phase ends.
+  The visible latency grows linearly with the prompt size and delays the
+  second output token.
+* **Per-layer (overlapped)** — each layer's KV-cache is sent asynchronously
+  as soon as that layer's prefill completes, overlapping transfer with the
+  remaining prompt computation.  Only the last layer's chunk plus a small
+  fine-grained synchronization residue remains visible, at the cost of a
+  small interference slowdown of the prompt computation itself.
+
+Splitwise picks the scheme per request: serialized for small prompts (the
+cache is tiny and per-layer synchronization is not worth its interference)
+and per-layer for large prompts (Fig. 14).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.hardware.interconnect import InterconnectSpec
+from repro.models.llm import ModelSpec
+
+#: Prompt sizes below this use the serialized transfer (the paper uses ~512
+#: tokens on the H100 setup).
+DEFAULT_SERIALIZED_THRESHOLD_TOKENS = 512
+
+#: Fractional slowdown of the prompt computation caused by per-layer
+#: synchronization and link contention (the paper reports <7% total overhead,
+#: mostly hidden; the residual interference on TTFT is small).
+DEFAULT_PER_LAYER_INTERFERENCE = 0.025
+
+
+class TransferMode(enum.Enum):
+    """Which KV-cache transfer scheme a request uses."""
+
+    SERIALIZED = "serialized"
+    PER_LAYER = "per_layer"
+
+
+@dataclass(frozen=True)
+class KVTransferModel:
+    """Latency model for KV-cache transfers over one interconnect.
+
+    Attributes:
+        model: The LLM whose KV-cache is transferred.
+        link: The interconnect between the prompt and token machine.
+        serialized_threshold_tokens: Prompt size below which the serialized
+            scheme is chosen.
+        per_layer_interference: Fractional prompt-computation slowdown while
+            a per-layer transfer is in flight.
+        compression_ratio: Factor by which the KV-cache is compressed before
+            it crosses the network (1.0 = no compression).  §VII of the paper
+            suggests compression as a way to run Splitwise over slower
+            interconnects; only the wire size shrinks, the resident KV-cache
+            on the token machine is unchanged.
+    """
+
+    model: ModelSpec
+    link: InterconnectSpec
+    serialized_threshold_tokens: int = DEFAULT_SERIALIZED_THRESHOLD_TOKENS
+    per_layer_interference: float = DEFAULT_PER_LAYER_INTERFERENCE
+    compression_ratio: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.serialized_threshold_tokens < 0:
+            raise ValueError(
+                f"serialized_threshold_tokens must be non-negative, got {self.serialized_threshold_tokens}"
+            )
+        if self.per_layer_interference < 0:
+            raise ValueError(
+                f"per_layer_interference must be non-negative, got {self.per_layer_interference}"
+            )
+        if self.compression_ratio < 1.0:
+            raise ValueError(f"compression_ratio must be >= 1.0, got {self.compression_ratio}")
+
+    # -- sizes -------------------------------------------------------------------
+
+    def kv_bytes(self, prompt_tokens: int) -> float:
+        """Bytes of KV-cache sent over the wire for ``prompt_tokens`` tokens."""
+        if prompt_tokens < 0:
+            raise ValueError(f"prompt_tokens must be non-negative, got {prompt_tokens}")
+        return self.model.kv_cache_bytes(prompt_tokens) / self.compression_ratio
+
+    def per_layer_bytes(self, prompt_tokens: int) -> float:
+        """Bytes of KV-cache produced per layer for the given prompt."""
+        return self.kv_bytes(prompt_tokens) / self.model.num_layers
+
+    # -- mode selection ------------------------------------------------------------
+
+    def choose_mode(self, prompt_tokens: int) -> TransferMode:
+        """Pick the transfer scheme Splitwise would use for this prompt size."""
+        if prompt_tokens < self.serialized_threshold_tokens:
+            return TransferMode.SERIALIZED
+        return TransferMode.PER_LAYER
+
+    # -- latency ---------------------------------------------------------------------
+
+    def serialized_latency(self, prompt_tokens: int) -> float:
+        """Visible transfer latency (seconds) for the serialized scheme.
+
+        The whole cache moves after the prompt phase; every byte is on the
+        critical path of the second output token.
+        """
+        return self.link.transfer_time(self.kv_bytes(prompt_tokens))
+
+    def per_layer_latency(self, prompt_tokens: int, prompt_latency_s: float) -> float:
+        """Visible transfer latency (seconds) for the per-layer scheme.
+
+        Transfers of all but the last layer overlap with the remaining prompt
+        computation.  What remains visible is the last layer's chunk, the
+        fine-grained synchronization residue, and — if the link is too slow to
+        keep up with prefill — the part of the total transfer that could not
+        be hidden behind the prompt computation window.
+        """
+        if prompt_latency_s < 0:
+            raise ValueError(f"prompt_latency_s must be non-negative, got {prompt_latency_s}")
+        total = self.serialized_latency(prompt_tokens)
+        last_layer = self.link.transfer_time(self.per_layer_bytes(prompt_tokens))
+        sync_residue = self._sync_residue()
+        unhidden = max(0.0, total - prompt_latency_s)
+        return max(last_layer + sync_residue, unhidden)
+
+    def _sync_residue(self) -> float:
+        """Constant non-overlapped residue of the per-layer scheme (seconds).
+
+        Calibrated to the paper's Fig. 14: roughly 8 ms on the 200 Gbps A100
+        setup and 5 ms on the 400 Gbps H100 setup.
+        """
+        return 0.002 + 1.2 / self.link.bandwidth_gbps
+
+    def visible_latency(
+        self, prompt_tokens: int, prompt_latency_s: float, mode: TransferMode | None = None
+    ) -> float:
+        """Visible (non-overlapped) transfer latency for the chosen scheme."""
+        chosen = mode or self.choose_mode(prompt_tokens)
+        if chosen is TransferMode.SERIALIZED:
+            return self.serialized_latency(prompt_tokens)
+        return self.per_layer_latency(prompt_tokens, prompt_latency_s)
+
+    def prompt_interference_factor(self, mode: TransferMode) -> float:
+        """Multiplier applied to the prompt latency while transferring.
+
+        Per-layer transfers synchronize with every layer of the prefill and
+        slightly slow it down; serialized transfers do not touch the prompt
+        computation.
+        """
+        if mode is TransferMode.PER_LAYER:
+            return 1.0 + self.per_layer_interference
+        return 1.0

@@ -1,0 +1,343 @@
+"""The simulated inference machine and its machine-level scheduler (MLS).
+
+A :class:`SimulatedMachine` is one 8-GPU DGX box serving one model replica.
+Its machine-level scheduler (§IV-B of the paper) owns the pending prompt
+queue and the pool of requests in their token phase, composes a batch for
+every forward-pass iteration using a batching policy, executes the iteration
+for the duration given by the performance model, and reports per-iteration
+time/energy/occupancy to the metrics collector.
+
+The machine is role-agnostic at execution time: a Splitwise prompt machine
+simply never receives token work, a token machine never receives prompt
+work, and a machine pulled into the mixed pool receives both and batches
+them with mixed continuous batching.  Pool membership is managed by the
+cluster-level scheduler.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Callable
+
+from repro.batching.policies import (
+    DEFAULT_MAX_BATCH_SIZE,
+    DEFAULT_MAX_PROMPT_TOKENS,
+    BatchConstraints,
+    BatchPlan,
+    BatchingPolicy,
+    MixedContinuousBatching,
+)
+from repro.core.kv_transfer import KVTransferModel
+from repro.hardware.machine import MachineSpec
+from repro.metrics.collectors import MetricsCollector
+from repro.models.llm import ModelSpec
+from repro.models.memory import MemoryModel
+from repro.models.performance import AnalyticalPerformanceModel, PerformanceModel
+from repro.models.power import PowerModel
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.request import Request
+
+
+class MachineRole(enum.Enum):
+    """Pool identity of a machine in a Splitwise cluster."""
+
+    PROMPT = "prompt"
+    TOKEN = "token"
+    MIXED = "mixed"
+
+
+#: Event priority for iteration completions (fire before new arrivals at the
+#: same timestamp so freed capacity is visible to the router).
+_FINISH_PRIORITY = 0
+_START_PRIORITY = 1
+
+
+class SimulatedMachine:
+    """One DGX machine executing batched inference iterations.
+
+    Args:
+        name: Unique machine name within the cluster.
+        spec: Hardware description of the machine.
+        model: The LLM served by the machine.
+        engine: The discrete-event engine driving the simulation.
+        role: Initial (and home) pool identity.
+        policy: Batching policy; defaults to mixed continuous batching, the
+            paper's choice for both baselines and Splitwise machines.
+        performance_model: Latency model; defaults to the calibrated
+            analytical model for (model, spec).
+        metrics: Cluster metrics collector to report iterations into.
+        kv_transfer: Transfer model used to account for per-layer transfer
+            interference on the prompt computation (set on Splitwise prompt
+            machines; ``None`` elsewhere).
+        max_prompt_batch_tokens: MLS limit on batched prompt tokens (§IV-B).
+        max_batch_size: MLS limit on batched requests per iteration.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        spec: MachineSpec,
+        model: ModelSpec,
+        engine: SimulationEngine,
+        role: MachineRole = MachineRole.MIXED,
+        policy: BatchingPolicy | None = None,
+        performance_model: PerformanceModel | None = None,
+        metrics: MetricsCollector | None = None,
+        kv_transfer: KVTransferModel | None = None,
+        max_prompt_batch_tokens: int = DEFAULT_MAX_PROMPT_TOKENS,
+        max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+    ) -> None:
+        self.name = name
+        self.spec = spec
+        self.model = model
+        self.engine = engine
+        self.home_role = role
+        self.role = role
+        self.policy = policy or MixedContinuousBatching()
+        self.performance = performance_model or AnalyticalPerformanceModel(model, spec)
+        self.power = PowerModel(model, spec)
+        self.memory = MemoryModel(model, spec)
+        self.metrics = metrics or MetricsCollector()
+        self.kv_transfer = kv_transfer
+        self.constraints = BatchConstraints(
+            max_prompt_tokens=max_prompt_batch_tokens,
+            max_batch_size=max_batch_size,
+            max_kv_tokens=self.memory.max_kv_tokens,
+        )
+
+        self.pending_prompts: deque[Request] = deque()
+        self.token_pool: list[Request] = []
+        self.in_transfer: set[int] = set()
+        self._in_transfer_tokens: dict[int, int] = {}
+        self._running_plan: BatchPlan | None = None
+        self._busy = False
+        self.failed = False
+
+        # Callbacks wired by the cluster simulation.
+        self.on_prompt_complete: Callable[[Request, "SimulatedMachine", float], None] | None = None
+        self.on_request_complete: Callable[[Request, "SimulatedMachine"], None] | None = None
+        self.on_iteration_complete: Callable[["SimulatedMachine"], None] | None = None
+
+    # -- work intake (called by the cluster scheduler) -------------------------------
+
+    def enqueue_prompt(self, request: Request) -> None:
+        """Add a request to the pending prompt queue (FCFS).
+
+        Raises:
+            RuntimeError: if the machine has failed.
+        """
+        if self.failed:
+            raise RuntimeError(f"machine {self.name} has failed and cannot accept prompts")
+        self.pending_prompts.append(request)
+        self._kick()
+
+    def expect_transfer(self, request: Request) -> None:
+        """Register a request whose KV-cache will arrive later (for JSQ accounting)."""
+        self.in_transfer.add(request.request_id)
+        self._in_transfer_tokens[request.request_id] = request.output_tokens
+
+    def cancel_transfer(self, request: Request) -> None:
+        """Drop a previously expected transfer (request finished in its prompt phase)."""
+        self.in_transfer.discard(request.request_id)
+        self._in_transfer_tokens.pop(request.request_id, None)
+
+    def admit_token_request(self, request: Request) -> None:
+        """Admit a request whose KV-cache has arrived into the token pool."""
+        if self.failed:
+            raise RuntimeError(f"machine {self.name} has failed and cannot accept token requests")
+        self.in_transfer.discard(request.request_id)
+        self._in_transfer_tokens.pop(request.request_id, None)
+        if request.is_complete:
+            return
+        self.token_pool.append(request)
+        self._kick()
+
+    def fail(self) -> list[Request]:
+        """Mark the machine as failed and surrender all in-flight work (§IV-E).
+
+        Returns the incomplete requests that were queued, decoding, or mid-
+        iteration on this machine so the cluster scheduler can restart them
+        elsewhere.  A failed machine executes no further iterations.
+        """
+        self.failed = True
+        affected: list[Request] = []
+        affected.extend(self.pending_prompts)
+        affected.extend(self.token_pool)
+        if self._running_plan is not None:
+            affected.extend(self._running_plan.prompt_requests)
+            affected.extend(self._running_plan.token_requests)
+        self.pending_prompts.clear()
+        self.token_pool.clear()
+        self.in_transfer.clear()
+        self._in_transfer_tokens.clear()
+        self._running_plan = None
+        self._busy = False
+        seen: set[int] = set()
+        unique: list[Request] = []
+        for request in affected:
+            if not request.is_complete and id(request) not in seen:
+                seen.add(id(request))
+                unique.append(request)
+        return unique
+
+    # -- queue metrics (used by JSQ routing) -------------------------------------------
+
+    @property
+    def is_busy(self) -> bool:
+        """Whether an iteration is currently executing."""
+        return self._busy
+
+    @property
+    def pending_prompt_tokens(self) -> int:
+        """Prompt tokens queued or currently running (JSQ queue length)."""
+        queued = sum(r.prompt_tokens for r in self.pending_prompts)
+        running = self._running_plan.prompt_tokens if self._running_plan else 0
+        return queued + running
+
+    @property
+    def pending_decode_tokens(self) -> int:
+        """Output tokens still owed by requests assigned to this machine."""
+        in_pool = sum(r.remaining_tokens for r in self.token_pool)
+        expected = sum(self._in_transfer_tokens.values())
+        return in_pool + expected
+
+    @property
+    def pending_prompt_count(self) -> int:
+        """Number of requests waiting for their prompt phase."""
+        return len(self.pending_prompts)
+
+    @property
+    def active_token_requests(self) -> int:
+        """Number of requests currently decoding on this machine."""
+        return len(self.token_pool)
+
+    @property
+    def kv_tokens_in_use(self) -> int:
+        """KV-cache tokens currently resident on the machine."""
+        return sum(r.context_tokens for r in self.token_pool)
+
+    @property
+    def memory_headroom_fraction(self) -> float:
+        """Fraction of the KV-cache budget still free."""
+        budget = self.constraints.max_kv_tokens
+        return max(0.0, 1.0 - self.kv_tokens_in_use / budget) if budget else 0.0
+
+    def has_prompt_work(self) -> bool:
+        """Whether any prompt work is queued or running."""
+        running = bool(self._running_plan and self._running_plan.prompt_requests)
+        return bool(self.pending_prompts) or running
+
+    def has_token_work(self) -> bool:
+        """Whether any token work is present or expected."""
+        return bool(self.token_pool) or bool(self.in_transfer)
+
+    def has_foreign_work(self) -> bool:
+        """Whether the machine holds work of the opposite kind to its home role."""
+        if self.home_role is MachineRole.PROMPT:
+            return self.has_token_work()
+        if self.home_role is MachineRole.TOKEN:
+            return self.has_prompt_work()
+        return False
+
+    # -- iteration loop -----------------------------------------------------------------
+
+    def _kick(self) -> None:
+        """Start an iteration if the machine is idle."""
+        if not self._busy:
+            self.engine.schedule_after(0.0, self._start_iteration, priority=_START_PRIORITY, tag=f"{self.name}:start")
+
+    def _start_iteration(self) -> None:
+        if self._busy or self.failed:
+            return
+        plan = self.policy.plan_iteration(self.pending_prompts, self.token_pool, self.constraints)
+        if plan.is_empty:
+            return
+        self._busy = True
+        self._running_plan = plan
+
+        prompt_tokens = plan.prompt_tokens
+        token_requests = len(plan.token_requests)
+        context_tokens = plan.context_tokens
+
+        prompt_latency = self.performance.prompt_latency(prompt_tokens) if prompt_tokens else 0.0
+        prompt_latency *= self._transfer_interference(plan)
+        token_latency = (
+            self.performance.token_latency(token_requests, context_tokens) if token_requests else 0.0
+        )
+        duration = prompt_latency + token_latency
+
+        energy_wh = 0.0
+        if prompt_tokens:
+            energy_wh += self.power.prompt_energy_wh(prompt_tokens, prompt_latency)
+        if token_requests:
+            energy_wh += self.power.token_energy_wh(token_requests, token_latency)
+
+        self.metrics.record_iteration(
+            machine=self.name,
+            duration_s=duration,
+            active_tokens=plan.active_tokens,
+            energy_wh=energy_wh,
+            prompt_tokens=prompt_tokens,
+            tokens_generated=len(plan.prompt_requests) + token_requests,
+        )
+
+        for request in plan.prompt_requests:
+            request.start_prompt(self.engine.now, self.name)
+
+        self.engine.schedule_after(
+            duration,
+            lambda: self._finish_iteration(plan, prompt_latency),
+            priority=_FINISH_PRIORITY,
+            tag=f"{self.name}:finish",
+        )
+
+    def _transfer_interference(self, plan: BatchPlan) -> float:
+        """Prompt slowdown from overlapped KV-cache transfers (Splitwise prompt machines)."""
+        if self.kv_transfer is None or not plan.prompt_requests:
+            return 1.0
+        factors = [
+            self.kv_transfer.prompt_interference_factor(self.kv_transfer.choose_mode(r.prompt_tokens))
+            for r in plan.prompt_requests
+        ]
+        return max(factors)
+
+    def _finish_iteration(self, plan: BatchPlan, prompt_latency: float) -> None:
+        if self.failed:
+            # The machine died mid-iteration; its results are lost.
+            return
+        now = self.engine.now
+        self._busy = False
+        self._running_plan = None
+
+        for request in plan.prompt_requests:
+            request.finish_prompt(now)
+            if self.on_prompt_complete is not None:
+                self.on_prompt_complete(request, self, prompt_latency)
+            if request.is_complete and self.on_request_complete is not None:
+                self.on_request_complete(request, self)
+
+        selected = {id(r) for r in plan.token_requests}
+        for request in plan.token_requests:
+            request.generate_token(now)
+            if request.is_complete:
+                self.token_pool.remove(request)
+                if self.on_request_complete is not None:
+                    self.on_request_complete(request, self)
+
+        # Aging: requests left out of this iteration gain priority so that
+        # preemption (on mixed machines) cannot starve them (§IV-B).
+        for request in self.token_pool:
+            if id(request) not in selected:
+                request.priority_boost += 1.0
+
+        if self.on_iteration_complete is not None:
+            self.on_iteration_complete(self)
+
+        self._start_iteration()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulatedMachine(name={self.name!r}, spec={self.spec.name!r}, role={self.role.value!r}, "
+            f"prompts={len(self.pending_prompts)}, tokens={len(self.token_pool)})"
+        )

@@ -1,0 +1,383 @@
+"""Cluster provisioning: the design-space search of §IV-D and Fig. 12.
+
+Given a design family (e.g. Splitwise-HA), a workload (token-size
+distributions), SLOs, and an optimization goal, the provisioner sweeps
+machine counts and/or request rates through the cluster simulator and picks
+the configuration that meets the SLO while optimizing the goal:
+
+* **iso-throughput, cost- or power-optimized** — find the cheapest (or lowest
+  provisioned power) machine counts that sustain a target request rate;
+* **iso-cost / iso-power, throughput-optimized** — find, under a cost or
+  power budget, the machine counts and the maximum request rate they sustain.
+
+Feasibility of a (design, rate) point requires that (almost) all requests
+complete within the simulated window and that all nine Table VI SLO
+percentiles hold.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.core.cluster import SimulationResult, simulate_design
+from repro.core.designs import ClusterDesign, get_design_family
+from repro.hardware.machine import DGX_A100, MachineSpec
+from repro.metrics.slo import DEFAULT_SLO, SloPolicy, SloReport
+from repro.metrics.summary import RequestMetrics
+from repro.models.llm import LLAMA2_70B, ModelSpec
+from repro.models.performance import AnalyticalPerformanceModel, PerformanceModel
+from repro.workload.distributions import WorkloadSpec, get_workload
+from repro.workload.generator import generate_trace
+from repro.workload.trace import Trace
+
+
+class OptimizationGoal(enum.Enum):
+    """What the provisioning search minimizes or maximizes."""
+
+    THROUGHPUT = "throughput"
+    COST = "cost"
+    POWER = "power"
+
+
+@dataclass(frozen=True)
+class ProvisioningConstraints:
+    """Feasibility constraints for a candidate configuration.
+
+    Attributes:
+        slo: Latency SLO every candidate must meet.
+        min_completion_rate: Minimum fraction of trace requests that must
+            complete (guards against configurations whose queues blow up).
+        max_cost_per_hour: Optional cost budget ($/hr).
+        max_power_kw: Optional provisioned power budget (kW).
+    """
+
+    slo: SloPolicy = DEFAULT_SLO
+    min_completion_rate: float = 0.98
+    max_cost_per_hour: float | None = None
+    max_power_kw: float | None = None
+
+    def within_budget(self, design: ClusterDesign) -> bool:
+        """Whether a design fits the cost/power budgets (ignoring SLO)."""
+        if self.max_cost_per_hour is not None and design.cost_per_hour > self.max_cost_per_hour:
+            return False
+        if self.max_power_kw is not None and design.provisioned_power_kw > self.max_power_kw:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class CandidateEvaluation:
+    """One simulated (design, request rate) point in the search space.
+
+    Attributes:
+        design: The candidate cluster design.
+        rate_rps: Request rate the candidate was evaluated at.
+        feasible: Whether the candidate met the SLO and completion constraints.
+        slo_report: Full SLO report.
+        metrics: Latency/throughput summary of the simulation.
+        completion_rate: Fraction of requests that completed.
+    """
+
+    design: ClusterDesign
+    rate_rps: float
+    feasible: bool
+    slo_report: SloReport
+    metrics: RequestMetrics
+    completion_rate: float
+
+    @property
+    def cost_per_hour(self) -> float:
+        """Cluster cost of this candidate in $/hr."""
+        return self.design.cost_per_hour
+
+    @property
+    def provisioned_power_kw(self) -> float:
+        """Provisioned power of this candidate in kW."""
+        return self.design.provisioned_power_kw
+
+
+@dataclass
+class ProvisioningResult:
+    """Outcome of a provisioning search.
+
+    Attributes:
+        best: The optimal feasible candidate (None if nothing was feasible).
+        candidates: Every evaluated candidate (the Fig. 12 design space).
+        goal: The optimization goal that selected ``best``.
+    """
+
+    best: CandidateEvaluation | None
+    candidates: list[CandidateEvaluation] = field(default_factory=list)
+    goal: OptimizationGoal = OptimizationGoal.COST
+
+    @property
+    def feasible_candidates(self) -> list[CandidateEvaluation]:
+        """All candidates that met the constraints."""
+        return [c for c in self.candidates if c.feasible]
+
+
+class Provisioner:
+    """Design-space search driver.
+
+    Args:
+        model: LLM served by every candidate cluster.
+        workload: Workload name or spec used to generate evaluation traces.
+        trace_duration_s: Length of the synthetic evaluation trace.  The paper
+            uses a 2-minute trace for provisioning sweeps; shorter traces make
+            the sweep cheaper at some loss of tail fidelity.
+        seed: Seed for trace generation (the same trace is reused across
+            candidates at the same rate for a fair comparison).
+        reference_machine: Machine whose uncontended latency anchors the SLO.
+        constraints: Feasibility constraints.
+    """
+
+    def __init__(
+        self,
+        model: ModelSpec = LLAMA2_70B,
+        workload: str | WorkloadSpec = "coding",
+        trace_duration_s: float = 60.0,
+        seed: int = 0,
+        reference_machine: MachineSpec = DGX_A100,
+        constraints: ProvisioningConstraints | None = None,
+    ) -> None:
+        self.model = model
+        self.workload = get_workload(workload) if isinstance(workload, str) else workload
+        self.trace_duration_s = trace_duration_s
+        self.seed = seed
+        self.constraints = constraints or ProvisioningConstraints()
+        self.reference_model: PerformanceModel = AnalyticalPerformanceModel(model, reference_machine)
+        self._trace_cache: dict[float, Trace] = {}
+
+    # -- building blocks -------------------------------------------------------------
+
+    def trace_at(self, rate_rps: float) -> Trace:
+        """The evaluation trace for a given request rate (cached)."""
+        if rate_rps not in self._trace_cache:
+            self._trace_cache[rate_rps] = generate_trace(
+                workload=self.workload,
+                rate_rps=rate_rps,
+                duration_s=self.trace_duration_s,
+                seed=self.seed,
+            )
+        return self._trace_cache[rate_rps]
+
+    def evaluate(self, design: ClusterDesign, rate_rps: float) -> CandidateEvaluation:
+        """Simulate one (design, rate) candidate and judge feasibility."""
+        trace = self.trace_at(rate_rps)
+        result: SimulationResult = simulate_design(design, trace, model=self.model)
+        slo_report = result.slo_report(reference_model=self.reference_model, policy=self.constraints.slo)
+        metrics = result.request_metrics()
+        completion = result.completion_rate
+        feasible = (
+            slo_report.satisfied
+            and completion >= self.constraints.min_completion_rate
+            and self.constraints.within_budget(design)
+        )
+        return CandidateEvaluation(
+            design=design,
+            rate_rps=rate_rps,
+            feasible=feasible,
+            slo_report=slo_report,
+            metrics=metrics,
+            completion_rate=completion,
+        )
+
+    def max_throughput(
+        self, design: ClusterDesign, rates: Sequence[float]
+    ) -> tuple[float, list[CandidateEvaluation]]:
+        """Highest request rate (from ``rates``) the design sustains under SLO.
+
+        Rates are scanned in ascending order; scanning stops after the first
+        infeasible rate above a feasible one (the feasibility frontier is
+        monotone for all practical purposes).
+
+        Returns:
+            ``(max_rate, evaluations)`` where ``max_rate`` is 0.0 when even the
+            lowest rate is infeasible.
+        """
+        evaluations: list[CandidateEvaluation] = []
+        best_rate = 0.0
+        for rate in sorted(rates):
+            candidate = self.evaluate(design, rate)
+            evaluations.append(candidate)
+            if candidate.feasible:
+                best_rate = rate
+            elif best_rate > 0.0:
+                break
+        return best_rate, evaluations
+
+    # -- searches ------------------------------------------------------------------------
+
+    def size_for_throughput(
+        self,
+        family: str | Callable[..., ClusterDesign],
+        target_rps: float,
+        prompt_counts: Iterable[int],
+        token_counts: Iterable[int] = (0,),
+        goal: OptimizationGoal = OptimizationGoal.COST,
+    ) -> ProvisioningResult:
+        """Iso-throughput sizing: cheapest / lowest-power design meeting ``target_rps``.
+
+        Args:
+            family: Design family name or factory.
+            target_rps: Request rate every candidate must sustain.
+            prompt_counts: Candidate prompt-pool sizes (or total machine
+                counts for baseline families).
+            token_counts: Candidate token-pool sizes (ignored for baselines).
+            goal: COST or POWER.
+        """
+        factory = get_design_family(family) if isinstance(family, str) else family
+        candidates: list[CandidateEvaluation] = []
+        for num_prompt, num_token in itertools.product(sorted(set(prompt_counts)), sorted(set(token_counts))):
+            design = self._make_design(factory, num_prompt, num_token)
+            if design is None:
+                continue
+            candidates.append(self.evaluate(design, target_rps))
+        best = self._select_best(candidates, goal)
+        return ProvisioningResult(best=best, candidates=candidates, goal=goal)
+
+    def max_throughput_under_budget(
+        self,
+        family: str | Callable[..., ClusterDesign],
+        rates: Sequence[float],
+        prompt_counts: Iterable[int],
+        token_counts: Iterable[int] = (0,),
+        max_cost_per_hour: float | None = None,
+        max_power_kw: float | None = None,
+    ) -> ProvisioningResult:
+        """Iso-cost / iso-power sizing: the design maximizing throughput under a budget."""
+        factory = get_design_family(family) if isinstance(family, str) else family
+        budget = ProvisioningConstraints(
+            slo=self.constraints.slo,
+            min_completion_rate=self.constraints.min_completion_rate,
+            max_cost_per_hour=max_cost_per_hour,
+            max_power_kw=max_power_kw,
+        )
+        best: CandidateEvaluation | None = None
+        best_rate = -1.0
+        candidates: list[CandidateEvaluation] = []
+        for num_prompt, num_token in itertools.product(sorted(set(prompt_counts)), sorted(set(token_counts))):
+            design = self._make_design(factory, num_prompt, num_token)
+            if design is None or not budget.within_budget(design):
+                continue
+            rate, evaluations = self.max_throughput(design, rates)
+            candidates.extend(evaluations)
+            feasible_evals = [e for e in evaluations if e.feasible and e.rate_rps == rate]
+            if rate > best_rate and feasible_evals:
+                best_rate = rate
+                best = feasible_evals[-1]
+        return ProvisioningResult(best=best, candidates=candidates, goal=OptimizationGoal.THROUGHPUT)
+
+    # -- helpers ---------------------------------------------------------------------------
+
+    @staticmethod
+    def _make_design(
+        factory: Callable[..., ClusterDesign], num_prompt: int, num_token: int
+    ) -> ClusterDesign | None:
+        """Instantiate a candidate, handling baseline vs split signatures."""
+        if num_prompt <= 0:
+            return None
+        probe = factory(1, 1) if _accepts_two_counts(factory) else factory(1)
+        if probe.split:
+            if num_token <= 0:
+                return None
+            return factory(num_prompt, num_token)
+        return factory(num_prompt + num_token) if num_token else factory(num_prompt)
+
+    def _select_best(
+        self, candidates: Sequence[CandidateEvaluation], goal: OptimizationGoal
+    ) -> CandidateEvaluation | None:
+        feasible = [c for c in candidates if c.feasible]
+        if not feasible:
+            return None
+        if goal is OptimizationGoal.COST:
+            return min(feasible, key=lambda c: (c.cost_per_hour, c.design.num_machines))
+        if goal is OptimizationGoal.POWER:
+            return min(feasible, key=lambda c: (c.provisioned_power_kw, c.design.num_machines))
+        return max(feasible, key=lambda c: c.rate_rps)
+
+
+def _accepts_two_counts(factory: Callable[..., ClusterDesign]) -> bool:
+    """Whether a design factory takes (num_prompt, num_token) or just (n)."""
+    import inspect
+
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins/partials
+        return True
+    return len(parameters) >= 2
+
+
+def estimate_pool_sizes(
+    design_family: str | Callable[..., ClusterDesign],
+    rate_rps: float,
+    workload: str | WorkloadSpec = "coding",
+    model: ModelSpec = LLAMA2_70B,
+    utilization_target: float = 0.7,
+    sample_size: int = 4000,
+    seed: int = 0,
+) -> tuple[int, int]:
+    """Analytically estimate the prompt/token pool sizes a load needs.
+
+    This is the first-cut sizing the design-space search is seeded with: it
+    divides the offered prompt-token and output-token demand by the
+    per-machine phase throughput (from the performance model) and a target
+    utilization.  The simulator then refines around this point.
+
+    Args:
+        design_family: Family name or factory (determines machine types).
+        rate_rps: Offered request rate.
+        workload: Workload whose token-size distributions set the demand.
+        model: LLM being served.
+        utilization_target: Average machine utilization to plan for.
+        sample_size: Number of samples used to estimate mean token counts.
+        seed: Seed for the demand sample.
+
+    Returns:
+        ``(num_prompt, num_token)``; ``num_token`` is 0 for baseline families.
+    """
+    import numpy as np
+
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be positive, got {rate_rps}")
+    if not 0 < utilization_target <= 1:
+        raise ValueError(f"utilization_target must be in (0, 1], got {utilization_target}")
+    factory = get_design_family(design_family) if isinstance(design_family, str) else design_family
+    probe = factory(1, 1) if _accepts_two_counts(factory) else factory(1)
+    spec = get_workload(workload) if isinstance(workload, str) else workload
+    rng = np.random.default_rng(seed)
+    mean_prompt = float(np.mean(spec.prompt_tokens.sample(rng, sample_size)))
+    mean_output = float(np.mean(spec.output_tokens.sample(rng, sample_size)))
+
+    prompt_perf = AnalyticalPerformanceModel(model, probe.prompt_machine)
+    token_perf = AnalyticalPerformanceModel(model, probe.token_machine)
+    # Prompt capacity: tokens/s at the MLS batching limit of 2048 tokens.
+    prompt_capacity = prompt_perf.prompt_throughput(2048) * utilization_target
+    # Token capacity: tokens/s at a typical decode batch (32 requests).
+    token_capacity = token_perf.token_throughput(32, int(32 * (mean_prompt + mean_output / 2))) * utilization_target
+
+    prompt_demand = rate_rps * mean_prompt
+    token_demand = rate_rps * mean_output
+    num_prompt = max(1, int(np.ceil(prompt_demand / prompt_capacity)))
+    num_token = max(1, int(np.ceil(token_demand / token_capacity)))
+    if not probe.split:
+        # Baselines run both phases everywhere: size for the combined demand.
+        return max(1, num_prompt + num_token), 0
+    return num_prompt, num_token
+
+
+def find_max_throughput(
+    design: ClusterDesign,
+    rates: Sequence[float],
+    model: ModelSpec = LLAMA2_70B,
+    workload: str | WorkloadSpec = "coding",
+    trace_duration_s: float = 60.0,
+    seed: int = 0,
+) -> float:
+    """Convenience wrapper around :meth:`Provisioner.max_throughput`."""
+    provisioner = Provisioner(model=model, workload=workload, trace_duration_s=trace_duration_s, seed=seed)
+    best_rate, _ = provisioner.max_throughput(design, rates)
+    return best_rate

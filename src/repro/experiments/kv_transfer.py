@@ -1,0 +1,99 @@
+"""KV-cache transfer experiments (Figs. 14 and 15 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.kv_transfer import KVTransferModel, TransferMode
+from repro.hardware.interconnect import infiniband_for
+from repro.hardware.machine import DGX_A100, DGX_H100, MachineSpec
+from repro.models.llm import LLAMA2_70B, ModelSpec
+from repro.models.performance import AnalyticalPerformanceModel
+
+#: Prompt sizes used by Fig. 14/15.
+TRANSFER_PROMPT_SIZES = (128, 256, 384, 512, 640, 768, 896, 1024, 1536, 2048)
+
+
+def _transfer_model(model: ModelSpec, machine: MachineSpec) -> KVTransferModel:
+    link = infiniband_for(machine.interconnect_gbps, machine.interconnect_gbps)
+    return KVTransferModel(model=model, link=link)
+
+
+def fig14_transfer_latency(
+    model: ModelSpec = LLAMA2_70B,
+    machines: Sequence[MachineSpec] = (DGX_A100, DGX_H100),
+    prompt_sizes: Sequence[int] = TRANSFER_PROMPT_SIZES,
+) -> dict[str, dict[int, float]]:
+    """Fig. 14: visible KV-cache transfer latency (ms) vs prompt size.
+
+    Reported for both the serialized and the per-layer overlapped scheme on
+    the A100 (200 Gbps) and H100 (400 Gbps) setups.
+    """
+    results: dict[str, dict[int, float]] = {}
+    for machine in machines:
+        transfer = _transfer_model(model, machine)
+        perf = AnalyticalPerformanceModel(model, machine)
+        serialized = {}
+        per_layer = {}
+        for tokens in prompt_sizes:
+            prompt_latency = perf.prompt_latency(tokens)
+            serialized[tokens] = transfer.serialized_latency(tokens) * 1e3
+            per_layer[tokens] = transfer.per_layer_latency(tokens, prompt_latency) * 1e3
+        family = machine.gpu.name
+        results[f"{family}-Serialized"] = serialized
+        results[f"{family}-Per-Layer"] = per_layer
+    return results
+
+
+def fig15_transfer_overhead(
+    model: ModelSpec = LLAMA2_70B,
+    machine: MachineSpec = DGX_H100,
+    prompt_sizes: Sequence[int] = TRANSFER_PROMPT_SIZES,
+    output_tokens: int = 13,
+) -> dict[str, dict[int, float]]:
+    """Fig. 15: impact of the KV-cache transfer on TTFT, second token, and E2E.
+
+    Compares a 2-machine Splitwise setup (per-layer and serialized transfer)
+    against a 1-machine baseline running the same unbatched request, for
+    coding-like requests (median 13 output tokens).  All latencies in ms,
+    plus relative overheads.
+    """
+    transfer = _transfer_model(model, machine)
+    perf = AnalyticalPerformanceModel(model, machine)
+    results: dict[str, dict[int, float]] = {
+        "ttft_baseline_ms": {},
+        "ttft_per_layer_ms": {},
+        "ttft_serialized_ms": {},
+        "e2e_baseline_ms": {},
+        "e2e_per_layer_ms": {},
+        "e2e_serialized_ms": {},
+        "second_token_overhead_per_layer": {},
+        "second_token_overhead_serialized": {},
+        "e2e_overhead_per_layer": {},
+        "e2e_overhead_serialized": {},
+    }
+    for tokens in prompt_sizes:
+        prompt_latency = perf.prompt_latency(tokens)
+        decode_time = sum(perf.token_latency(1, tokens + i) for i in range(1, output_tokens))
+        tbt_second = perf.token_latency(1, tokens + 1)
+        baseline_e2e = prompt_latency + decode_time
+
+        serialized_visible = transfer.visible_latency(tokens, prompt_latency, TransferMode.SERIALIZED)
+        per_layer_visible = transfer.visible_latency(tokens, prompt_latency, TransferMode.PER_LAYER)
+        per_layer_prompt = prompt_latency * transfer.prompt_interference_factor(TransferMode.PER_LAYER)
+
+        results["ttft_baseline_ms"][tokens] = prompt_latency * 1e3
+        results["ttft_serialized_ms"][tokens] = prompt_latency * 1e3
+        results["ttft_per_layer_ms"][tokens] = per_layer_prompt * 1e3
+        results["e2e_baseline_ms"][tokens] = baseline_e2e * 1e3
+        results["e2e_serialized_ms"][tokens] = (prompt_latency + serialized_visible + decode_time) * 1e3
+        results["e2e_per_layer_ms"][tokens] = (per_layer_prompt + per_layer_visible + decode_time) * 1e3
+        results["second_token_overhead_serialized"][tokens] = serialized_visible / tbt_second
+        results["second_token_overhead_per_layer"][tokens] = per_layer_visible / tbt_second
+        results["e2e_overhead_serialized"][tokens] = (
+            results["e2e_serialized_ms"][tokens] / results["e2e_baseline_ms"][tokens] - 1.0
+        )
+        results["e2e_overhead_per_layer"][tokens] = (
+            results["e2e_per_layer_ms"][tokens] / results["e2e_baseline_ms"][tokens] - 1.0
+        )
+    return results

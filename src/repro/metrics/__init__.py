@@ -1,0 +1,24 @@
+"""Metrics: latency summaries, batch-occupancy accounting, SLOs, cost/power.
+
+The paper reports four request-level metrics (Table II) — end-to-end latency,
+time to first token, time between tokens, and throughput — plus cluster-level
+metrics: time spent at each active-batched-token count (Figs. 4, 17), machine
+power and energy, and cost.  SLOs (Table VI) are expressed as percentile
+slowdowns relative to an uncontended DGX-A100 request.
+"""
+
+from repro.metrics.collectors import BatchOccupancyTracker, MetricsCollector
+from repro.metrics.slo import DEFAULT_SLO, SloPolicy, SloReport
+from repro.metrics.summary import LatencySummary, RequestMetrics, percentile, summarize_requests
+
+__all__ = [
+    "MetricsCollector",
+    "BatchOccupancyTracker",
+    "LatencySummary",
+    "RequestMetrics",
+    "percentile",
+    "summarize_requests",
+    "SloPolicy",
+    "SloReport",
+    "DEFAULT_SLO",
+]

@@ -1,0 +1,179 @@
+"""Cluster-level metric collection.
+
+Two collectors are provided:
+
+* :class:`BatchOccupancyTracker` — accumulates the time a machine spends
+  executing each active-batched-token count, producing the CDFs of Fig. 4
+  and Fig. 17.
+* :class:`MetricsCollector` — cluster-wide aggregation: per-machine busy
+  time, energy, and the batch occupancy of every machine, plus helpers to
+  derive utilization and the weighted occupancy distribution over machine
+  groups (e.g. "all Splitwise-HH prompt machines").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+
+class BatchOccupancyTracker:
+    """Accumulates time spent at each active-batched-token count.
+
+    "Active tokens" follows the paper's Fig. 4 definition: a request in its
+    prompt phase contributes its full prompt size; a request in its token
+    phase contributes one.
+    """
+
+    def __init__(self) -> None:
+        self._durations: dict[int, float] = defaultdict(float)
+
+    def record(self, active_tokens: int, duration_s: float) -> None:
+        """Add ``duration_s`` seconds spent running ``active_tokens`` tokens."""
+        if active_tokens < 0:
+            raise ValueError(f"active_tokens must be non-negative, got {active_tokens}")
+        if duration_s < 0:
+            raise ValueError(f"duration_s must be non-negative, got {duration_s}")
+        if duration_s > 0:
+            self._durations[active_tokens] += duration_s
+
+    @property
+    def total_time(self) -> float:
+        """Total recorded time in seconds."""
+        return sum(self._durations.values())
+
+    def as_mapping(self) -> dict[int, float]:
+        """Copy of the raw (active_tokens -> seconds) mapping."""
+        return dict(self._durations)
+
+    def merge(self, other: "BatchOccupancyTracker") -> None:
+        """Fold another tracker's samples into this one."""
+        for tokens, duration in other._durations.items():
+            self._durations[tokens] += duration
+
+    def cdf(self) -> list[tuple[int, float]]:
+        """Cumulative distribution of time vs active tokens.
+
+        Returns ``(active_tokens, cumulative_fraction)`` pairs sorted by
+        token count — directly plottable as Fig. 4 / Fig. 17.
+        """
+        total = self.total_time
+        if total == 0:
+            return []
+        points = []
+        cumulative = 0.0
+        for tokens in sorted(self._durations):
+            cumulative += self._durations[tokens]
+            points.append((tokens, cumulative / total))
+        return points
+
+    def fraction_at_or_below(self, active_tokens: int) -> float:
+        """Fraction of time spent at or below ``active_tokens`` active tokens."""
+        total = self.total_time
+        if total == 0:
+            return 0.0
+        below = sum(d for t, d in self._durations.items() if t <= active_tokens)
+        return below / total
+
+
+@dataclass
+class MachineStats:
+    """Aggregated statistics for one simulated machine.
+
+    Attributes:
+        busy_time_s: Time spent executing non-empty iterations.
+        idle_time_s: Time spent with no work (derived at report time).
+        energy_wh: GPU energy consumed across all iterations.
+        iterations: Number of iterations executed.
+        prompt_tokens_processed: Total prompt tokens processed.
+        tokens_generated: Total output tokens generated.
+        occupancy: Batch-occupancy tracker for this machine.
+    """
+
+    busy_time_s: float = 0.0
+    idle_time_s: float = 0.0
+    energy_wh: float = 0.0
+    iterations: int = 0
+    prompt_tokens_processed: int = 0
+    tokens_generated: int = 0
+    occupancy: BatchOccupancyTracker = field(default_factory=BatchOccupancyTracker)
+
+    def utilization(self, horizon_s: float) -> float:
+        """Busy fraction of the machine over ``horizon_s`` seconds."""
+        if horizon_s <= 0:
+            return 0.0
+        return min(1.0, self.busy_time_s / horizon_s)
+
+
+class MetricsCollector:
+    """Cluster-wide metric aggregation keyed by machine name."""
+
+    def __init__(self) -> None:
+        self._machines: dict[str, MachineStats] = defaultdict(MachineStats)
+
+    def record_iteration(
+        self,
+        machine: str,
+        duration_s: float,
+        active_tokens: int,
+        energy_wh: float = 0.0,
+        prompt_tokens: int = 0,
+        tokens_generated: int = 0,
+    ) -> None:
+        """Record one executed iteration on ``machine``."""
+        stats = self._machines[machine]
+        stats.busy_time_s += duration_s
+        stats.energy_wh += energy_wh
+        stats.iterations += 1
+        stats.prompt_tokens_processed += prompt_tokens
+        stats.tokens_generated += tokens_generated
+        stats.occupancy.record(active_tokens, duration_s)
+
+    def machine_stats(self, machine: str) -> MachineStats:
+        """Stats for one machine (empty stats if it never ran)."""
+        return self._machines[machine]
+
+    def machines(self) -> list[str]:
+        """Names of all machines with recorded activity."""
+        return sorted(self._machines)
+
+    # -- aggregation ---------------------------------------------------------------
+
+    def total_energy_wh(self) -> float:
+        """Total GPU energy across the cluster in watt-hours."""
+        return sum(s.energy_wh for s in self._machines.values())
+
+    def total_busy_time_s(self) -> float:
+        """Sum of busy time across machines (machine-seconds)."""
+        return sum(s.busy_time_s for s in self._machines.values())
+
+    def mean_utilization(self, horizon_s: float, machines: Iterable[str] | None = None) -> float:
+        """Average busy fraction over a set of machines (default: all)."""
+        names = list(machines) if machines is not None else self.machines()
+        if not names:
+            return 0.0
+        return float(np.mean([self._machines[name].utilization(horizon_s) for name in names]))
+
+    def group_occupancy(self, machines: Iterable[str]) -> BatchOccupancyTracker:
+        """Merge the occupancy trackers of a group of machines (Fig. 17)."""
+        merged = BatchOccupancyTracker()
+        for name in machines:
+            merged.merge(self._machines[name].occupancy)
+        return merged
+
+    def as_dict(self, horizon_s: float) -> Mapping[str, dict]:
+        """Plain-dict summary keyed by machine name (for reports/serialization)."""
+        return {
+            name: {
+                "busy_time_s": stats.busy_time_s,
+                "utilization": stats.utilization(horizon_s),
+                "energy_wh": stats.energy_wh,
+                "iterations": stats.iterations,
+                "prompt_tokens_processed": stats.prompt_tokens_processed,
+                "tokens_generated": stats.tokens_generated,
+            }
+            for name, stats in sorted(self._machines.items())
+        }

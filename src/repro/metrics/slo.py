@@ -1,0 +1,119 @@
+"""Service-level objectives (Table VI of the paper).
+
+The paper expresses SLOs as *slowdowns* relative to the same request running
+on a DGX-A100 with no contention: e.g. the P50 TTFT across all requests must
+be within 2x of the uncontended TTFT, P90 within 3x, P99 within 6x, and
+similarly for TBT and E2E.  All nine constraints must hold for a cluster
+configuration to be considered as meeting its SLO at a given load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.models.performance import PerformanceModel
+from repro.simulation.request import Request
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """Percentile slowdown limits for TTFT, TBT, and E2E.
+
+    Attributes map metric name to ``{percentile: max_slowdown}``.
+    """
+
+    ttft: Mapping[float, float] = field(default_factory=lambda: {50: 2.0, 90: 3.0, 99: 6.0})
+    tbt: Mapping[float, float] = field(default_factory=lambda: {50: 1.25, 90: 1.5, 99: 5.0})
+    e2e: Mapping[float, float] = field(default_factory=lambda: {50: 1.25, 90: 1.5, 99: 5.0})
+
+    def limits(self) -> dict[tuple[str, float], float]:
+        """Flatten into ``{(metric, percentile): max_slowdown}``."""
+        flat: dict[tuple[str, float], float] = {}
+        for metric, table in (("ttft", self.ttft), ("tbt", self.tbt), ("e2e", self.e2e)):
+            for pct, limit in table.items():
+                flat[(metric, float(pct))] = float(limit)
+        return flat
+
+
+#: The paper's Table VI SLO.
+DEFAULT_SLO = SloPolicy()
+
+
+@dataclass(frozen=True)
+class SloReport:
+    """Outcome of evaluating the SLO for one simulation run.
+
+    Attributes:
+        slowdowns: Achieved slowdown at each ``(metric, percentile)``.
+        limits: Allowed slowdown at each ``(metric, percentile)``.
+    """
+
+    slowdowns: Mapping[tuple[str, float], float]
+    limits: Mapping[tuple[str, float], float]
+
+    @property
+    def satisfied(self) -> bool:
+        """True when every percentile slowdown is within its limit."""
+        return all(self.slowdowns[key] <= self.limits[key] for key in self.limits)
+
+    def violations(self) -> dict[tuple[str, float], float]:
+        """The subset of (metric, percentile) keys that exceed their limit."""
+        return {
+            key: self.slowdowns[key]
+            for key in self.limits
+            if self.slowdowns[key] > self.limits[key]
+        }
+
+    def worst_margin(self) -> float:
+        """Largest ratio of achieved slowdown to allowed slowdown (<=1 means pass)."""
+        return max(self.slowdowns[key] / self.limits[key] for key in self.limits)
+
+
+def evaluate_slo(
+    requests: Iterable[Request],
+    reference_model: PerformanceModel,
+    policy: SloPolicy = DEFAULT_SLO,
+) -> SloReport:
+    """Evaluate the Table VI SLO over a set of completed requests.
+
+    Each request's achieved TTFT/TBT/E2E is divided by the latency the same
+    request would see on the reference machine with no contention (computed
+    from ``reference_model``), giving per-request slowdowns whose percentiles
+    are compared against the policy.
+
+    Args:
+        requests: Requests from a simulation (incomplete ones are ignored).
+        reference_model: Performance model of the uncontended reference
+            machine (the paper uses DGX-A100).
+        policy: The SLO percentile limits.
+
+    Raises:
+        ValueError: if no completed requests are supplied.
+    """
+    completed = [r for r in requests if r.is_complete]
+    if not completed:
+        raise ValueError("no completed requests to evaluate against the SLO")
+
+    ttft_slowdowns: list[float] = []
+    tbt_slowdowns: list[float] = []
+    e2e_slowdowns: list[float] = []
+    for request in completed:
+        ref_ttft = reference_model.ttft(request.prompt_tokens)
+        ref_tbt = reference_model.tbt(1, request.prompt_tokens)
+        ref_e2e = reference_model.e2e_latency(request.prompt_tokens, request.output_tokens)
+        if request.ttft is not None and ref_ttft > 0:
+            ttft_slowdowns.append(request.ttft / ref_ttft)
+        if request.mean_tbt is not None and ref_tbt > 0:
+            tbt_slowdowns.append(request.mean_tbt / ref_tbt)
+        if request.e2e_latency is not None and ref_e2e > 0:
+            e2e_slowdowns.append(request.e2e_latency / ref_e2e)
+
+    series = {"ttft": ttft_slowdowns, "tbt": tbt_slowdowns or [0.0], "e2e": e2e_slowdowns}
+    slowdowns: dict[tuple[str, float], float] = {}
+    for (metric, pct), _limit in policy.limits().items():
+        values = series[metric]
+        slowdowns[(metric, pct)] = float(np.percentile(np.asarray(values), pct)) if values else 0.0
+    return SloReport(slowdowns=slowdowns, limits=policy.limits())

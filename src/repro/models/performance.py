@@ -1,0 +1,404 @@
+"""Latency (performance) models for LLM inference iterations.
+
+The Splitwise simulator is driven by a performance model that answers one
+question: *how long does one forward-pass iteration take for a given batch
+composition on a given machine?*  The paper builds a piecewise-linear model
+fitted to hardware profiles (validated to <3% MAPE, Section V-B).  We provide
+two interchangeable implementations:
+
+* :class:`AnalyticalPerformanceModel` — closed-form latency curves calibrated
+  to the paper's published characterization (Fig. 5a/5b, Fig. 6, Table IV).
+  This is the reference model used by the cluster experiments.
+* :class:`ProfiledPerformanceModel` — piecewise-linear interpolation over a
+  profile table, mirroring the paper's methodology.  It can be fitted to any
+  other model (or to user-supplied measurements) and is validated against the
+  analytical model with a MAPE check in the test suite.
+
+Latency is always returned in **seconds**; calibration constants are stored
+in milliseconds because that is how the paper reports them.
+
+Batch composition is described by :class:`BatchSpec`: an iteration may
+process prompt tokens (prefill), token-phase requests (decode), or both
+(mixed batching).  Mixed iterations are modeled additively — the prompt work
+and the token work share the machine serially within an iteration — which is
+what makes mixed batching inflate TBT in the paper's Fig. 2(c).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.hardware.machine import MachineSpec
+from repro.models.llm import ModelSpec
+from repro.models.power import PowerModel
+
+#: Memory-bandwidth efficiency achieved by the decode kernels when streaming
+#: KV-cache from HBM.
+KV_READ_EFFICIENCY = 0.8
+
+#: Reference context length per request used when profiling decode latency.
+DEFAULT_REFERENCE_CONTEXT = 1024
+
+
+@dataclass(frozen=True)
+class BatchSpec:
+    """Composition of a single forward-pass iteration.
+
+    Attributes:
+        prompt_tokens: Total prompt tokens processed this iteration (the sum
+            over all requests currently in their prompt phase).
+        token_requests: Number of requests in their token-generation phase
+            batched into this iteration (each contributes one active token).
+        context_tokens: Total cached context tokens (KV-cache entries) read
+            by the token-phase requests in this iteration.
+    """
+
+    prompt_tokens: int = 0
+    token_requests: int = 0
+    context_tokens: int = 0
+
+    def __post_init__(self) -> None:
+        if self.prompt_tokens < 0:
+            raise ValueError(f"prompt_tokens must be non-negative, got {self.prompt_tokens}")
+        if self.token_requests < 0:
+            raise ValueError(f"token_requests must be non-negative, got {self.token_requests}")
+        if self.context_tokens < 0:
+            raise ValueError(f"context_tokens must be non-negative, got {self.context_tokens}")
+        if self.token_requests == 0 and self.context_tokens > 0:
+            raise ValueError("context_tokens requires token_requests > 0")
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the iteration has no work."""
+        return self.prompt_tokens == 0 and self.token_requests == 0
+
+    @property
+    def is_mixed(self) -> bool:
+        """True when prompt and token work share the iteration."""
+        return self.prompt_tokens > 0 and self.token_requests > 0
+
+    @property
+    def active_tokens(self) -> int:
+        """Active tokens as defined in Fig. 4: prompt tokens plus one per decoding request."""
+        return self.prompt_tokens + self.token_requests
+
+
+class PerformanceModel(ABC):
+    """Interface every performance model implements."""
+
+    model: ModelSpec
+    machine: MachineSpec
+
+    @abstractmethod
+    def prompt_latency(self, prompt_tokens: int) -> float:
+        """Seconds for a prompt-only iteration over ``prompt_tokens`` tokens."""
+
+    @abstractmethod
+    def token_latency(self, token_requests: int, context_tokens: int | None = None) -> float:
+        """Seconds for a decode iteration of ``token_requests`` requests.
+
+        Args:
+            token_requests: Number of batched decoding requests.
+            context_tokens: Total cached context read; defaults to
+                ``token_requests * DEFAULT_REFERENCE_CONTEXT``.
+        """
+
+    # -- derived quantities ------------------------------------------------------
+
+    def iteration_latency(self, batch: BatchSpec) -> float:
+        """Seconds for an iteration with the given (possibly mixed) composition."""
+        if batch.is_empty:
+            return 0.0
+        latency = 0.0
+        if batch.prompt_tokens > 0:
+            latency += self.prompt_latency(batch.prompt_tokens)
+        if batch.token_requests > 0:
+            latency += self.token_latency(batch.token_requests, batch.context_tokens)
+        return latency
+
+    def ttft(self, prompt_tokens: int) -> float:
+        """Time to first token for an unbatched request (Fig. 5a)."""
+        return self.prompt_latency(prompt_tokens)
+
+    def tbt(self, batch_size: int = 1, context_tokens: int | None = None) -> float:
+        """Time between tokens at a given decode batch size (Fig. 5b)."""
+        return self.token_latency(batch_size, context_tokens)
+
+    def e2e_latency(self, prompt_tokens: int, output_tokens: int) -> float:
+        """End-to-end latency of one request run alone (no batching, Fig. 5c).
+
+        The first output token comes from the prompt phase; the remaining
+        ``output_tokens - 1`` each take one decode iteration whose context
+        grows as tokens accumulate.
+        """
+        if output_tokens < 1:
+            raise ValueError(f"output_tokens must be >= 1, got {output_tokens}")
+        total = self.prompt_latency(prompt_tokens)
+        for i in range(1, output_tokens):
+            total += self.token_latency(1, prompt_tokens + i)
+        return total
+
+    def prompt_throughput(self, prompt_tokens: int) -> float:
+        """Prompt tokens processed per second at the given batch size (Fig. 6a)."""
+        latency = self.prompt_latency(prompt_tokens)
+        return prompt_tokens / latency if latency > 0 else 0.0
+
+    def token_throughput(self, batch_size: int, context_tokens: int | None = None) -> float:
+        """Generated tokens per second at the given decode batch size (Fig. 6b)."""
+        latency = self.token_latency(batch_size, context_tokens)
+        return batch_size / latency if latency > 0 else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Calibration tables
+# ---------------------------------------------------------------------------
+# Prompt-phase latency in milliseconds:  t(n) = c0 + c1 * n + c2 * n^2
+# where n is the number of batched prompt tokens.  The quadratic term captures
+# attention cost and reproduces the throughput roll-off past ~2048 tokens that
+# motivates the paper's 2048-token prompt batching limit (Fig. 6a).
+_PROMPT_COEFFS_MS: dict[tuple[str, str], tuple[float, float, float]] = {
+    ("Llama2-70B", "H100"): (60.0, 0.013, 8.0e-6),
+    ("Llama2-70B", "A100"): (110.0, 0.027, 1.65e-5),
+    ("BLOOM-176B", "H100"): (60.0, 0.060, 2.0e-5),
+    ("BLOOM-176B", "A100"): (110.0, 0.120, 4.0e-5),
+}
+
+# Token-phase latency in milliseconds: t(b) = d0 + d1 * b  (+ KV read time),
+# where b is the decode batch size.  The shallow slope reproduces the paper's
+# observation that batch 64 only doubles TBT (Fig. 5b).
+_TOKEN_COEFFS_MS: dict[tuple[str, str], tuple[float, float]] = {
+    ("Llama2-70B", "H100"): (27.5, 0.35),
+    ("Llama2-70B", "A100"): (39.0, 0.50),
+    ("BLOOM-176B", "H100"): (36.0, 0.30),
+    ("BLOOM-176B", "A100"): (51.0, 0.43),
+}
+
+_REFERENCE_MODEL = "Llama2-70B"
+_REFERENCE_GPU = "H100"
+
+
+def _gpu_family(machine: MachineSpec) -> str:
+    """Map a machine to the GPU family used in the calibration tables."""
+    name = machine.gpu.name.upper()
+    if "H100" in name:
+        return "H100"
+    if "A100" in name:
+        return "A100"
+    return name
+
+
+class AnalyticalPerformanceModel(PerformanceModel):
+    """Closed-form latency model calibrated to the paper's characterization.
+
+    Calibration anchors (all P50, Llama2-70B unless noted):
+
+    * TTFT on DGX-H100 ~84 ms at 1020 prompt tokens and ~95 ms at 1500
+      (Table IV); A100 roughly 2x slower (TTFT ratio 0.51).
+    * TBT on DGX-H100 ~28 ms unbatched, ~2x at decode batch 64 (Fig. 5b);
+      A100/H100 TBT ratio 0.70 (Table IV).
+    * Prompt throughput peaks near 2048 batched tokens then declines
+      (Fig. 6a); token throughput keeps scaling to batch 64 (Fig. 6b).
+    * BLOOM-176B: a 1500-token prompt costs roughly as much as six decode
+      iterations (Insight III).
+
+    Unknown (model, GPU) pairs are extrapolated from the Llama2-70B / H100
+    reference by parameter count and by the FLOPs / HBM-bandwidth ratios of
+    the GPU, so user-defined models remain usable.
+
+    Args:
+        model: LLM being served.
+        machine: Machine serving it (tensor-parallel across all its GPUs).
+        apply_power_cap: Whether to inflate latencies according to the
+            machine's GPU power cap (Fig. 9).
+    """
+
+    def __init__(self, model: ModelSpec, machine: MachineSpec, apply_power_cap: bool = True) -> None:
+        self.model = model
+        self.machine = machine
+        self.apply_power_cap = apply_power_cap
+        self._power = PowerModel(model, machine)
+        self._prompt_coeffs = self._resolve_prompt_coeffs()
+        self._token_coeffs = self._resolve_token_coeffs()
+
+    # -- calibration resolution ---------------------------------------------------
+
+    def _resolve_prompt_coeffs(self) -> tuple[float, float, float]:
+        key = (self.model.name, _gpu_family(self.machine))
+        if key in _PROMPT_COEFFS_MS:
+            return _PROMPT_COEFFS_MS[key]
+        return self._scale_prompt_reference()
+
+    def _resolve_token_coeffs(self) -> tuple[float, float]:
+        key = (self.model.name, _gpu_family(self.machine))
+        if key in _TOKEN_COEFFS_MS:
+            return _TOKEN_COEFFS_MS[key]
+        return self._scale_token_reference()
+
+    def _scale_prompt_reference(self) -> tuple[float, float, float]:
+        from repro.hardware.gpu import GPU_H100
+        from repro.models.llm import LLAMA2_70B
+
+        c0, c1, c2 = _PROMPT_COEFFS_MS[(_REFERENCE_MODEL, _REFERENCE_GPU)]
+        size_ratio = self.model.num_parameters / LLAMA2_70B.num_parameters
+        compute_ratio = (GPU_H100.fp16_tflops * 8) / (self.machine.gpu.fp16_tflops * self.machine.num_gpus)
+        scale = size_ratio * compute_ratio
+        return (c0 * compute_ratio, c1 * scale, c2 * scale)
+
+    def _scale_token_reference(self) -> tuple[float, float]:
+        from repro.hardware.gpu import GPU_H100
+        from repro.models.llm import LLAMA2_70B
+
+        d0, d1 = _TOKEN_COEFFS_MS[(_REFERENCE_MODEL, _REFERENCE_GPU)]
+        size_ratio = self.model.num_parameters / LLAMA2_70B.num_parameters
+        bandwidth_ratio = (GPU_H100.hbm_bandwidth_gbps * 8) / (
+            self.machine.gpu.hbm_bandwidth_gbps * self.machine.num_gpus
+        )
+        scale = size_ratio * bandwidth_ratio
+        return (d0 * scale, d1 * scale)
+
+    # -- latency -------------------------------------------------------------------
+
+    def prompt_latency(self, prompt_tokens: int) -> float:
+        if prompt_tokens < 0:
+            raise ValueError(f"prompt_tokens must be non-negative, got {prompt_tokens}")
+        if prompt_tokens == 0:
+            return 0.0
+        c0, c1, c2 = self._prompt_coeffs
+        latency_ms = c0 + c1 * prompt_tokens + c2 * prompt_tokens**2
+        if self.apply_power_cap:
+            latency_ms *= self._power.prompt_cap_slowdown(prompt_tokens)
+        return latency_ms / 1e3
+
+    def token_latency(self, token_requests: int, context_tokens: int | None = None) -> float:
+        if token_requests < 0:
+            raise ValueError(f"token_requests must be non-negative, got {token_requests}")
+        if token_requests == 0:
+            return 0.0
+        if context_tokens is None:
+            context_tokens = token_requests * DEFAULT_REFERENCE_CONTEXT
+        d0, d1 = self._token_coeffs
+        latency_ms = d0 + d1 * token_requests + self._kv_read_ms(context_tokens)
+        if self.apply_power_cap:
+            latency_ms *= self._power.token_cap_slowdown(token_requests)
+        return latency_ms / 1e3
+
+    def _kv_read_ms(self, context_tokens: int | float) -> float:
+        """Milliseconds spent streaming the batched KV-cache from HBM."""
+        kv_bytes = self.model.kv_cache_bytes(context_tokens)
+        bandwidth = self.machine.total_hbm_bandwidth_gbps * 1e9 * KV_READ_EFFICIENCY
+        return kv_bytes / bandwidth * 1e3
+
+
+class ProfiledPerformanceModel(PerformanceModel):
+    """Piecewise-linear performance model interpolated from profile points.
+
+    This mirrors the paper's methodology: profile the model on the target
+    hardware at a grid of prompt sizes and decode batch sizes, then
+    interpolate linearly between profile points (extrapolating linearly past
+    the last point).
+
+    Args:
+        model: LLM being served.
+        machine: Machine serving it.
+        prompt_profile: Sequence of ``(prompt_tokens, latency_s)`` points.
+        token_profile: Sequence of ``(batch_size, latency_s)`` points taken at
+            ``reference_context`` cached tokens per request.
+        reference_context: Context per request the token profile was taken at.
+    """
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        machine: MachineSpec,
+        prompt_profile: Sequence[tuple[float, float]],
+        token_profile: Sequence[tuple[float, float]],
+        reference_context: int = DEFAULT_REFERENCE_CONTEXT,
+    ) -> None:
+        if len(prompt_profile) < 2 or len(token_profile) < 2:
+            raise ValueError("profiles need at least two points each")
+        self.model = model
+        self.machine = machine
+        self.reference_context = reference_context
+        self._prompt_x, self._prompt_y = self._sorted_arrays(prompt_profile, "prompt_profile")
+        self._token_x, self._token_y = self._sorted_arrays(token_profile, "token_profile")
+        self._kv_read_per_token_s = model.kv_bytes_per_token / (
+            machine.total_hbm_bandwidth_gbps * 1e9 * KV_READ_EFFICIENCY
+        )
+
+    @staticmethod
+    def _sorted_arrays(profile: Sequence[tuple[float, float]], name: str) -> tuple[np.ndarray, np.ndarray]:
+        points = sorted(profile)
+        x = np.asarray([p[0] for p in points], dtype=float)
+        y = np.asarray([p[1] for p in points], dtype=float)
+        if np.any(x < 0) or np.any(y < 0):
+            raise ValueError(f"{name} points must be non-negative")
+        if np.any(np.diff(x) == 0):
+            raise ValueError(f"{name} has duplicate x values")
+        return x, y
+
+    @classmethod
+    def from_model(
+        cls,
+        reference: PerformanceModel,
+        prompt_grid: Sequence[int] = (64, 128, 256, 512, 1024, 2048, 4096, 8192),
+        batch_grid: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+        reference_context: int = DEFAULT_REFERENCE_CONTEXT,
+    ) -> "ProfiledPerformanceModel":
+        """Profile another model over a grid and build an interpolated model."""
+        prompt_profile = [(n, reference.prompt_latency(n)) for n in prompt_grid]
+        token_profile = [(b, reference.token_latency(b, b * reference_context)) for b in batch_grid]
+        return cls(reference.model, reference.machine, prompt_profile, token_profile, reference_context)
+
+    @staticmethod
+    def _interp(x: float, xs: np.ndarray, ys: np.ndarray) -> float:
+        """Linear interpolation with linear extrapolation beyond the ends."""
+        if x <= xs[0]:
+            slope = (ys[1] - ys[0]) / (xs[1] - xs[0])
+            return float(max(0.0, ys[0] + slope * (x - xs[0])))
+        if x >= xs[-1]:
+            slope = (ys[-1] - ys[-2]) / (xs[-1] - xs[-2])
+            return float(ys[-1] + slope * (x - xs[-1]))
+        return float(np.interp(x, xs, ys))
+
+    def prompt_latency(self, prompt_tokens: int) -> float:
+        if prompt_tokens < 0:
+            raise ValueError(f"prompt_tokens must be non-negative, got {prompt_tokens}")
+        if prompt_tokens == 0:
+            return 0.0
+        return self._interp(float(prompt_tokens), self._prompt_x, self._prompt_y)
+
+    def token_latency(self, token_requests: int, context_tokens: int | None = None) -> float:
+        if token_requests < 0:
+            raise ValueError(f"token_requests must be non-negative, got {token_requests}")
+        if token_requests == 0:
+            return 0.0
+        base = self._interp(float(token_requests), self._token_x, self._token_y)
+        if context_tokens is None:
+            return base
+        # Correct for contexts that differ from the profiling reference.
+        delta_tokens = context_tokens - token_requests * self.reference_context
+        return max(0.0, base + delta_tokens * self._kv_read_per_token_s)
+
+
+def mean_absolute_percentage_error(actual: Sequence[float], predicted: Sequence[float]) -> float:
+    """MAPE between two latency series, as used to validate the paper's model.
+
+    Returns a fraction (0.03 means 3%).
+
+    Raises:
+        ValueError: if the series differ in length, are empty, or ``actual``
+            contains zeros.
+    """
+    a = np.asarray(actual, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    if a.shape != p.shape:
+        raise ValueError(f"length mismatch: {a.shape} vs {p.shape}")
+    if a.size == 0:
+        raise ValueError("cannot compute MAPE of empty series")
+    if np.any(a == 0):
+        raise ValueError("actual values must be non-zero for MAPE")
+    return float(np.mean(np.abs((a - p) / a)))

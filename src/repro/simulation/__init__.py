@@ -1,0 +1,16 @@
+"""Discrete-event simulation substrate.
+
+The Splitwise evaluation is driven by an event-driven cluster simulator
+(Section V-B of the paper).  This package provides the generic pieces:
+
+* :mod:`repro.simulation.engine` — the event queue and simulated clock.
+* :mod:`repro.simulation.events` — the event record and ordering rules.
+* :mod:`repro.simulation.request` — the runtime request object and its
+  phase/state machine, from which all latency metrics are derived.
+"""
+
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import Event
+from repro.simulation.request import Request, RequestPhase
+
+__all__ = ["SimulationEngine", "Event", "Request", "RequestPhase"]

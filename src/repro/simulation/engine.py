@@ -1,0 +1,101 @@
+"""The discrete-event simulation engine.
+
+A minimal, deterministic event loop: schedule callbacks at absolute or
+relative simulated times, then :meth:`SimulationEngine.run` until the queue
+drains or a time horizon is reached.  All Splitwise cluster components
+(machines, schedulers, transfers) advance exclusively through this engine, so
+a whole cluster simulation is a single-threaded, reproducible computation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.simulation.events import Event
+
+
+class SimulationEngine:
+    """Deterministic discrete-event simulator clock and queue."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[Event] = []
+        self._sequence = 0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue."""
+        return len(self._queue)
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule_at(self, time: float, action: Callable[[], None], priority: int = 0, tag: str = "") -> Event:
+        """Schedule ``action`` at absolute simulated time ``time``.
+
+        Raises:
+            ValueError: if ``time`` is in the simulated past.
+        """
+        if time < self._now:
+            raise ValueError(f"cannot schedule event at {time:.6f}, current time is {self._now:.6f}")
+        event = Event(time=time, priority=priority, sequence=self._sequence, action=action, tag=tag)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(self, delay: float, action: Callable[[], None], priority: int = 0, tag: str = "") -> Event:
+        """Schedule ``action`` ``delay`` seconds from now.
+
+        Raises:
+            ValueError: if ``delay`` is negative.
+        """
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self._now + delay, action, priority=priority, tag=tag)
+
+    # -- execution ------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self._now = event.time
+        self._events_processed += 1
+        event.action()
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``max_events`` fire.
+
+        Args:
+            until: Optional simulated-time horizon; events after it stay queued
+                and the clock is advanced to exactly ``until``.
+            max_events: Optional cap on the number of events to execute.
+
+        Returns:
+            The simulated time when the run stopped.
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                break
+            if until is not None and self._queue[0].time > until:
+                self._now = until
+                break
+            self.step()
+            executed += 1
+        if until is not None and self._now < until and not self._queue:
+            self._now = until
+        return self._now

@@ -1,0 +1,35 @@
+"""Event records for the discrete-event engine.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number is
+assigned by the engine at scheduling time, which makes simulations fully
+deterministic: two events at the same timestamp and priority fire in the
+order they were scheduled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: Simulated time (seconds) at which the event fires.
+        priority: Tie-break between events at the same time (lower first).
+        sequence: Monotonic insertion counter (assigned by the engine).
+        action: Zero-argument callable executed when the event fires.
+        tag: Optional human-readable label for debugging and tracing.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    tag: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"event time must be non-negative, got {self.time}")

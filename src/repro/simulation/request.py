@@ -1,0 +1,228 @@
+"""Runtime request objects and their phase state machine.
+
+A :class:`Request` wraps a trace descriptor and records every timestamp the
+latency metrics need: arrival, prompt start/end (TTFT), each generated token
+(TBT series), KV-cache transfer window, and completion (E2E).  The phase
+enum mirrors the lifecycle in the paper's Fig. 1 and Fig. 10: a request is
+queued, runs its prompt phase on a prompt machine, has its KV-cache shipped
+to a token machine, generates tokens there, and completes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.workload.trace import RequestDescriptor
+
+
+class RequestPhase(enum.Enum):
+    """Lifecycle phases of an inference request."""
+
+    QUEUED = "queued"
+    PROMPT_RUNNING = "prompt_running"
+    KV_TRANSFER = "kv_transfer"
+    TOKEN_QUEUED = "token_queued"
+    TOKEN_RUNNING = "token_running"
+    PREEMPTED = "preempted"
+    COMPLETED = "completed"
+
+
+@dataclass(eq=False)
+class Request:
+    """A live request flowing through the simulated cluster.
+
+    Requests are mutable runtime objects with identity semantics: two distinct
+    ``Request`` instances are never equal, and they can be stored in sets and
+    dict keys (hashed by identity).
+
+    Attributes:
+        descriptor: The immutable trace record (sizes and arrival time).
+        phase: Current lifecycle phase.
+        prompt_machine: Name of the machine assigned to the prompt phase.
+        token_machine: Name of the machine assigned to the token phase.
+        prompt_start_time: When the prompt phase began executing.
+        first_token_time: When the first output token was produced (TTFT end).
+        token_times: Emission time of every generated token, including the
+            first one produced by the prompt phase.
+        completion_time: When the last token was produced.
+        generated_tokens: Number of output tokens produced so far.
+        kv_transfer_start: When the KV-cache transfer began.
+        kv_transfer_end: When the KV-cache transfer finished.
+        preemptions: Number of times the request's token phase was preempted.
+        priority_boost: Scheduling priority accumulated through aging (used by
+            mixed machines to avoid starvation after preemption).
+        restarts: Number of times the request was restarted from scratch after
+            a machine failure (§IV-E: Splitwise restarts failed requests).
+    """
+
+    descriptor: RequestDescriptor
+    phase: RequestPhase = RequestPhase.QUEUED
+    prompt_machine: str | None = None
+    token_machine: str | None = None
+    prompt_start_time: float | None = None
+    first_token_time: float | None = None
+    token_times: list[float] = field(default_factory=list)
+    completion_time: float | None = None
+    generated_tokens: int = 0
+    kv_transfer_start: float | None = None
+    kv_transfer_end: float | None = None
+    preemptions: int = 0
+    priority_boost: float = 0.0
+    restarts: int = 0
+
+    # -- descriptor passthroughs ---------------------------------------------------
+
+    @property
+    def request_id(self) -> int:
+        """Trace-level request id."""
+        return self.descriptor.request_id
+
+    @property
+    def arrival_time(self) -> float:
+        """Arrival time in seconds from trace start."""
+        return self.descriptor.arrival_time_s
+
+    @property
+    def prompt_tokens(self) -> int:
+        """Number of prompt (input) tokens."""
+        return self.descriptor.prompt_tokens
+
+    @property
+    def output_tokens(self) -> int:
+        """Number of output tokens the request must generate."""
+        return self.descriptor.output_tokens
+
+    # -- state ------------------------------------------------------------------
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether all output tokens have been generated."""
+        return self.phase is RequestPhase.COMPLETED
+
+    @property
+    def remaining_tokens(self) -> int:
+        """Output tokens still to generate."""
+        return max(0, self.output_tokens - self.generated_tokens)
+
+    @property
+    def context_tokens(self) -> int:
+        """Tokens of KV-cache context currently held for this request."""
+        return self.prompt_tokens + self.generated_tokens
+
+    # -- lifecycle transitions ------------------------------------------------------
+
+    def start_prompt(self, time: float, machine: str) -> None:
+        """Mark the prompt phase as started on ``machine``."""
+        self.phase = RequestPhase.PROMPT_RUNNING
+        self.prompt_machine = machine
+        if self.prompt_start_time is None:
+            self.prompt_start_time = time
+
+    def finish_prompt(self, time: float) -> None:
+        """Record the first output token (end of the prompt phase)."""
+        if self.first_token_time is None:
+            self.first_token_time = time
+        self.generated_tokens += 1
+        self.token_times.append(time)
+        if self.remaining_tokens == 0:
+            self.complete(time)
+
+    def start_kv_transfer(self, time: float) -> None:
+        """Mark the start of the KV-cache transfer to the token machine."""
+        if not self.is_complete:
+            self.phase = RequestPhase.KV_TRANSFER
+        self.kv_transfer_start = time
+
+    def finish_kv_transfer(self, time: float) -> None:
+        """Mark the end of the KV-cache transfer; the request can now decode."""
+        self.kv_transfer_end = time
+        if not self.is_complete:
+            self.phase = RequestPhase.TOKEN_QUEUED
+
+    def generate_token(self, time: float) -> None:
+        """Record one generated token in the token phase."""
+        if self.is_complete:
+            raise RuntimeError(f"request {self.request_id} already complete")
+        self.phase = RequestPhase.TOKEN_RUNNING
+        self.generated_tokens += 1
+        self.token_times.append(time)
+        if self.remaining_tokens == 0:
+            self.complete(time)
+
+    def preempt(self, time: float) -> None:
+        """Preempt the token phase (mixed machines prioritizing prompts)."""
+        del time  # timestamp kept for interface symmetry / future tracing
+        self.phase = RequestPhase.PREEMPTED
+        self.preemptions += 1
+
+    def complete(self, time: float) -> None:
+        """Mark the request as fully generated."""
+        self.phase = RequestPhase.COMPLETED
+        self.completion_time = time
+
+    def reset_for_restart(self) -> None:
+        """Restart the request from scratch after a machine failure (§IV-E).
+
+        All runtime progress is discarded; only the arrival time (so that E2E
+        latency still accounts for the wasted work) and the restart counter
+        survive.
+
+        Raises:
+            RuntimeError: if the request has already completed.
+        """
+        if self.is_complete:
+            raise RuntimeError(f"request {self.request_id} already completed; nothing to restart")
+        self.phase = RequestPhase.QUEUED
+        self.prompt_machine = None
+        self.token_machine = None
+        self.prompt_start_time = None
+        self.first_token_time = None
+        self.token_times = []
+        self.generated_tokens = 0
+        self.kv_transfer_start = None
+        self.kv_transfer_end = None
+        self.priority_boost = 0.0
+        self.restarts += 1
+
+    # -- latency metrics ------------------------------------------------------------
+
+    @property
+    def ttft(self) -> float | None:
+        """Time to first token (None until the first token exists)."""
+        if self.first_token_time is None:
+            return None
+        return self.first_token_time - self.arrival_time
+
+    @property
+    def e2e_latency(self) -> float | None:
+        """End-to-end latency (None until completed)."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.arrival_time
+
+    @property
+    def tbt_values(self) -> list[float]:
+        """Per-token gaps after the first token (the TBT series)."""
+        return [b - a for a, b in zip(self.token_times, self.token_times[1:])]
+
+    @property
+    def mean_tbt(self) -> float | None:
+        """Average time between tokens (None when fewer than two tokens)."""
+        gaps = self.tbt_values
+        if not gaps:
+            return None
+        return sum(gaps) / len(gaps)
+
+    @property
+    def max_tbt(self) -> float | None:
+        """Worst-case time between tokens (None when fewer than two tokens)."""
+        gaps = self.tbt_values
+        return max(gaps) if gaps else None
+
+    @property
+    def queueing_delay(self) -> float | None:
+        """Time spent waiting before the prompt phase started."""
+        if self.prompt_start_time is None:
+            return None
+        return self.prompt_start_time - self.arrival_time

@@ -1,0 +1,78 @@
+"""Synthetic trace generation.
+
+Combines a :class:`~repro.workload.distributions.WorkloadSpec` (token-size
+distributions matching the published Azure CDFs) with an arrival process to
+produce the traces that drive the cluster simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workload.arrival import ArrivalProcess, PoissonArrivalProcess
+from repro.workload.distributions import WorkloadSpec, get_workload
+from repro.workload.trace import RequestDescriptor, Trace
+
+
+@dataclass(frozen=True)
+class TraceGenerator:
+    """Generates synthetic traces for one workload.
+
+    Attributes:
+        workload: Token-size distributions to draw request shapes from.
+        arrival: Arrival process controlling request timing.
+        seed: Seed for the pseudo-random generator (deterministic traces).
+    """
+
+    workload: WorkloadSpec
+    arrival: ArrivalProcess
+    seed: int = 0
+
+    def generate(self, duration_s: float) -> Trace:
+        """Generate a trace covering ``duration_s`` seconds."""
+        if duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {duration_s}")
+        rng = np.random.default_rng(self.seed)
+        arrivals = self.arrival.arrival_times(rng, duration_s)
+        count = len(arrivals)
+        prompts = self.workload.prompt_tokens.sample(rng, count)
+        outputs = self.workload.output_tokens.sample(rng, count)
+        requests = tuple(
+            RequestDescriptor(
+                request_id=i,
+                arrival_time_s=float(arrivals[i]),
+                prompt_tokens=int(prompts[i]),
+                output_tokens=int(outputs[i]),
+            )
+            for i in range(count)
+        )
+        name = f"{self.workload.name}-{self.arrival.rate_rps:g}rps-seed{self.seed}"
+        metadata = {
+            "workload": self.workload.name,
+            "rate_rps": self.arrival.rate_rps,
+            "duration_s": duration_s,
+            "seed": self.seed,
+        }
+        return Trace(requests=requests, name=name, metadata=metadata)
+
+
+def generate_trace(
+    workload: str | WorkloadSpec = "conversation",
+    rate_rps: float = 2.0,
+    duration_s: float = 60.0,
+    seed: int = 0,
+) -> Trace:
+    """Convenience wrapper: Poisson arrivals over a named workload.
+
+    Args:
+        workload: Workload name (``"coding"`` or ``"conversation"``) or a
+            custom :class:`WorkloadSpec`.
+        rate_rps: Average request arrival rate.
+        duration_s: Trace length in seconds.
+        seed: Random seed for reproducibility.
+    """
+    spec = get_workload(workload) if isinstance(workload, str) else workload
+    generator = TraceGenerator(workload=spec, arrival=PoissonArrivalProcess(rate_rps), seed=seed)
+    return generator.generate(duration_s)

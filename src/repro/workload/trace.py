@@ -1,0 +1,217 @@
+"""Request traces: the input the cluster simulator consumes.
+
+A trace is an ordered list of :class:`RequestDescriptor` records —
+``(request id, arrival time, prompt tokens, output tokens)`` — exactly the
+information the public Azure LLM inference trace exposes.  Traces can be
+generated synthetically (:mod:`repro.workload.generator`), loaded from CSV
+files in the Azure Public Dataset column layout, rescaled to different
+request rates, and truncated to shorter windows.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class RequestDescriptor:
+    """One inference request as described by a trace.
+
+    Attributes:
+        request_id: Unique identifier within the trace.
+        arrival_time_s: Arrival time in seconds from trace start.
+        prompt_tokens: Number of input (prompt) tokens.
+        output_tokens: Number of tokens the model must generate (>= 1; the
+            first one is produced by the prompt phase).
+    """
+
+    request_id: int
+    arrival_time_s: float
+    prompt_tokens: int
+    output_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_time_s < 0:
+            raise ValueError(f"arrival_time_s must be non-negative, got {self.arrival_time_s}")
+        if self.prompt_tokens < 1:
+            raise ValueError(f"prompt_tokens must be >= 1, got {self.prompt_tokens}")
+        if self.output_tokens < 1:
+            raise ValueError(f"output_tokens must be >= 1, got {self.output_tokens}")
+
+    @property
+    def total_tokens(self) -> int:
+        """Prompt plus output tokens."""
+        return self.prompt_tokens + self.output_tokens
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An ordered collection of request descriptors plus provenance metadata.
+
+    Attributes:
+        requests: Requests sorted by arrival time.
+        name: Human-readable provenance (workload name, rate, seed).
+        metadata: Free-form extra information carried along with the trace.
+    """
+
+    requests: tuple[RequestDescriptor, ...]
+    name: str = "trace"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        arrivals = [r.arrival_time_s for r in self.requests]
+        if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+            object.__setattr__(
+                self, "requests", tuple(sorted(self.requests, key=lambda r: r.arrival_time_s))
+            )
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[RequestDescriptor]:
+        return iter(self.requests)
+
+    def __getitem__(self, index: int) -> RequestDescriptor:
+        return self.requests[index]
+
+    @property
+    def duration_s(self) -> float:
+        """Time of the last arrival (0 for an empty trace)."""
+        return self.requests[-1].arrival_time_s if self.requests else 0.0
+
+    @property
+    def request_rate_rps(self) -> float:
+        """Average arrival rate over the trace duration."""
+        if not self.requests or self.duration_s == 0:
+            return 0.0
+        return len(self.requests) / self.duration_s
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[tuple[float, int, int]],
+        name: str = "trace",
+        metadata: dict | None = None,
+    ) -> "Trace":
+        """Build a trace from ``(arrival_time_s, prompt_tokens, output_tokens)`` rows."""
+        requests = tuple(
+            RequestDescriptor(
+                request_id=i, arrival_time_s=float(t), prompt_tokens=int(p), output_tokens=int(o)
+            )
+            for i, (t, p, o) in enumerate(records)
+        )
+        return cls(requests=requests, name=name, metadata=metadata or {})
+
+    # -- transformations ----------------------------------------------------------
+
+    def truncated(self, duration_s: float) -> "Trace":
+        """Return a copy containing only arrivals before ``duration_s``."""
+        if duration_s < 0:
+            raise ValueError(f"duration_s must be non-negative, got {duration_s}")
+        kept = tuple(r for r in self.requests if r.arrival_time_s < duration_s)
+        return Trace(requests=kept, name=self.name, metadata={**self.metadata, "truncated_to_s": duration_s})
+
+    def scaled_to_rate(self, target_rps: float) -> "Trace":
+        """Rescale arrival times so the average rate becomes ``target_rps``.
+
+        The paper uses the same trick to sweep load: keep the token-size
+        distribution and arrival pattern, compress or stretch time.
+        """
+        if target_rps <= 0:
+            raise ValueError(f"target_rps must be positive, got {target_rps}")
+        current = self.request_rate_rps
+        if current == 0:
+            raise ValueError("cannot rescale an empty or instantaneous trace")
+        factor = current / target_rps
+        requests = tuple(
+            RequestDescriptor(
+                request_id=r.request_id,
+                arrival_time_s=r.arrival_time_s * factor,
+                prompt_tokens=r.prompt_tokens,
+                output_tokens=r.output_tokens,
+            )
+            for r in self.requests
+        )
+        return Trace(requests=requests, name=self.name, metadata={**self.metadata, "scaled_to_rps": target_rps})
+
+    # -- statistics ---------------------------------------------------------------
+
+    def prompt_token_counts(self) -> list[int]:
+        """Prompt token count of every request."""
+        return [r.prompt_tokens for r in self.requests]
+
+    def output_token_counts(self) -> list[int]:
+        """Output token count of every request."""
+        return [r.output_tokens for r in self.requests]
+
+    # -- serialization -------------------------------------------------------------
+
+    _CSV_COLUMNS: Sequence[str] = ("request_id", "arrival_time_s", "prompt_tokens", "output_tokens")
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write the trace as CSV (Azure Public Dataset column layout)."""
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self._CSV_COLUMNS)
+            for r in self.requests:
+                writer.writerow([r.request_id, f"{r.arrival_time_s:.6f}", r.prompt_tokens, r.output_tokens])
+        return path
+
+    @classmethod
+    def from_csv(cls, path: str | Path, name: str | None = None) -> "Trace":
+        """Load a trace from a CSV produced by :meth:`to_csv`."""
+        path = Path(path)
+        requests = []
+        with path.open(newline="") as handle:
+            reader = csv.DictReader(handle)
+            for row in reader:
+                requests.append(
+                    RequestDescriptor(
+                        request_id=int(row["request_id"]),
+                        arrival_time_s=float(row["arrival_time_s"]),
+                        prompt_tokens=int(row["prompt_tokens"]),
+                        output_tokens=int(row["output_tokens"]),
+                    )
+                )
+        return cls(requests=tuple(requests), name=name or path.stem)
+
+    def to_json(self, path: str | Path) -> Path:
+        """Write the trace (including metadata) as JSON."""
+        path = Path(path)
+        payload = {
+            "name": self.name,
+            "metadata": self.metadata,
+            "requests": [
+                {
+                    "request_id": r.request_id,
+                    "arrival_time_s": r.arrival_time_s,
+                    "prompt_tokens": r.prompt_tokens,
+                    "output_tokens": r.output_tokens,
+                }
+                for r in self.requests
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2))
+        return path
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "Trace":
+        """Load a trace written by :meth:`to_json`."""
+        payload = json.loads(Path(path).read_text())
+        requests = tuple(
+            RequestDescriptor(
+                request_id=r["request_id"],
+                arrival_time_s=r["arrival_time_s"],
+                prompt_tokens=r["prompt_tokens"],
+                output_tokens=r["output_tokens"],
+            )
+            for r in payload["requests"]
+        )
+        return cls(requests=requests, name=payload.get("name", "trace"), metadata=payload.get("metadata", {}))

@@ -1,0 +1,86 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DGX_A100,
+    DGX_H100,
+    LLAMA2_70B,
+    AnalyticalPerformanceModel,
+    Request,
+    RequestDescriptor,
+    Trace,
+    baseline_h100,
+    generate_trace,
+    splitwise_hh,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def llama_h100_perf() -> AnalyticalPerformanceModel:
+    """Calibrated performance model for Llama2-70B on DGX-H100."""
+    return AnalyticalPerformanceModel(LLAMA2_70B, DGX_H100)
+
+
+@pytest.fixture
+def llama_a100_perf() -> AnalyticalPerformanceModel:
+    """Calibrated performance model for Llama2-70B on DGX-A100."""
+    return AnalyticalPerformanceModel(LLAMA2_70B, DGX_A100)
+
+
+@pytest.fixture
+def small_trace() -> Trace:
+    """A small deterministic conversation trace (~60 requests, 20 seconds)."""
+    return generate_trace("conversation", rate_rps=3.0, duration_s=20.0, seed=7)
+
+
+@pytest.fixture
+def tiny_trace() -> Trace:
+    """A hand-built 4-request trace for scheduler-level assertions."""
+    return Trace.from_records(
+        [
+            (0.0, 512, 8),
+            (0.1, 1024, 4),
+            (0.5, 256, 16),
+            (1.0, 2048, 2),
+        ],
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def make_request():
+    """Factory for standalone Request objects."""
+
+    def _make(request_id: int = 0, arrival: float = 0.0, prompt: int = 128, output: int = 4) -> Request:
+        return Request(
+            descriptor=RequestDescriptor(
+                request_id=request_id,
+                arrival_time_s=arrival,
+                prompt_tokens=prompt,
+                output_tokens=output,
+            )
+        )
+
+    return _make
+
+
+@pytest.fixture
+def small_splitwise_design():
+    """A 3-machine Splitwise-HH cluster for fast integration tests."""
+    return splitwise_hh(num_prompt=2, num_token=1)
+
+
+@pytest.fixture
+def small_baseline_design():
+    """A 2-machine Baseline-H100 cluster for fast integration tests."""
+    return baseline_h100(2)

@@ -1,0 +1,140 @@
+"""Integration tests: full traces through full clusters.
+
+These exercise the whole stack — trace generation, routing, batching,
+KV-cache transfer, and metrics — and assert cluster-level invariants that no
+single module can guarantee on its own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    LLAMA2_70B,
+    MachineRole,
+    RequestPhase,
+    baseline_a100,
+    baseline_h100,
+    generate_trace,
+    simulate_design,
+    splitwise_aa,
+    splitwise_ha,
+    splitwise_hh,
+    splitwise_hhcap,
+)
+
+
+@pytest.fixture(scope="module")
+def conversation_trace():
+    return generate_trace("conversation", rate_rps=4.0, duration_s=30.0, seed=42)
+
+
+@pytest.fixture(scope="module")
+def coding_trace():
+    return generate_trace("coding", rate_rps=4.0, duration_s=30.0, seed=42)
+
+
+ALL_DESIGNS = [
+    baseline_a100(3),
+    baseline_h100(2),
+    splitwise_aa(2, 2),
+    splitwise_hh(2, 1),
+    splitwise_ha(2, 2),
+    splitwise_hhcap(2, 1),
+]
+
+
+@pytest.mark.parametrize("design", ALL_DESIGNS, ids=lambda d: d.label)
+class TestEveryDesignRunsEveryTrace:
+    def test_conversation_trace_completes(self, design, conversation_trace):
+        result = simulate_design(design, conversation_trace)
+        assert result.completion_rate == 1.0
+        metrics = result.request_metrics()
+        assert metrics.ttft.p50 > 0
+        assert metrics.e2e.p99 < 120  # nothing pathological
+
+    def test_coding_trace_completes(self, design, coding_trace):
+        result = simulate_design(design, coding_trace)
+        assert result.completion_rate == 1.0
+
+
+class TestRequestLevelInvariants:
+    def test_token_counts_and_timestamps_consistent(self, conversation_trace):
+        result = simulate_design(splitwise_hh(2, 1), conversation_trace)
+        for request in result.completed_requests:
+            assert request.generated_tokens == request.output_tokens
+            assert len(request.token_times) == request.output_tokens
+            assert request.phase is RequestPhase.COMPLETED
+            # Timestamps must be causally ordered.
+            assert request.prompt_start_time >= request.arrival_time
+            assert request.first_token_time >= request.prompt_start_time
+            assert request.completion_time >= request.first_token_time
+            assert request.token_times == sorted(request.token_times)
+
+    def test_ttft_at_least_uncontended_prompt_latency(self, conversation_trace):
+        from repro import AnalyticalPerformanceModel, DGX_H100
+
+        perf = AnalyticalPerformanceModel(LLAMA2_70B, DGX_H100)
+        result = simulate_design(splitwise_hh(2, 1), conversation_trace)
+        for request in result.completed_requests:
+            assert request.ttft >= perf.prompt_latency(request.prompt_tokens) * 0.999
+
+    def test_split_requests_record_machines_of_each_pool(self, conversation_trace):
+        result = simulate_design(splitwise_hh(2, 1), conversation_trace)
+        multi_token = [r for r in result.completed_requests if r.output_tokens > 1]
+        assert multi_token
+        for request in multi_token:
+            assert request.prompt_machine.startswith(("prompt", "token"))
+            # At least some requests must have transferred between machines.
+        transferred = [r for r in multi_token if r.kv_transfer_end is not None]
+        assert transferred
+
+    def test_baseline_requests_never_transfer(self, conversation_trace):
+        result = simulate_design(baseline_h100(2), conversation_trace)
+        assert all(r.kv_transfer_start is None for r in result.completed_requests)
+
+
+class TestConservation:
+    def test_every_submitted_request_is_accounted_for(self, conversation_trace):
+        result = simulate_design(splitwise_ha(2, 2), conversation_trace)
+        assert len(result.requests) == len(conversation_trace)
+        assert len(result.completed_requests) + len(list(result.scheduler.outstanding_requests())) == len(
+            conversation_trace
+        )
+
+    def test_tokens_generated_matches_trace_totals(self, coding_trace):
+        result = simulate_design(splitwise_hh(2, 1), coding_trace)
+        generated = sum(r.generated_tokens for r in result.completed_requests)
+        expected = sum(r.output_tokens for r in coding_trace)
+        assert generated == expected
+
+    def test_machine_busy_time_never_exceeds_duration(self, conversation_trace):
+        result = simulate_design(splitwise_aa(2, 2), conversation_trace)
+        for machine in result.scheduler.machines:
+            stats = result.metrics.machine_stats(machine.name)
+            assert stats.busy_time_s <= result.duration_s + 1e-6
+
+    def test_energy_bounded_by_power_envelope(self, conversation_trace):
+        result = simulate_design(splitwise_hh(2, 1), conversation_trace)
+        max_possible_wh = (
+            result.design.num_machines
+            * max(result.design.prompt_machine.gpu_tdp_watts, result.design.token_machine.gpu_tdp_watts)
+            * result.duration_s
+            / 3600.0
+        )
+        assert 0 < result.total_energy_wh() <= max_possible_wh
+
+
+class TestPoolDynamics:
+    def test_pools_restore_after_drain(self, conversation_trace):
+        result = simulate_design(splitwise_hh(2, 1), conversation_trace)
+        sizes = result.scheduler.pool_sizes()
+        assert sizes["mixed"] == 0
+        assert sizes["prompt"] == 2
+        assert sizes["token"] == 1
+
+    def test_overload_exercises_mixed_pool(self):
+        burst = generate_trace("coding", rate_rps=20.0, duration_s=10.0, seed=5)
+        result = simulate_design(splitwise_hh(1, 1), burst)
+        assert result.scheduler.pool_switches > 0
+        assert result.completion_rate == 1.0

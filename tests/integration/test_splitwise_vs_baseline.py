@@ -1,0 +1,108 @@
+"""Integration tests asserting the paper's qualitative findings.
+
+These are the "does the reproduction reproduce" tests: they encode the
+directional claims of the evaluation (Splitwise improves TTFT and sustains
+more load than mixed-batching baselines, HHcap saves power, HA saves cost,
+transfer overheads stay small) at a reduced cluster scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DGX_A100,
+    LLAMA2_70B,
+    AnalyticalPerformanceModel,
+    baseline_h100,
+    generate_trace,
+    simulate_design,
+    splitwise_ha,
+    splitwise_hh,
+    splitwise_hhcap,
+)
+from repro.core.provisioning import Provisioner
+
+
+@pytest.fixture(scope="module")
+def loaded_trace():
+    """A conversation trace heavy enough to make batching decisions matter."""
+    return generate_trace("conversation", rate_rps=8.0, duration_s=45.0, seed=9)
+
+
+@pytest.fixture(scope="module")
+def baseline_result(loaded_trace):
+    return simulate_design(baseline_h100(4), loaded_trace)
+
+
+@pytest.fixture(scope="module")
+def splitwise_result(loaded_trace):
+    # Same machine count and type as the baseline, split 2 prompt + 2 token.
+    return simulate_design(splitwise_hh(2, 2), loaded_trace)
+
+
+class TestPhaseSplittingBenefits:
+    def test_splitwise_improves_p90_ttft(self, baseline_result, splitwise_result):
+        """Dedicated prompt machines remove prompt/token interference on TTFT."""
+        assert splitwise_result.request_metrics().ttft.p90 < baseline_result.request_metrics().ttft.p90
+
+    def test_splitwise_improves_tail_tbt(self, baseline_result, splitwise_result):
+        """Token machines never run huge mixed prompts, so tail TBT shrinks."""
+        assert splitwise_result.request_metrics().tbt.p90 <= baseline_result.request_metrics().tbt.p90 * 1.05
+
+    def test_both_complete_all_requests(self, baseline_result, splitwise_result):
+        assert baseline_result.completion_rate == 1.0
+        assert splitwise_result.completion_rate == 1.0
+
+    def test_splitwise_token_machines_batch_more(self, splitwise_result, baseline_result):
+        """Fig. 17: Splitwise token machines spend less time at tiny batches."""
+        from repro.core.machine import MachineRole
+
+        token_occupancy = splitwise_result.occupancy_by_home_role(MachineRole.TOKEN)
+        baseline_occupancy = baseline_result.occupancy_by_home_role(MachineRole.MIXED)
+        assert token_occupancy.fraction_at_or_below(4) <= baseline_occupancy.fraction_at_or_below(4)
+
+
+class TestSustainableThroughput:
+    @pytest.fixture(scope="class")
+    def provisioner(self):
+        return Provisioner(workload="conversation", trace_duration_s=30.0, seed=17)
+
+    def test_splitwise_hh_sustains_at_least_baseline_load(self, provisioner):
+        """Iso-count comparison: 4 split machines sustain at least the load 4
+        mixed machines sustain under the same SLO."""
+        rates = (4.0, 8.0, 12.0, 16.0, 20.0)
+        baseline_rate, _ = provisioner.max_throughput(baseline_h100(4), rates)
+        splitwise_rate, _ = provisioner.max_throughput(splitwise_hh(2, 2), rates)
+        assert splitwise_rate >= baseline_rate
+
+    def test_hhcap_matches_hh_throughput_with_less_power(self, provisioner):
+        """Fig. 19a: capping token machines saves power at equal throughput."""
+        rates = (4.0, 8.0)
+        hh = splitwise_hh(2, 2)
+        hhcap = splitwise_hhcap(2, 2)
+        hh_rate, _ = provisioner.max_throughput(hh, rates)
+        hhcap_rate, _ = provisioner.max_throughput(hhcap, rates)
+        assert hhcap_rate >= hh_rate
+        assert hhcap.provisioned_power_kw < hh.provisioned_power_kw
+
+    def test_ha_cheaper_than_hh_at_same_machine_count(self):
+        """Fig. 18: substituting A100 token machines cuts cost."""
+        assert splitwise_ha(2, 2).cost_per_hour < splitwise_hh(2, 2).cost_per_hour
+
+
+class TestTransferOverheadSmall:
+    def test_e2e_overhead_of_splitting_is_small_at_low_load(self):
+        """Fig. 15: the KV-cache transfer adds ~1% E2E at low load."""
+        trace = generate_trace("coding", rate_rps=1.0, duration_s=40.0, seed=3)
+        single = simulate_design(baseline_h100(1), trace)
+        split = simulate_design(splitwise_hh(1, 1), trace)
+        single_e2e = single.request_metrics().e2e.p50
+        split_e2e = split.request_metrics().e2e.p50
+        assert split_e2e <= single_e2e * 1.10
+
+    def test_slo_still_met_with_transfers(self):
+        trace = generate_trace("coding", rate_rps=2.0, duration_s=30.0, seed=3)
+        result = simulate_design(splitwise_hh(1, 1), trace)
+        reference = AnalyticalPerformanceModel(LLAMA2_70B, DGX_A100)
+        assert result.slo_report(reference_model=reference).satisfied

@@ -1,0 +1,144 @@
+"""Property-based tests for the performance, power, memory and transfer models."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kv_transfer import KVTransferModel, TransferMode
+from repro.hardware.interconnect import INFINIBAND_200, INFINIBAND_400
+from repro.hardware.machine import DGX_A100, DGX_H100
+from repro.models.llm import BLOOM_176B, LLAMA2_70B
+from repro.models.memory import MemoryModel
+from repro.models.performance import AnalyticalPerformanceModel, ProfiledPerformanceModel
+from repro.models.power import PowerModel
+
+_PERF_H100 = AnalyticalPerformanceModel(LLAMA2_70B, DGX_H100)
+_PERF_A100 = AnalyticalPerformanceModel(LLAMA2_70B, DGX_A100)
+_PROFILED = ProfiledPerformanceModel.from_model(_PERF_H100)
+_POWER = PowerModel(LLAMA2_70B, DGX_H100)
+_MEMORY = MemoryModel(BLOOM_176B, DGX_H100)
+_TRANSFER = KVTransferModel(model=LLAMA2_70B, link=INFINIBAND_400)
+
+prompt_tokens = st.integers(min_value=1, max_value=16384)
+batch_sizes = st.integers(min_value=1, max_value=128)
+context_tokens = st.integers(min_value=0, max_value=500_000)
+
+
+class TestPerformanceModelProperties:
+    @given(prompt_tokens)
+    def test_prompt_latency_positive_and_finite(self, tokens):
+        latency = _PERF_H100.prompt_latency(tokens)
+        assert 0 < latency < 60
+
+    @given(prompt_tokens, prompt_tokens)
+    def test_prompt_latency_monotone_in_tokens(self, a, b):
+        small, large = sorted((a, b))
+        assert _PERF_H100.prompt_latency(small) <= _PERF_H100.prompt_latency(large) + 1e-12
+
+    @given(batch_sizes, batch_sizes)
+    def test_token_latency_monotone_in_batch(self, a, b):
+        small, large = sorted((a, b))
+        assert _PERF_H100.token_latency(small, small * 512) <= _PERF_H100.token_latency(large, large * 512) + 1e-12
+
+    @given(batch_sizes, context_tokens, context_tokens)
+    def test_token_latency_monotone_in_context(self, batch, ctx_a, ctx_b):
+        small, large = sorted((ctx_a, ctx_b))
+        assert _PERF_H100.token_latency(batch, small) <= _PERF_H100.token_latency(batch, large) + 1e-12
+
+    @given(prompt_tokens)
+    def test_h100_always_faster_than_a100_for_prompts(self, tokens):
+        assert _PERF_H100.prompt_latency(tokens) < _PERF_A100.prompt_latency(tokens)
+
+    @given(batch_sizes)
+    def test_batching_never_hurts_token_throughput(self, batch):
+        single = _PERF_H100.token_throughput(1, 1024)
+        batched = _PERF_H100.token_throughput(batch, batch * 1024)
+        assert batched >= single * 0.99
+
+    @given(prompt_tokens, st.integers(min_value=1, max_value=64))
+    def test_e2e_at_least_ttft(self, tokens, outputs):
+        assert _PERF_H100.e2e_latency(tokens, outputs) >= _PERF_H100.ttft(tokens)
+
+    @given(st.integers(min_value=64, max_value=8192))
+    @settings(max_examples=30)
+    def test_profiled_model_tracks_analytical_model(self, tokens):
+        # Within the profiling grid; extrapolation beyond it is linear by design.
+        analytical = _PERF_H100.prompt_latency(tokens)
+        profiled = _PROFILED.prompt_latency(tokens)
+        assert abs(profiled - analytical) / analytical < 0.25
+
+
+class TestPowerModelProperties:
+    @given(st.integers(min_value=0, max_value=50_000))
+    def test_prompt_power_fraction_bounded(self, tokens):
+        fraction = _POWER.prompt_power_fraction(tokens)
+        assert 0 < fraction <= 1.0
+
+    @given(st.integers(min_value=0, max_value=256))
+    def test_token_power_fraction_bounded(self, batch):
+        fraction = _POWER.token_power_fraction(batch)
+        assert 0 < fraction <= 1.0
+
+    @given(st.integers(min_value=1, max_value=16384), st.floats(min_value=0.1, max_value=1.0))
+    def test_cap_slowdowns_at_least_one(self, tokens, cap):
+        assert _POWER.prompt_cap_slowdown(tokens, cap) >= 1.0
+        assert _POWER.token_cap_slowdown(max(1, tokens // 256), cap) >= 1.0
+
+    @given(st.integers(min_value=1, max_value=8192), st.floats(min_value=0.01, max_value=10.0))
+    def test_energy_non_negative_and_linear(self, tokens, duration):
+        energy = _POWER.prompt_energy_wh(tokens, duration)
+        assert energy >= 0
+        assert _POWER.prompt_energy_wh(tokens, 2 * duration) > energy
+
+
+class TestMemoryModelProperties:
+    @given(st.integers(min_value=0, max_value=200_000))
+    def test_usage_monotone(self, tokens):
+        assert _MEMORY.usage(tokens + 1).total_bytes >= _MEMORY.usage(tokens).total_bytes
+
+    @given(st.integers(min_value=0, max_value=200_000))
+    def test_fits_iff_within_budget(self, tokens):
+        assert _MEMORY.fits(tokens) == (BLOOM_176B.kv_cache_bytes(tokens) <= _MEMORY.kv_budget_bytes)
+
+    @given(st.integers(min_value=0, max_value=200_000))
+    def test_remaining_plus_used_not_above_capacity(self, tokens):
+        remaining = _MEMORY.remaining_tokens(tokens)
+        assert remaining >= 0
+        if _MEMORY.fits(tokens):
+            assert tokens + remaining <= _MEMORY.max_kv_tokens + 1
+
+
+class TestTransferModelProperties:
+    @given(st.integers(min_value=1024, max_value=8192))
+    def test_per_layer_hides_latency_for_large_prompts(self, tokens):
+        prompt_latency = _PERF_H100.prompt_latency(tokens)
+        serialized = _TRANSFER.serialized_latency(tokens)
+        per_layer = _TRANSFER.per_layer_latency(tokens, prompt_latency)
+        assert per_layer <= serialized + 1e-9
+
+    @given(st.integers(min_value=1, max_value=8192))
+    def test_chosen_mode_never_far_worse_than_alternative(self, tokens):
+        """Splitwise picks serialized below the threshold exactly because the
+        per-layer scheme's constant residue dominates for small prompts."""
+        prompt_latency = _PERF_H100.prompt_latency(tokens)
+        chosen = _TRANSFER.visible_latency(tokens, prompt_latency)
+        alternative = min(
+            _TRANSFER.serialized_latency(tokens),
+            _TRANSFER.per_layer_latency(tokens, prompt_latency),
+        )
+        assert chosen <= alternative * 1.5 + 0.002
+
+    @given(st.integers(min_value=1, max_value=8192), st.integers(min_value=1, max_value=8192))
+    def test_serialized_monotone_in_tokens(self, a, b):
+        small, large = sorted((a, b))
+        assert _TRANSFER.serialized_latency(small) <= _TRANSFER.serialized_latency(large)
+
+    @given(st.integers(min_value=1, max_value=8192))
+    def test_slower_link_never_faster(self, tokens):
+        slow = KVTransferModel(model=LLAMA2_70B, link=INFINIBAND_200)
+        assert slow.serialized_latency(tokens) >= _TRANSFER.serialized_latency(tokens)
+
+    @given(st.integers(min_value=1, max_value=8192))
+    def test_visible_latency_positive(self, tokens):
+        assert _TRANSFER.visible_latency(tokens, _PERF_H100.prompt_latency(tokens)) > 0

@@ -1,0 +1,186 @@
+"""Property-based tests for the engine, workload, batching and full simulations."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batching.policies import BatchConstraints, MixedContinuousBatching
+from repro.core.cluster import simulate_design
+from repro.core.designs import baseline_h100, splitwise_hh
+from repro.metrics.collectors import BatchOccupancyTracker
+from repro.metrics.summary import LatencySummary
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.request import Request
+from repro.workload.distributions import CODING_WORKLOAD, LogNormalTokenDistribution
+from repro.workload.generator import generate_trace
+from repro.workload.trace import RequestDescriptor, Trace
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1000.0, allow_nan=False), min_size=1, max_size=50))
+    def test_events_always_fire_in_non_decreasing_time_order(self, times):
+        engine = SimulationEngine()
+        fired = []
+        for t in times:
+            engine.schedule_at(t, lambda t=t: fired.append(engine.now))
+        engine.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=1, max_size=30),
+        st.floats(min_value=0.0, max_value=120.0, allow_nan=False),
+    )
+    def test_run_until_never_executes_later_events(self, times, horizon):
+        engine = SimulationEngine()
+        fired = []
+        for t in times:
+            engine.schedule_at(t, lambda t=t: fired.append(t))
+        engine.run(until=horizon)
+        assert all(t <= horizon for t in fired)
+        assert engine.now >= horizon or not [t for t in times if t > horizon]
+
+
+class TestDistributionProperties:
+    @given(
+        st.floats(min_value=1.0, max_value=5000.0),
+        st.floats(min_value=0.05, max_value=2.0),
+        st.integers(min_value=0, max_value=1_000_000),
+    )
+    @settings(max_examples=50)
+    def test_lognormal_samples_always_within_clip(self, median, sigma, seed):
+        dist = LogNormalTokenDistribution(median_tokens=median, sigma=sigma, min_tokens=4, max_tokens=4096)
+        samples = dist.sample(np.random.default_rng(seed), 200)
+        assert samples.min() >= 4
+        assert samples.max() <= 4096
+        assert samples.dtype.kind == "i"
+
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    @settings(max_examples=20)
+    def test_workload_samples_are_positive_integers(self, seed):
+        rng = np.random.default_rng(seed)
+        prompts = CODING_WORKLOAD.prompt_tokens.sample(rng, 100)
+        outputs = CODING_WORKLOAD.output_tokens.sample(rng, 100)
+        assert (prompts >= 1).all()
+        assert (outputs >= 1).all()
+
+
+class TestTraceProperties:
+    @given(
+        st.floats(min_value=0.5, max_value=20.0),
+        st.floats(min_value=5.0, max_value=60.0),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25)
+    def test_generated_traces_are_sorted_and_within_duration(self, rate, duration, seed):
+        trace = generate_trace("coding", rate_rps=rate, duration_s=duration, seed=seed)
+        arrivals = [r.arrival_time_s for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= a < duration for a in arrivals)
+        assert all(r.prompt_tokens >= 1 and r.output_tokens >= 1 for r in trace)
+
+    @given(st.floats(min_value=0.5, max_value=30.0), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20)
+    def test_rescaling_preserves_request_count_and_order(self, target_rate, seed):
+        trace = generate_trace("conversation", rate_rps=4.0, duration_s=30.0, seed=seed)
+        rescaled = trace.scaled_to_rate(target_rate)
+        assert len(rescaled) == len(trace)
+        assert [r.prompt_tokens for r in rescaled] == [r.prompt_tokens for r in trace]
+        assert abs(rescaled.request_rate_rps - target_rate) / target_rate < 1e-6
+
+
+class TestBatchingProperties:
+    @st.composite
+    def _request_pool(draw):
+        count = draw(st.integers(min_value=0, max_value=12))
+        requests = []
+        for i in range(count):
+            prompt = draw(st.integers(min_value=1, max_value=4096))
+            output = draw(st.integers(min_value=1, max_value=64))
+            requests.append(
+                Request(
+                    descriptor=RequestDescriptor(
+                        request_id=i, arrival_time_s=float(i), prompt_tokens=prompt, output_tokens=output
+                    )
+                )
+            )
+        return requests
+
+    @given(_request_pool(), _request_pool(), st.integers(min_value=1, max_value=16))
+    @settings(max_examples=60)
+    def test_mixed_plan_respects_constraints(self, prompts, decoding, max_batch):
+        for request in decoding:
+            request.start_prompt(0.0, "m")
+            request.finish_prompt(0.1)
+        decoding = [r for r in decoding if not r.is_complete]
+        constraints = BatchConstraints(max_prompt_tokens=2048, max_batch_size=max_batch, max_kv_tokens=200_000)
+        pending = deque(prompts)
+        plan = MixedContinuousBatching().plan_iteration(pending, decoding, constraints)
+        # Batch size limit holds.
+        assert len(plan.prompt_requests) + len(plan.token_requests) <= max_batch
+        # Prompt token budget holds unless a single oversized prompt was admitted.
+        if len(plan.prompt_requests) > 1:
+            assert plan.prompt_tokens <= constraints.max_prompt_tokens
+        # KV budget holds for selected decode requests.
+        assert plan.context_tokens <= constraints.max_kv_tokens
+        # No request appears twice, and popped prompts are exactly the admitted ones.
+        ids = [id(r) for r in plan.prompt_requests + plan.token_requests]
+        assert len(ids) == len(set(ids))
+        assert len(pending) + len(plan.prompt_requests) == len(prompts)
+
+
+class TestMetricsProperties:
+    @given(st.lists(st.floats(min_value=1e-6, max_value=1e3, allow_nan=False), min_size=1, max_size=200))
+    def test_latency_summary_orderings(self, values):
+        summary = LatencySummary.from_values(values)
+        assert summary.p50 <= summary.p90 <= summary.p99 <= summary.max
+        tolerance = 1e-9 * max(values)  # mean can differ from min/max by float rounding
+        assert min(values) - tolerance <= summary.mean <= summary.max + tolerance
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=5000),
+                              st.floats(min_value=0.0, max_value=10.0, allow_nan=False)), max_size=50))
+    def test_occupancy_cdf_monotone_and_ends_at_one(self, samples):
+        tracker = BatchOccupancyTracker()
+        for tokens, duration in samples:
+            tracker.record(tokens, duration)
+        cdf = tracker.cdf()
+        fractions = [fraction for _, fraction in cdf]
+        assert fractions == sorted(fractions)
+        if tracker.total_time > 0:
+            assert abs(fractions[-1] - 1.0) < 1e-9
+
+
+class TestSimulationProperties:
+    @st.composite
+    def _tiny_trace(draw):
+        count = draw(st.integers(min_value=1, max_value=10))
+        records = []
+        t = 0.0
+        for _ in range(count):
+            t += draw(st.floats(min_value=0.0, max_value=2.0, allow_nan=False))
+            prompt = draw(st.integers(min_value=1, max_value=4096))
+            output = draw(st.integers(min_value=1, max_value=40))
+            records.append((t, prompt, output))
+        return Trace.from_records(records, name="hypothesis")
+
+    @given(_tiny_trace())
+    @settings(max_examples=25, deadline=None)
+    def test_split_cluster_always_completes_and_orders_timestamps(self, trace):
+        result = simulate_design(splitwise_hh(1, 1), trace)
+        assert result.completion_rate == 1.0
+        for request in result.completed_requests:
+            assert request.generated_tokens == request.output_tokens
+            assert request.completion_time >= request.arrival_time
+            assert request.token_times == sorted(request.token_times)
+
+    @given(_tiny_trace())
+    @settings(max_examples=15, deadline=None)
+    def test_baseline_cluster_always_completes(self, trace):
+        result = simulate_design(baseline_h100(1), trace)
+        assert result.completion_rate == 1.0
+        generated = sum(r.generated_tokens for r in result.completed_requests)
+        assert generated == sum(r.output_tokens for r in trace)

@@ -1,0 +1,97 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workload.trace import Trace
+
+
+class TestTraceCommand:
+    def test_writes_csv(self, tmp_path, capsys):
+        output = tmp_path / "trace.csv"
+        code = main(["trace", "--workload", "coding", "--rate", "3", "--duration", "20", "-o", str(output)])
+        assert code == 0
+        assert output.exists()
+        trace = Trace.from_csv(output)
+        assert len(trace) > 20
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestSimulateCommand:
+    def test_generated_trace_summary(self, capsys):
+        code = main([
+            "simulate", "--design", "Splitwise-HH", "--prompt", "1", "--token", "1",
+            "--workload", "coding", "--rate", "2", "--duration", "15",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ttft_p50_ms" in out
+        assert "Splitwise-HH (1P, 1T)" in out
+
+    def test_json_output_parses(self, capsys):
+        code = main([
+            "simulate", "--design", "Baseline-H100", "--prompt", "1", "--token", "0",
+            "--workload", "coding", "--rate", "1", "--duration", "15", "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert code in (0, 2)
+        assert payload["design"].startswith("Baseline-H100")
+        assert payload["completion_rate"] == 1.0
+        assert payload["ttft_p50_ms"] > 0
+
+    def test_replays_csv_trace(self, tmp_path, capsys):
+        output = tmp_path / "trace.csv"
+        main(["trace", "--workload", "coding", "--rate", "2", "--duration", "15", "-o", str(output)])
+        capsys.readouterr()
+        code = main(["simulate", "--design", "Splitwise-HA", "--prompt", "1", "--token", "1",
+                     "--trace", str(output)])
+        out = capsys.readouterr().out
+        assert code in (0, 2)
+        assert "trace" in out
+
+    def test_overloaded_cluster_returns_slo_exit_code(self, capsys):
+        code = main([
+            "simulate", "--design", "Baseline-H100", "--prompt", "1", "--token", "0",
+            "--workload", "conversation", "--rate", "20", "--duration", "15",
+        ])
+        assert code == 2
+        capsys.readouterr()
+
+
+class TestProvisionCommand:
+    def test_reports_optimum_for_feasible_load(self, capsys):
+        code = main([
+            "provision", "--design", "Splitwise-HH", "--workload", "coding",
+            "--rate", "4", "--duration", "20", "--spread", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "optimal (cost):" in out
+        assert "analytical estimate" in out
+
+
+class TestDesignsCommand:
+    def test_lists_all_families(self, capsys):
+        code = main(["designs", "--prompt", "2", "--token", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for family in ("Baseline-A100", "Splitwise-HHcap", "Splitwise-HA"):
+            assert family in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_trace_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--design", "Splitwise-XY"])

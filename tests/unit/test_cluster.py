@@ -1,0 +1,106 @@
+"""Unit tests for the end-to-end cluster simulation wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cluster import ClusterSimulation, simulate_design, simulate_designs
+from repro.core.designs import baseline_h100, splitwise_hh
+from repro.core.machine import MachineRole
+from repro.models.llm import LLAMA2_70B
+from repro.workload.trace import Trace
+
+
+class TestClusterConstruction:
+    def test_split_design_builds_named_pools(self, small_splitwise_design):
+        simulation = ClusterSimulation(small_splitwise_design)
+        names = sorted(m.name for m in simulation.machines)
+        assert names == ["prompt-0", "prompt-1", "token-0"]
+        roles = {m.name: m.home_role for m in simulation.machines}
+        assert roles["prompt-0"] is MachineRole.PROMPT
+        assert roles["token-0"] is MachineRole.TOKEN
+
+    def test_baseline_design_builds_mixed_machines(self, small_baseline_design):
+        simulation = ClusterSimulation(small_baseline_design)
+        assert all(m.home_role is MachineRole.MIXED for m in simulation.machines)
+
+    def test_prompt_machines_carry_transfer_model(self, small_splitwise_design):
+        simulation = ClusterSimulation(small_splitwise_design)
+        prompt_machines = [m for m in simulation.machines if m.home_role is MachineRole.PROMPT]
+        token_machines = [m for m in simulation.machines if m.home_role is MachineRole.TOKEN]
+        assert all(m.kv_transfer is not None for m in prompt_machines)
+        assert all(m.kv_transfer is None for m in token_machines)
+
+    def test_scheduler_thresholds_forwarded(self, small_splitwise_design):
+        simulation = ClusterSimulation(
+            small_splitwise_design, prompt_queue_threshold=999, decode_queue_threshold=888
+        )
+        assert simulation.scheduler.prompt_queue_threshold == 999
+        assert simulation.scheduler.decode_queue_threshold == 888
+
+
+class TestSimulationRun:
+    def test_all_requests_complete_when_drained(self, small_splitwise_design, tiny_trace):
+        result = simulate_design(small_splitwise_design, tiny_trace)
+        assert result.completion_rate == 1.0
+        assert len(result.completed_requests) == len(tiny_trace)
+        assert result.duration_s >= tiny_trace.duration_s
+
+    def test_without_drain_stops_at_trace_end(self, small_splitwise_design, small_trace):
+        simulation = ClusterSimulation(small_splitwise_design)
+        result = simulation.run(small_trace, drain=False)
+        assert result.duration_s == pytest.approx(small_trace.duration_s)
+
+    def test_horizon_limits_simulation(self, small_splitwise_design, small_trace):
+        simulation = ClusterSimulation(small_splitwise_design)
+        result = simulation.run(small_trace, horizon_s=5.0)
+        assert result.duration_s >= 5.0
+        assert result.completion_rate < 1.0
+
+    def test_metrics_and_energy_populated(self, small_splitwise_design, tiny_trace):
+        result = simulate_design(small_splitwise_design, tiny_trace)
+        assert result.total_energy_wh() > 0
+        assert 0 < result.mean_utilization() <= 1.0
+        metrics = result.request_metrics()
+        assert metrics.completed == len(tiny_trace)
+        assert metrics.ttft.p50 > 0
+        assert metrics.e2e.p50 > metrics.ttft.p50
+
+    def test_slo_report_for_lightly_loaded_cluster(self, small_splitwise_design, tiny_trace):
+        result = simulate_design(small_splitwise_design, tiny_trace)
+        report = result.slo_report()
+        assert report.satisfied
+
+    def test_occupancy_by_home_role(self, small_splitwise_design, tiny_trace):
+        result = simulate_design(small_splitwise_design, tiny_trace)
+        prompt_occupancy = result.occupancy_by_home_role(MachineRole.PROMPT)
+        token_occupancy = result.occupancy_by_home_role(MachineRole.TOKEN)
+        assert prompt_occupancy.total_time > 0
+        assert token_occupancy.total_time > 0
+
+    def test_simulate_designs_returns_label_keyed_results(self, tiny_trace):
+        results = simulate_designs([splitwise_hh(1, 1), baseline_h100(1)], tiny_trace)
+        assert set(results) == {"Splitwise-HH (1P, 1T)", "Baseline-H100 (1P/T)"}
+
+    def test_empty_trace_produces_no_metrics(self, small_splitwise_design):
+        result = simulate_design(small_splitwise_design, Trace(requests=(), name="empty"))
+        assert result.requests == []
+        with pytest.raises(ValueError):
+            result.request_metrics()
+
+    def test_determinism_same_trace_same_results(self, small_splitwise_design, tiny_trace):
+        first = simulate_design(small_splitwise_design, tiny_trace)
+        second = simulate_design(small_splitwise_design, tiny_trace)
+        first_e2e = [r.e2e_latency for r in first.completed_requests]
+        second_e2e = [r.e2e_latency for r in second.completed_requests]
+        assert first_e2e == second_e2e
+
+    def test_bloom_model_supported(self, small_splitwise_design, tiny_trace):
+        from repro.models.llm import BLOOM_176B
+
+        result = simulate_design(small_splitwise_design, tiny_trace, model=BLOOM_176B)
+        assert result.completion_rate == 1.0
+        llama_result = simulate_design(small_splitwise_design, tiny_trace, model=LLAMA2_70B)
+        assert (
+            result.request_metrics().e2e.p50 > llama_result.request_metrics().e2e.p50
+        )

@@ -1,0 +1,208 @@
+"""Unit tests for the cluster-level scheduler (§IV-A): JSQ routing and pools."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cluster_scheduler import ClusterScheduler, MachinePool
+from repro.core.machine import MachineRole, SimulatedMachine
+from repro.hardware.machine import DGX_H100
+from repro.metrics.collectors import MetricsCollector
+from repro.models.llm import LLAMA2_70B
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.request import Request, RequestPhase
+from repro.workload.trace import RequestDescriptor
+
+
+def _request(request_id: int, prompt: int = 512, output: int = 8, arrival: float = 0.0) -> Request:
+    return Request(
+        descriptor=RequestDescriptor(
+            request_id=request_id, arrival_time_s=arrival, prompt_tokens=prompt, output_tokens=output
+        )
+    )
+
+
+def _machine(name: str, engine: SimulationEngine, role: MachineRole, metrics: MetricsCollector) -> SimulatedMachine:
+    return SimulatedMachine(
+        name=name, spec=DGX_H100, model=LLAMA2_70B, engine=engine, role=role, metrics=metrics
+    )
+
+
+@pytest.fixture
+def split_cluster():
+    engine = SimulationEngine()
+    metrics = MetricsCollector()
+    machines = [
+        _machine("prompt-0", engine, MachineRole.PROMPT, metrics),
+        _machine("prompt-1", engine, MachineRole.PROMPT, metrics),
+        _machine("token-0", engine, MachineRole.TOKEN, metrics),
+    ]
+    scheduler = ClusterScheduler(engine=engine, machines=machines, model=LLAMA2_70B, split=True)
+    return engine, scheduler, machines
+
+
+@pytest.fixture
+def baseline_cluster():
+    engine = SimulationEngine()
+    metrics = MetricsCollector()
+    machines = [
+        _machine("machine-0", engine, MachineRole.MIXED, metrics),
+        _machine("machine-1", engine, MachineRole.MIXED, metrics),
+    ]
+    scheduler = ClusterScheduler(engine=engine, machines=machines, model=LLAMA2_70B, split=False)
+    return engine, scheduler, machines
+
+
+class TestMachinePool:
+    def test_add_remove_and_least_loaded(self, split_cluster):
+        _, _, machines = split_cluster
+        pool = MachinePool("test")
+        pool.add(machines[0])
+        pool.add(machines[0])  # duplicate ignored
+        pool.add(machines[1])
+        assert len(pool) == 2
+        machines[0].enqueue_prompt(_request(0, prompt=1000))
+        assert pool.least_loaded(lambda m: m.pending_prompt_tokens) is machines[1]
+        pool.remove(machines[1])
+        assert pool.least_loaded(lambda m: m.pending_prompt_tokens) is machines[0]
+
+    def test_empty_pool_returns_none(self):
+        assert MachinePool("empty").least_loaded(lambda m: 0) is None
+
+
+class TestPoolAssignment:
+    def test_split_cluster_pools(self, split_cluster):
+        _, scheduler, _ = split_cluster
+        assert scheduler.pool_sizes() == {"prompt": 2, "token": 1, "mixed": 0}
+
+    def test_baseline_cluster_all_mixed(self, baseline_cluster):
+        _, scheduler, _ = baseline_cluster
+        assert scheduler.pool_sizes() == {"prompt": 0, "token": 0, "mixed": 2}
+
+    def test_machines_by_home_role(self, split_cluster):
+        _, scheduler, _ = split_cluster
+        assert len(scheduler.machines_by_home_role(MachineRole.PROMPT)) == 2
+        assert len(scheduler.machines_by_home_role(MachineRole.TOKEN)) == 1
+
+
+class TestRouting:
+    def test_split_routing_assigns_both_machines(self, split_cluster):
+        _, scheduler, machines = split_cluster
+        decision = scheduler.submit(_request(0))
+        assert decision.prompt_machine.home_role is MachineRole.PROMPT
+        assert decision.token_machine.home_role is MachineRole.TOKEN
+        assert decision.token_machine.in_transfer  # transfer expected up-front
+
+    def test_jsq_prefers_least_loaded_prompt_machine(self, split_cluster):
+        _, scheduler, machines = split_cluster
+        machines[0].enqueue_prompt(_request(100, prompt=2000))
+        decision = scheduler.submit(_request(0, prompt=100))
+        assert decision.prompt_machine is machines[1]
+
+    def test_baseline_routing_uses_single_machine(self, baseline_cluster):
+        _, scheduler, _ = baseline_cluster
+        decision = scheduler.submit(_request(0))
+        assert decision.prompt_machine is decision.token_machine
+
+    def test_baseline_jsq_balances_by_total_pending_tokens(self, baseline_cluster):
+        _, scheduler, machines = baseline_cluster
+        first = scheduler.submit(_request(0, prompt=4000, output=2))
+        second = scheduler.submit(_request(1, prompt=100, output=2))
+        assert first.prompt_machine is not second.prompt_machine
+
+    def test_single_token_requests_do_not_expect_transfer(self, split_cluster):
+        _, scheduler, machines = split_cluster
+        scheduler.submit(_request(0, output=1))
+        token_machine = scheduler.machines_by_home_role(MachineRole.TOKEN)[0]
+        assert not token_machine.in_transfer
+
+
+class TestMixedPoolOverflow:
+    def test_prompt_overload_pulls_token_machine_into_mixed_pool(self, split_cluster):
+        _, scheduler, machines = split_cluster
+        # Saturate both prompt machines beyond the queue threshold.
+        for i in range(6):
+            scheduler.submit(_request(i, prompt=2000, output=2))
+        before = scheduler.pool_sizes()["mixed"]
+        decision = scheduler.submit(_request(99, prompt=2000, output=2))
+        after = scheduler.pool_sizes()["mixed"]
+        assert decision.prompt_machine.home_role is MachineRole.TOKEN
+        assert after == before + 1
+        assert scheduler.pool_switches >= 1
+
+    def test_machine_returns_home_after_foreign_work_drains(self, split_cluster):
+        engine, scheduler, machines = split_cluster
+        for i in range(7):
+            scheduler.submit(_request(i, prompt=2000, output=2))
+        assert scheduler.pool_sizes()["mixed"] >= 1
+        engine.run()
+        # All requests complete; every machine is back in its home pool.
+        assert scheduler.pool_sizes() == {"prompt": 2, "token": 1, "mixed": 0}
+        assert all(m.role is m.home_role for m in machines)
+
+
+class TestLifecycleCallbacks:
+    def test_requests_complete_and_are_recorded(self, split_cluster):
+        engine, scheduler, _ = split_cluster
+        requests = [_request(i, prompt=300, output=4, arrival=0.0) for i in range(4)]
+        for request in requests:
+            scheduler.submit(request)
+        engine.run()
+        assert all(r.is_complete for r in requests)
+        assert len(scheduler.completed_requests) == 4
+        assert list(scheduler.outstanding_requests()) == []
+
+    def test_kv_transfer_recorded_between_machines(self, split_cluster):
+        engine, scheduler, _ = split_cluster
+        request = _request(0, prompt=1500, output=4)
+        scheduler.submit(request)
+        engine.run()
+        assert request.kv_transfer_start is not None
+        assert request.kv_transfer_end is not None
+        assert request.kv_transfer_end >= request.kv_transfer_start
+        assert request.prompt_machine.startswith("prompt")
+        assert request.is_complete
+
+    def test_single_token_request_completes_on_prompt_machine(self, split_cluster):
+        engine, scheduler, _ = split_cluster
+        request = _request(0, prompt=500, output=1)
+        scheduler.submit(request)
+        engine.run()
+        assert request.is_complete
+        assert request.kv_transfer_start is None
+
+    def test_baseline_requests_never_transfer(self, baseline_cluster):
+        engine, scheduler, _ = baseline_cluster
+        request = _request(0, prompt=500, output=4)
+        scheduler.submit(request)
+        engine.run()
+        assert request.is_complete
+        assert request.kv_transfer_start is None
+
+    def test_second_token_delayed_by_transfer_in_split_cluster(self, split_cluster, baseline_cluster):
+        split_engine, split_scheduler, _ = split_cluster
+        base_engine, base_scheduler, _ = baseline_cluster
+        split_request = _request(0, prompt=1024, output=3)
+        base_request = _request(0, prompt=1024, output=3)
+        split_scheduler.submit(split_request)
+        base_scheduler.submit(base_request)
+        split_engine.run()
+        base_engine.run()
+        split_gap = split_request.token_times[1] - split_request.token_times[0]
+        base_gap = base_request.token_times[1] - base_request.token_times[0]
+        assert split_gap > base_gap
+
+    def test_transfer_model_cached_per_machine_pair(self, split_cluster):
+        engine, scheduler, _ = split_cluster
+        for i in range(3):
+            scheduler.submit(_request(i, prompt=800, output=3))
+        engine.run()
+        assert len(scheduler._transfer_models) == 1
+
+
+class TestErrors:
+    def test_baseline_with_no_machines_raises_on_submit(self):
+        engine = SimulationEngine()
+        scheduler = ClusterScheduler(engine=engine, machines=[], model=LLAMA2_70B, split=False)
+        with pytest.raises(RuntimeError, match="no machines"):
+            scheduler.submit(_request(0))

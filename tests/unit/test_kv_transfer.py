@@ -1,0 +1,114 @@
+"""Unit tests for the KV-cache transfer model (§IV-C, Figs. 11/14)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kv_transfer import KVTransferModel, TransferMode
+from repro.hardware.interconnect import INFINIBAND_200, INFINIBAND_400
+from repro.models.llm import BLOOM_176B, LLAMA2_70B
+
+
+@pytest.fixture
+def h100_transfer() -> KVTransferModel:
+    return KVTransferModel(model=LLAMA2_70B, link=INFINIBAND_400)
+
+
+@pytest.fixture
+def a100_transfer() -> KVTransferModel:
+    return KVTransferModel(model=LLAMA2_70B, link=INFINIBAND_200)
+
+
+class TestSizes:
+    def test_kv_bytes_matches_model(self, h100_transfer):
+        assert h100_transfer.kv_bytes(1000) == pytest.approx(LLAMA2_70B.kv_cache_bytes(1000))
+
+    def test_per_layer_bytes(self, h100_transfer):
+        assert h100_transfer.per_layer_bytes(1000) == pytest.approx(
+            LLAMA2_70B.kv_cache_bytes(1000) / LLAMA2_70B.num_layers
+        )
+
+    def test_negative_tokens_rejected(self, h100_transfer):
+        with pytest.raises(ValueError):
+            h100_transfer.kv_bytes(-1)
+
+
+class TestModeSelection:
+    def test_small_prompts_use_serialized(self, h100_transfer):
+        assert h100_transfer.choose_mode(100) is TransferMode.SERIALIZED
+
+    def test_large_prompts_use_per_layer(self, h100_transfer):
+        assert h100_transfer.choose_mode(2048) is TransferMode.PER_LAYER
+
+    def test_threshold_is_configurable(self):
+        transfer = KVTransferModel(model=LLAMA2_70B, link=INFINIBAND_400, serialized_threshold_tokens=4096)
+        assert transfer.choose_mode(2048) is TransferMode.SERIALIZED
+
+
+class TestLatency:
+    def test_serialized_latency_linear_in_prompt_size(self, a100_transfer):
+        t1 = a100_transfer.serialized_latency(512)
+        t2 = a100_transfer.serialized_latency(1024)
+        t4 = a100_transfer.serialized_latency(2048)
+        assert t2 > t1
+        assert (t4 - a100_transfer.link.latency_s) == pytest.approx(
+            2 * (t2 - a100_transfer.link.latency_s), rel=0.01
+        )
+
+    def test_a100_serialized_at_2048_about_30ms(self, a100_transfer):
+        """Fig. 14: ~30-40 ms serialized transfer at 2048 tokens on 200 Gbps."""
+        assert 0.02 <= a100_transfer.serialized_latency(2048) <= 0.05
+
+    def test_h100_transfers_twice_as_fast_as_a100(self, a100_transfer, h100_transfer):
+        ratio = a100_transfer.serialized_latency(2048) / h100_transfer.serialized_latency(2048)
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+    def test_per_layer_hides_most_of_the_transfer(self, a100_transfer):
+        prompt_latency = 0.2
+        serialized = a100_transfer.serialized_latency(2048)
+        per_layer = a100_transfer.per_layer_latency(2048, prompt_latency)
+        assert per_layer < serialized / 2
+
+    def test_per_layer_residue_about_8ms_on_a100_and_5ms_on_h100(self, a100_transfer, h100_transfer):
+        """Fig. 14: the per-layer scheme leaves a small constant residue."""
+        assert 0.004 <= a100_transfer.per_layer_latency(2048, 0.2) <= 0.012
+        assert 0.002 <= h100_transfer.per_layer_latency(2048, 0.12) <= 0.008
+
+    def test_per_layer_cannot_hide_more_than_prompt_window(self, h100_transfer):
+        """With no overlap window the whole transfer becomes visible."""
+        no_window = h100_transfer.per_layer_latency(2048, 0.0)
+        assert no_window >= h100_transfer.serialized_latency(2048) - h100_transfer.link.latency_s
+
+    def test_visible_latency_uses_chosen_mode(self, h100_transfer):
+        small = h100_transfer.visible_latency(128, 0.06)
+        assert small == pytest.approx(h100_transfer.serialized_latency(128))
+        large = h100_transfer.visible_latency(2048, 0.12)
+        assert large == pytest.approx(h100_transfer.per_layer_latency(2048, 0.12))
+
+    def test_bloom_transfer_much_larger_than_llama(self):
+        llama = KVTransferModel(model=LLAMA2_70B, link=INFINIBAND_400)
+        bloom = KVTransferModel(model=BLOOM_176B, link=INFINIBAND_400)
+        assert bloom.serialized_latency(1024) > 5 * llama.serialized_latency(1024)
+
+    def test_negative_prompt_latency_rejected(self, h100_transfer):
+        with pytest.raises(ValueError):
+            h100_transfer.per_layer_latency(1024, -0.1)
+
+
+class TestInterference:
+    def test_per_layer_mode_slows_prompt_slightly(self, h100_transfer):
+        factor = h100_transfer.prompt_interference_factor(TransferMode.PER_LAYER)
+        assert 1.0 < factor < 1.10
+
+    def test_serialized_mode_does_not_slow_prompt(self, h100_transfer):
+        assert h100_transfer.prompt_interference_factor(TransferMode.SERIALIZED) == 1.0
+
+
+class TestValidation:
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            KVTransferModel(model=LLAMA2_70B, link=INFINIBAND_400, serialized_threshold_tokens=-1)
+
+    def test_negative_interference_rejected(self):
+        with pytest.raises(ValueError):
+            KVTransferModel(model=LLAMA2_70B, link=INFINIBAND_400, per_layer_interference=-0.1)

@@ -1,0 +1,187 @@
+"""Unit tests for metrics: summaries, occupancy tracking, and SLOs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.machine import DGX_A100
+from repro.metrics.collectors import BatchOccupancyTracker, MetricsCollector
+from repro.metrics.slo import DEFAULT_SLO, SloPolicy, evaluate_slo
+from repro.metrics.summary import LatencySummary, percentile, summarize_requests
+from repro.models.llm import LLAMA2_70B
+from repro.models.performance import AnalyticalPerformanceModel
+
+
+class TestPercentile:
+    def test_median_of_known_sequence(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestLatencySummary:
+    def test_from_values(self):
+        summary = LatencySummary.from_values(list(range(1, 101)))
+        assert summary.count == 100
+        assert summary.mean == pytest.approx(50.5)
+        assert summary.p50 == pytest.approx(50.5)
+        assert summary.p99 == pytest.approx(99.01)
+        assert summary.max == 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LatencySummary.from_values([])
+
+
+class TestSummarizeRequests:
+    def _completed_request(self, make_request, request_id, arrival, ttft, tbt, tokens):
+        request = make_request(request_id=request_id, arrival=arrival, prompt=100, output=tokens)
+        request.start_prompt(arrival, "m")
+        request.finish_prompt(arrival + ttft)
+        for i in range(1, tokens):
+            request.generate_token(arrival + ttft + i * tbt)
+        return request
+
+    def test_summary_over_mixed_requests(self, make_request):
+        done = self._completed_request(make_request, 0, 0.0, 0.1, 0.05, 5)
+        pending = make_request(request_id=1)
+        metrics = summarize_requests([done, pending], duration_s=10.0)
+        assert metrics.completed == 1
+        assert metrics.total == 2
+        assert metrics.completion_rate == 0.5
+        assert metrics.ttft.p50 == pytest.approx(0.1)
+        assert metrics.tbt.p50 == pytest.approx(0.05)
+        assert metrics.throughput_rps == pytest.approx(0.1)
+
+    def test_no_completed_requests_raises(self, make_request):
+        with pytest.raises(ValueError, match="no completed requests"):
+            summarize_requests([make_request()])
+
+    def test_duration_defaults_to_last_completion(self, make_request):
+        done = self._completed_request(make_request, 0, 0.0, 0.1, 0.05, 3)
+        metrics = summarize_requests([done])
+        assert metrics.throughput_rps == pytest.approx(1.0 / done.completion_time)
+
+
+class TestBatchOccupancyTracker:
+    def test_cdf_accumulates_time(self):
+        tracker = BatchOccupancyTracker()
+        tracker.record(1, 3.0)
+        tracker.record(10, 1.0)
+        tracker.record(100, 1.0)
+        assert tracker.total_time == pytest.approx(5.0)
+        assert tracker.fraction_at_or_below(1) == pytest.approx(0.6)
+        assert tracker.fraction_at_or_below(10) == pytest.approx(0.8)
+        cdf = tracker.cdf()
+        assert cdf[-1] == (100, pytest.approx(1.0))
+
+    def test_zero_duration_ignored(self):
+        tracker = BatchOccupancyTracker()
+        tracker.record(5, 0.0)
+        assert tracker.total_time == 0.0
+        assert tracker.cdf() == []
+        assert tracker.fraction_at_or_below(10) == 0.0
+
+    def test_invalid_inputs(self):
+        tracker = BatchOccupancyTracker()
+        with pytest.raises(ValueError):
+            tracker.record(-1, 1.0)
+        with pytest.raises(ValueError):
+            tracker.record(1, -1.0)
+
+    def test_merge(self):
+        a = BatchOccupancyTracker()
+        b = BatchOccupancyTracker()
+        a.record(1, 1.0)
+        b.record(1, 1.0)
+        b.record(50, 2.0)
+        a.merge(b)
+        assert a.total_time == pytest.approx(4.0)
+        assert a.as_mapping()[1] == pytest.approx(2.0)
+
+
+class TestMetricsCollector:
+    def test_per_machine_accumulation(self):
+        collector = MetricsCollector()
+        collector.record_iteration("m0", duration_s=0.1, active_tokens=100, energy_wh=0.5, prompt_tokens=100)
+        collector.record_iteration("m0", duration_s=0.2, active_tokens=4, energy_wh=0.2, tokens_generated=4)
+        collector.record_iteration("m1", duration_s=0.3, active_tokens=1, energy_wh=0.1)
+        stats = collector.machine_stats("m0")
+        assert stats.busy_time_s == pytest.approx(0.3)
+        assert stats.iterations == 2
+        assert stats.prompt_tokens_processed == 100
+        assert stats.tokens_generated == 4
+        assert collector.total_energy_wh() == pytest.approx(0.8)
+        assert collector.machines() == ["m0", "m1"]
+
+    def test_utilization(self):
+        collector = MetricsCollector()
+        collector.record_iteration("m0", duration_s=5.0, active_tokens=1)
+        assert collector.machine_stats("m0").utilization(10.0) == pytest.approx(0.5)
+        assert collector.mean_utilization(10.0) == pytest.approx(0.5)
+        assert collector.mean_utilization(10.0, ["m0", "missing"]) == pytest.approx(0.25)
+
+    def test_group_occupancy_merges(self):
+        collector = MetricsCollector()
+        collector.record_iteration("a", duration_s=1.0, active_tokens=1)
+        collector.record_iteration("b", duration_s=1.0, active_tokens=100)
+        merged = collector.group_occupancy(["a", "b"])
+        assert merged.fraction_at_or_below(1) == pytest.approx(0.5)
+
+    def test_as_dict(self):
+        collector = MetricsCollector()
+        collector.record_iteration("m0", duration_s=1.0, active_tokens=1, energy_wh=1.0)
+        report = collector.as_dict(horizon_s=2.0)
+        assert report["m0"]["utilization"] == pytest.approx(0.5)
+        assert report["m0"]["energy_wh"] == pytest.approx(1.0)
+
+
+class TestSlo:
+    def _request_with_slowdown(self, make_request, reference, slowdown, prompt=1000, output=10):
+        request = make_request(request_id=0, arrival=0.0, prompt=prompt, output=output)
+        ttft = reference.ttft(prompt) * slowdown
+        tbt = reference.tbt(1, prompt) * slowdown
+        request.start_prompt(0.0, "m")
+        request.finish_prompt(ttft)
+        for i in range(1, output):
+            request.generate_token(ttft + i * tbt)
+        return request
+
+    def test_limits_match_table_vi(self):
+        limits = DEFAULT_SLO.limits()
+        assert limits[("ttft", 50.0)] == 2.0
+        assert limits[("ttft", 99.0)] == 6.0
+        assert limits[("tbt", 90.0)] == 1.5
+        assert limits[("e2e", 50.0)] == 1.25
+        assert len(limits) == 9
+
+    def test_uncontended_requests_satisfy_slo(self, make_request):
+        reference = AnalyticalPerformanceModel(LLAMA2_70B, DGX_A100)
+        requests = [self._request_with_slowdown(make_request, reference, 1.0) for _ in range(5)]
+        report = evaluate_slo(requests, reference)
+        assert report.satisfied
+        assert report.violations() == {}
+        assert report.worst_margin() <= 1.0
+
+    def test_heavily_slowed_requests_violate(self, make_request):
+        reference = AnalyticalPerformanceModel(LLAMA2_70B, DGX_A100)
+        requests = [self._request_with_slowdown(make_request, reference, 4.0) for _ in range(5)]
+        report = evaluate_slo(requests, reference)
+        assert not report.satisfied
+        assert ("tbt", 50.0) in report.violations()
+        assert report.worst_margin() > 1.0
+
+    def test_no_completed_requests_raises(self, make_request):
+        reference = AnalyticalPerformanceModel(LLAMA2_70B, DGX_A100)
+        with pytest.raises(ValueError):
+            evaluate_slo([make_request()], reference)
+
+    def test_custom_policy(self, make_request):
+        reference = AnalyticalPerformanceModel(LLAMA2_70B, DGX_A100)
+        lax = SloPolicy(ttft={50: 100.0}, tbt={50: 100.0}, e2e={50: 100.0})
+        requests = [self._request_with_slowdown(make_request, reference, 4.0) for _ in range(3)]
+        assert evaluate_slo(requests, reference, lax).satisfied

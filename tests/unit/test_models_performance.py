@@ -1,0 +1,229 @@
+"""Unit tests for the performance models (Figs. 5/6, Table IV)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.machine import DGX_A100, DGX_H100, DGX_H100_CAPPED, MachineSpec
+from repro.hardware.gpu import GPU_H100
+from repro.models.llm import BLOOM_176B, LLAMA2_70B, ModelSpec
+from repro.models.performance import (
+    AnalyticalPerformanceModel,
+    BatchSpec,
+    ProfiledPerformanceModel,
+    mean_absolute_percentage_error,
+)
+
+
+class TestBatchSpec:
+    def test_rejects_negative_fields(self):
+        with pytest.raises(ValueError):
+            BatchSpec(prompt_tokens=-1)
+        with pytest.raises(ValueError):
+            BatchSpec(token_requests=-1)
+
+    def test_context_without_tokens_rejected(self):
+        with pytest.raises(ValueError, match="context_tokens"):
+            BatchSpec(context_tokens=10)
+
+    def test_active_tokens_definition(self):
+        spec = BatchSpec(prompt_tokens=100, token_requests=5, context_tokens=5000)
+        assert spec.active_tokens == 105
+        assert spec.is_mixed
+        assert not spec.is_empty
+
+    def test_empty_batch(self):
+        assert BatchSpec().is_empty
+
+
+class TestCalibrationAnchors:
+    """The analytical model reproduces the paper's published latencies."""
+
+    def test_ttft_h100_at_1500_tokens_about_95ms(self, llama_h100_perf):
+        assert llama_h100_perf.ttft(1500) * 1e3 == pytest.approx(95, rel=0.10)
+
+    def test_ttft_a100_at_1500_tokens_about_185ms(self, llama_a100_perf):
+        assert llama_a100_perf.ttft(1500) * 1e3 == pytest.approx(185, rel=0.10)
+
+    def test_ttft_ratio_h100_over_a100_about_half(self, llama_h100_perf, llama_a100_perf):
+        ratio = llama_h100_perf.ttft(1500) / llama_a100_perf.ttft(1500)
+        assert 0.45 <= ratio <= 0.60
+
+    def test_tbt_h100_about_28ms(self, llama_h100_perf):
+        assert llama_h100_perf.tbt(1, 1024) * 1e3 == pytest.approx(28, rel=0.10)
+
+    def test_tbt_ratio_h100_over_a100_about_07(self, llama_h100_perf, llama_a100_perf):
+        ratio = llama_h100_perf.tbt(1, 1024) / llama_a100_perf.tbt(1, 1024)
+        assert 0.6 <= ratio <= 0.8
+
+    def test_tbt_at_batch_64_roughly_doubles(self, llama_h100_perf):
+        """Fig. 5b: batching 64 decode requests only ~doubles TBT."""
+        ratio = llama_h100_perf.tbt(64, 64 * 1024) / llama_h100_perf.tbt(1, 1024)
+        assert 1.5 <= ratio <= 2.6
+
+    def test_ttft_grows_with_prompt_size(self, llama_h100_perf):
+        sizes = [128, 256, 512, 1024, 2048, 4096, 8192]
+        latencies = [llama_h100_perf.ttft(n) for n in sizes]
+        assert latencies == sorted(latencies)
+
+    def test_bloom_slower_than_llama(self):
+        bloom = AnalyticalPerformanceModel(BLOOM_176B, DGX_H100)
+        llama = AnalyticalPerformanceModel(LLAMA2_70B, DGX_H100)
+        assert bloom.ttft(1500) > llama.ttft(1500)
+        assert bloom.tbt(1, 1024) > llama.tbt(1, 1024)
+
+    def test_bloom_prompt_1500_about_six_decode_iterations(self):
+        """Insight III for BLOOM-176B."""
+        bloom = AnalyticalPerformanceModel(BLOOM_176B, DGX_H100)
+        equivalent_tokens = bloom.ttft(1500) / bloom.tbt(1, 1500)
+        assert 3.5 <= equivalent_tokens <= 8.0
+
+
+class TestThroughputShapes:
+    def test_prompt_throughput_peaks_near_2048(self, llama_h100_perf):
+        """Fig. 6a / Insight IV: prompt throughput declines past ~2048 tokens."""
+        t2048 = llama_h100_perf.prompt_throughput(2048)
+        t8192 = llama_h100_perf.prompt_throughput(8192)
+        t512 = llama_h100_perf.prompt_throughput(512)
+        assert t2048 > t512
+        assert t2048 > t8192
+
+    def test_token_throughput_monotonically_increases_with_batch(self, llama_h100_perf):
+        """Fig. 6b: decode throughput keeps scaling with batch size."""
+        throughputs = [llama_h100_perf.token_throughput(b, b * 1024) for b in (1, 2, 4, 8, 16, 32, 64)]
+        assert all(b > a for a, b in zip(throughputs, throughputs[1:]))
+
+
+class TestLatencyComposition:
+    def test_iteration_latency_is_additive_for_mixed_batches(self, llama_h100_perf):
+        spec = BatchSpec(prompt_tokens=1024, token_requests=8, context_tokens=8192)
+        combined = llama_h100_perf.iteration_latency(spec)
+        parts = llama_h100_perf.prompt_latency(1024) + llama_h100_perf.token_latency(8, 8192)
+        assert combined == pytest.approx(parts)
+
+    def test_empty_iteration_takes_no_time(self, llama_h100_perf):
+        assert llama_h100_perf.iteration_latency(BatchSpec()) == 0.0
+        assert llama_h100_perf.prompt_latency(0) == 0.0
+        assert llama_h100_perf.token_latency(0) == 0.0
+
+    def test_e2e_latency_grows_with_output_tokens(self, llama_h100_perf):
+        assert llama_h100_perf.e2e_latency(1000, 50) > llama_h100_perf.e2e_latency(1000, 10)
+
+    def test_e2e_latency_of_single_token_is_ttft(self, llama_h100_perf):
+        assert llama_h100_perf.e2e_latency(1000, 1) == pytest.approx(llama_h100_perf.ttft(1000))
+
+    def test_e2e_rejects_zero_output(self, llama_h100_perf):
+        with pytest.raises(ValueError, match="output_tokens"):
+            llama_h100_perf.e2e_latency(100, 0)
+
+    def test_negative_inputs_rejected(self, llama_h100_perf):
+        with pytest.raises(ValueError):
+            llama_h100_perf.prompt_latency(-1)
+        with pytest.raises(ValueError):
+            llama_h100_perf.token_latency(-1)
+
+
+class TestPowerCapInteraction:
+    def test_capped_machine_has_slower_prompts(self):
+        capped = AnalyticalPerformanceModel(LLAMA2_70B, DGX_H100_CAPPED)
+        uncapped = AnalyticalPerformanceModel(LLAMA2_70B, DGX_H100)
+        assert capped.prompt_latency(4096) > uncapped.prompt_latency(4096)
+
+    def test_capped_machine_decode_unaffected_at_50_percent(self):
+        """Fig. 9b / Insight VI: 50% cap leaves the token phase untouched."""
+        capped = AnalyticalPerformanceModel(LLAMA2_70B, DGX_H100_CAPPED)
+        uncapped = AnalyticalPerformanceModel(LLAMA2_70B, DGX_H100)
+        assert capped.token_latency(16, 16 * 1024) == pytest.approx(uncapped.token_latency(16, 16 * 1024))
+
+    def test_cap_can_be_disabled(self):
+        ignore_cap = AnalyticalPerformanceModel(LLAMA2_70B, DGX_H100_CAPPED, apply_power_cap=False)
+        uncapped = AnalyticalPerformanceModel(LLAMA2_70B, DGX_H100)
+        assert ignore_cap.prompt_latency(4096) == pytest.approx(uncapped.prompt_latency(4096))
+
+
+class TestExtrapolationToUnknownHardware:
+    def test_unknown_model_scales_with_parameter_count(self):
+        small = ModelSpec(
+            name="Phi-20B", num_parameters=20e9, num_layers=40, hidden_size=5120, num_heads=40, num_kv_heads=8
+        )
+        perf_small = AnalyticalPerformanceModel(small, DGX_H100)
+        perf_llama = AnalyticalPerformanceModel(LLAMA2_70B, DGX_H100)
+        assert perf_small.tbt(1, 1024) < perf_llama.tbt(1, 1024)
+
+    def test_unknown_gpu_scales_with_compute(self):
+        from dataclasses import replace
+
+        slow_gpu = replace(GPU_H100, name="H50", fp16_tflops=GPU_H100.fp16_tflops / 2)
+        slow_machine = MachineSpec(name="DGX-H50", gpu=slow_gpu)
+        slow = AnalyticalPerformanceModel(LLAMA2_70B, slow_machine)
+        fast = AnalyticalPerformanceModel(LLAMA2_70B, DGX_H100)
+        assert slow.prompt_latency(2048) > fast.prompt_latency(2048)
+
+
+class TestProfiledModel:
+    def test_matches_reference_within_a_few_percent(self, llama_h100_perf):
+        """The piecewise-linear model tracks the analytical model with low MAPE,
+        mirroring the <3% validation in the paper (§V-B)."""
+        profiled = ProfiledPerformanceModel.from_model(llama_h100_perf)
+        sizes = [100, 300, 700, 900, 1500, 3000, 6000]
+        actual = [llama_h100_perf.prompt_latency(n) for n in sizes]
+        predicted = [profiled.prompt_latency(n) for n in sizes]
+        assert mean_absolute_percentage_error(actual, predicted) < 0.05
+
+    def test_interpolates_exactly_at_profile_points(self, llama_h100_perf):
+        profiled = ProfiledPerformanceModel.from_model(llama_h100_perf, prompt_grid=(128, 1024, 4096))
+        assert profiled.prompt_latency(1024) == pytest.approx(llama_h100_perf.prompt_latency(1024))
+
+    def test_extrapolates_beyond_last_point(self, llama_h100_perf):
+        profiled = ProfiledPerformanceModel.from_model(llama_h100_perf, prompt_grid=(128, 1024, 2048))
+        assert profiled.prompt_latency(4096) > profiled.prompt_latency(2048)
+
+    def test_token_latency_adjusts_for_context(self, llama_h100_perf):
+        profiled = ProfiledPerformanceModel.from_model(llama_h100_perf)
+        short_ctx = profiled.token_latency(8, 8 * 256)
+        long_ctx = profiled.token_latency(8, 8 * 8192)
+        assert long_ctx > short_ctx
+
+    def test_requires_two_profile_points(self):
+        with pytest.raises(ValueError, match="two points"):
+            ProfiledPerformanceModel(LLAMA2_70B, DGX_H100, prompt_profile=[(1, 0.1)], token_profile=[(1, 0.01), (2, 0.02)])
+
+    def test_rejects_duplicate_profile_points(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ProfiledPerformanceModel(
+                LLAMA2_70B,
+                DGX_H100,
+                prompt_profile=[(1, 0.1), (1, 0.2), (2, 0.3)],
+                token_profile=[(1, 0.01), (2, 0.02)],
+            )
+
+    def test_custom_profile_from_measurements(self):
+        """Users can plug raw (tokens, seconds) measurements directly."""
+        profiled = ProfiledPerformanceModel(
+            LLAMA2_70B,
+            DGX_A100,
+            prompt_profile=[(128, 0.12), (1024, 0.16), (2048, 0.22)],
+            token_profile=[(1, 0.040), (32, 0.055), (64, 0.080)],
+        )
+        assert 0.12 <= profiled.prompt_latency(500) <= 0.16
+        assert 0.040 <= profiled.token_latency(16) <= 0.080
+
+
+class TestMape:
+    def test_zero_for_identical_series(self):
+        assert mean_absolute_percentage_error([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_value(self):
+        assert mean_absolute_percentage_error([100, 200], [110, 180]) == pytest.approx(0.10)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            mean_absolute_percentage_error([1, 2], [1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            mean_absolute_percentage_error([], [])
+
+    def test_rejects_zero_actuals(self):
+        with pytest.raises(ValueError, match="non-zero"):
+            mean_absolute_percentage_error([0, 1], [1, 1])

@@ -1,0 +1,152 @@
+"""Unit tests for the provisioning framework (§IV-D, Fig. 12)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.designs import baseline_h100, splitwise_hh
+from repro.core.provisioning import (
+    OptimizationGoal,
+    Provisioner,
+    ProvisioningConstraints,
+    estimate_pool_sizes,
+    find_max_throughput,
+)
+
+
+@pytest.fixture(scope="module")
+def provisioner() -> Provisioner:
+    """A fast provisioner: short traces, coding workload."""
+    return Provisioner(workload="coding", trace_duration_s=20.0, seed=3)
+
+
+class TestConstraints:
+    def test_budget_checks(self):
+        constraints = ProvisioningConstraints(max_cost_per_hour=100.0, max_power_kw=50.0)
+        cheap = splitwise_hh(1, 1)
+        assert not constraints.within_budget(cheap) or cheap.cost_per_hour <= 100.0
+        unconstrained = ProvisioningConstraints()
+        assert unconstrained.within_budget(splitwise_hh(100, 100))
+
+
+class TestEvaluate:
+    def test_feasible_at_low_load(self, provisioner):
+        candidate = provisioner.evaluate(splitwise_hh(2, 1), rate_rps=1.0)
+        assert candidate.feasible
+        assert candidate.completion_rate >= 0.98
+        assert candidate.slo_report.satisfied
+        assert candidate.cost_per_hour == splitwise_hh(2, 1).cost_per_hour
+
+    def test_infeasible_at_overload(self, provisioner):
+        candidate = provisioner.evaluate(splitwise_hh(1, 1), rate_rps=40.0)
+        assert not candidate.feasible
+
+    def test_trace_cache_reused(self, provisioner):
+        first = provisioner.trace_at(2.0)
+        second = provisioner.trace_at(2.0)
+        assert first is second
+
+
+class TestMaxThroughput:
+    def test_monotone_frontier(self, provisioner):
+        rate, evaluations = provisioner.max_throughput(splitwise_hh(2, 1), rates=(1.0, 3.0, 40.0))
+        assert rate >= 1.0
+        assert any(e.feasible for e in evaluations)
+
+    def test_returns_zero_when_nothing_feasible(self, provisioner):
+        rate, _ = provisioner.max_throughput(splitwise_hh(1, 1), rates=(50.0,))
+        assert rate == 0.0
+
+    def test_convenience_wrapper(self):
+        rate = find_max_throughput(
+            baseline_h100(2), rates=(1.0, 2.0), workload="coding", trace_duration_s=15.0, seed=3
+        )
+        assert rate in (0.0, 1.0, 2.0)
+
+
+class TestSizeForThroughput:
+    def test_cost_optimal_configuration_found(self, provisioner):
+        result = provisioner.size_for_throughput(
+            "Splitwise-HH", target_rps=2.0, prompt_counts=(1, 2), token_counts=(1,), goal=OptimizationGoal.COST
+        )
+        assert result.candidates
+        assert result.best is not None
+        feasible_costs = [c.cost_per_hour for c in result.feasible_candidates]
+        assert result.best.cost_per_hour == min(feasible_costs)
+
+    def test_power_goal_selects_lowest_power(self, provisioner):
+        result = provisioner.size_for_throughput(
+            "Splitwise-HHcap",
+            target_rps=2.0,
+            prompt_counts=(1, 2),
+            token_counts=(1,),
+            goal=OptimizationGoal.POWER,
+        )
+        if result.best is not None:
+            feasible_power = [c.provisioned_power_kw for c in result.feasible_candidates]
+            assert result.best.provisioned_power_kw == min(feasible_power)
+
+    def test_baseline_family_ignores_token_counts(self, provisioner):
+        result = provisioner.size_for_throughput(
+            "Baseline-H100", target_rps=2.0, prompt_counts=(1, 2), token_counts=(0,), goal=OptimizationGoal.COST
+        )
+        assert all(not c.design.split for c in result.candidates)
+
+    def test_infeasible_search_returns_no_best(self, provisioner):
+        result = provisioner.size_for_throughput(
+            "Splitwise-HH", target_rps=80.0, prompt_counts=(1,), token_counts=(1,)
+        )
+        assert result.best is None
+        assert not result.feasible_candidates
+
+
+class TestBudgetSearch:
+    def test_budget_excludes_expensive_designs(self, provisioner):
+        result = provisioner.max_throughput_under_budget(
+            "Splitwise-HH",
+            rates=(1.0, 2.0),
+            prompt_counts=(1, 4),
+            token_counts=(1,),
+            max_cost_per_hour=splitwise_hh(2, 1).cost_per_hour,
+        )
+        assert all(c.design.cost_per_hour <= splitwise_hh(2, 1).cost_per_hour for c in result.candidates)
+
+    def test_best_candidate_maximizes_rate(self, provisioner):
+        result = provisioner.max_throughput_under_budget(
+            "Splitwise-HH", rates=(1.0, 2.0), prompt_counts=(2,), token_counts=(1,)
+        )
+        if result.best is not None:
+            assert result.best.rate_rps == max(c.rate_rps for c in result.feasible_candidates)
+
+
+class TestPoolSizeEstimation:
+    def test_coding_is_prompt_heavy(self):
+        prompt, token = estimate_pool_sizes("Splitwise-HH", rate_rps=70, workload="coding")
+        assert prompt > token
+
+    def test_conversation_needs_more_token_machines_than_coding(self):
+        _, coding_tokens = estimate_pool_sizes("Splitwise-HH", rate_rps=70, workload="coding")
+        _, conversation_tokens = estimate_pool_sizes("Splitwise-HH", rate_rps=70, workload="conversation")
+        assert conversation_tokens > coding_tokens
+
+    def test_baseline_returns_single_pool(self):
+        total, token = estimate_pool_sizes("Baseline-A100", rate_rps=30, workload="coding")
+        assert token == 0
+        assert total >= 1
+
+    def test_a100_needs_more_machines_than_h100(self):
+        a100_prompt, _ = estimate_pool_sizes("Splitwise-AA", rate_rps=50, workload="coding")
+        h100_prompt, _ = estimate_pool_sizes("Splitwise-HH", rate_rps=50, workload="coding")
+        assert a100_prompt > h100_prompt
+
+    def test_sizes_scale_with_rate(self):
+        small_p, small_t = estimate_pool_sizes("Splitwise-HH", rate_rps=10, workload="conversation")
+        big_p, big_t = estimate_pool_sizes("Splitwise-HH", rate_rps=100, workload="conversation")
+        assert big_p >= small_p
+        assert big_t > small_t
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            estimate_pool_sizes("Splitwise-HH", rate_rps=0)
+        with pytest.raises(ValueError):
+            estimate_pool_sizes("Splitwise-HH", rate_rps=10, utilization_target=0)

@@ -1,0 +1,209 @@
+"""Unit tests for the discrete-event engine and the request state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import Event
+from repro.simulation.request import RequestPhase
+
+
+class TestEvent:
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            Event(time=-1.0, priority=0, sequence=0, action=lambda: None)
+
+    def test_ordering_by_time_then_priority_then_sequence(self):
+        a = Event(time=1.0, priority=0, sequence=0, action=lambda: None)
+        b = Event(time=1.0, priority=1, sequence=1, action=lambda: None)
+        c = Event(time=0.5, priority=5, sequence=2, action=lambda: None)
+        assert sorted([a, b, c]) == [c, a, b]
+
+
+class TestSimulationEngine:
+    def test_clock_starts_at_zero(self):
+        assert SimulationEngine().now == 0.0
+
+    def test_events_execute_in_time_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule_at(2.0, lambda: order.append("late"))
+        engine.schedule_at(1.0, lambda: order.append("early"))
+        engine.run()
+        assert order == ["early", "late"]
+        assert engine.now == 2.0
+
+    def test_same_time_events_fire_in_scheduling_order(self):
+        engine = SimulationEngine()
+        order = []
+        for i in range(5):
+            engine.schedule_at(1.0, lambda i=i: order.append(i))
+        engine.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_ties(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule_at(1.0, lambda: order.append("low"), priority=5)
+        engine.schedule_at(1.0, lambda: order.append("high"), priority=0)
+        engine.run()
+        assert order == ["high", "low"]
+
+    def test_schedule_after_uses_relative_delay(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule_after(3.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [3.0]
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = SimulationEngine()
+        engine.schedule_at(5.0, lambda: engine.schedule_at(1.0, lambda: None))
+        with pytest.raises(ValueError, match="cannot schedule"):
+            engine.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="delay"):
+            SimulationEngine().schedule_after(-1.0, lambda: None)
+
+    def test_events_can_schedule_new_events(self):
+        engine = SimulationEngine()
+        log = []
+
+        def chain(depth: int) -> None:
+            log.append(engine.now)
+            if depth:
+                engine.schedule_after(1.0, lambda: chain(depth - 1))
+
+        engine.schedule_at(0.0, lambda: chain(3))
+        engine.run()
+        assert log == [0.0, 1.0, 2.0, 3.0]
+
+    def test_run_until_stops_at_horizon(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append(1))
+        engine.schedule_at(10.0, lambda: fired.append(10))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+        assert engine.pending_events == 1
+
+    def test_run_until_past_queue_advances_clock(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, lambda: None)
+        engine.run(until=10.0)
+        assert engine.now == 10.0
+
+    def test_max_events_limits_execution(self):
+        engine = SimulationEngine()
+        for i in range(10):
+            engine.schedule_at(float(i), lambda: None)
+        engine.run(max_events=4)
+        assert engine.events_processed == 4
+        assert engine.pending_events == 6
+
+    def test_step_returns_false_on_empty_queue(self):
+        assert SimulationEngine().step() is False
+
+    def test_events_processed_counter(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        engine.run()
+        assert engine.events_processed == 2
+
+
+class TestRequestLifecycle:
+    def test_initial_state(self, make_request):
+        request = make_request(prompt=100, output=5)
+        assert request.phase is RequestPhase.QUEUED
+        assert request.remaining_tokens == 5
+        assert request.ttft is None
+        assert request.e2e_latency is None
+        assert request.context_tokens == 100
+
+    def test_prompt_phase_produces_first_token(self, make_request):
+        request = make_request(arrival=1.0, prompt=100, output=5)
+        request.start_prompt(2.0, "prompt-0")
+        assert request.phase is RequestPhase.PROMPT_RUNNING
+        assert request.queueing_delay == pytest.approx(1.0)
+        request.finish_prompt(2.5)
+        assert request.generated_tokens == 1
+        assert request.ttft == pytest.approx(1.5)
+        assert not request.is_complete
+
+    def test_single_token_request_completes_at_prompt(self, make_request):
+        request = make_request(prompt=50, output=1)
+        request.start_prompt(0.0, "m")
+        request.finish_prompt(0.2)
+        assert request.is_complete
+        assert request.e2e_latency == pytest.approx(0.2)
+
+    def test_token_generation_until_complete(self, make_request):
+        request = make_request(prompt=10, output=3)
+        request.start_prompt(0.0, "p0")
+        request.finish_prompt(0.1)
+        request.generate_token(0.2)
+        assert request.phase is RequestPhase.TOKEN_RUNNING
+        request.generate_token(0.35)
+        assert request.is_complete
+        assert request.completion_time == pytest.approx(0.35)
+        assert request.generated_tokens == 3
+
+    def test_generate_beyond_completion_raises(self, make_request):
+        request = make_request(output=1)
+        request.start_prompt(0.0, "p0")
+        request.finish_prompt(0.1)
+        with pytest.raises(RuntimeError, match="already complete"):
+            request.generate_token(0.2)
+
+    def test_tbt_series(self, make_request):
+        request = make_request(prompt=10, output=4)
+        request.start_prompt(0.0, "p0")
+        request.finish_prompt(0.1)
+        for t in (0.2, 0.35, 0.45):
+            request.generate_token(t)
+        assert request.tbt_values == pytest.approx([0.1, 0.15, 0.1])
+        assert request.mean_tbt == pytest.approx(0.35 / 3)
+        assert request.max_tbt == pytest.approx(0.15)
+
+    def test_tbt_none_for_single_token(self, make_request):
+        request = make_request(output=1)
+        request.start_prompt(0.0, "p0")
+        request.finish_prompt(0.1)
+        assert request.mean_tbt is None
+        assert request.max_tbt is None
+
+    def test_kv_transfer_transitions(self, make_request):
+        request = make_request(prompt=100, output=5)
+        request.start_prompt(0.0, "p0")
+        request.finish_prompt(0.1)
+        request.start_kv_transfer(0.1)
+        assert request.phase is RequestPhase.KV_TRANSFER
+        request.finish_kv_transfer(0.12)
+        assert request.phase is RequestPhase.TOKEN_QUEUED
+        assert request.kv_transfer_end == pytest.approx(0.12)
+
+    def test_kv_transfer_after_completion_keeps_completed(self, make_request):
+        request = make_request(output=1)
+        request.start_prompt(0.0, "p0")
+        request.finish_prompt(0.1)
+        request.start_kv_transfer(0.1)
+        request.finish_kv_transfer(0.2)
+        assert request.is_complete
+
+    def test_preemption_counts(self, make_request):
+        request = make_request(output=5)
+        request.preempt(1.0)
+        request.preempt(2.0)
+        assert request.preemptions == 2
+        assert request.phase is RequestPhase.PREEMPTED
+
+    def test_context_grows_with_generated_tokens(self, make_request):
+        request = make_request(prompt=100, output=5)
+        request.start_prompt(0.0, "p0")
+        request.finish_prompt(0.1)
+        request.generate_token(0.2)
+        assert request.context_tokens == 102

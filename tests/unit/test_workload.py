@@ -1,0 +1,237 @@
+"""Unit tests for workload distributions, arrivals, traces and generation (Fig. 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workload.arrival import PoissonArrivalProcess, UniformArrivalProcess
+from repro.workload.distributions import (
+    CODING_WORKLOAD,
+    CONVERSATION_WORKLOAD,
+    EmpiricalTokenDistribution,
+    LogNormalTokenDistribution,
+    MixtureTokenDistribution,
+    get_workload,
+    registered_workloads,
+)
+from repro.workload.generator import TraceGenerator, generate_trace
+from repro.workload.trace import RequestDescriptor, Trace
+
+
+class TestLogNormalDistribution:
+    def test_samples_respect_clipping(self, rng):
+        dist = LogNormalTokenDistribution(median_tokens=100, sigma=1.0, min_tokens=10, max_tokens=500)
+        samples = dist.sample(rng, 5000)
+        assert samples.min() >= 10
+        assert samples.max() <= 500
+
+    def test_sample_median_near_configured_median(self, rng):
+        dist = LogNormalTokenDistribution(median_tokens=1500, sigma=0.6, min_tokens=1, max_tokens=100000)
+        samples = dist.sample(rng, 20000)
+        assert np.median(samples) == pytest.approx(1500, rel=0.05)
+
+    def test_zero_size_sample(self, rng):
+        dist = LogNormalTokenDistribution(median_tokens=10, sigma=0.5)
+        assert dist.sample(rng, 0).size == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LogNormalTokenDistribution(median_tokens=0, sigma=1)
+        with pytest.raises(ValueError):
+            LogNormalTokenDistribution(median_tokens=10, sigma=0)
+        with pytest.raises(ValueError):
+            LogNormalTokenDistribution(median_tokens=10, sigma=1, min_tokens=0)
+        with pytest.raises(ValueError):
+            LogNormalTokenDistribution(median_tokens=10, sigma=1, min_tokens=10, max_tokens=5)
+
+    def test_sample_one_returns_int(self, rng):
+        dist = LogNormalTokenDistribution(median_tokens=10, sigma=0.5)
+        assert isinstance(dist.sample_one(rng), int)
+
+
+class TestMixtureDistribution:
+    def test_weights_must_sum_to_one(self):
+        component = LogNormalTokenDistribution(median_tokens=10, sigma=0.5)
+        with pytest.raises(ValueError, match="sum to 1"):
+            MixtureTokenDistribution(components=(component, component), weights=(0.5, 0.6))
+
+    def test_component_and_weight_lengths_must_match(self):
+        component = LogNormalTokenDistribution(median_tokens=10, sigma=0.5)
+        with pytest.raises(ValueError):
+            MixtureTokenDistribution(components=(component,), weights=(0.5, 0.5))
+
+    def test_samples_come_from_both_modes(self, rng):
+        low = LogNormalTokenDistribution(median_tokens=10, sigma=0.2, max_tokens=50)
+        high = LogNormalTokenDistribution(median_tokens=1000, sigma=0.2, min_tokens=500, max_tokens=2000)
+        mixture = MixtureTokenDistribution(components=(low, high), weights=(0.5, 0.5))
+        samples = mixture.sample(rng, 4000)
+        assert (samples <= 50).sum() > 1000
+        assert (samples >= 500).sum() > 1000
+
+    def test_median_reflects_mixture(self):
+        assert 50 < CONVERSATION_WORKLOAD.output_tokens.median() < 400
+
+
+class TestEmpiricalDistribution:
+    def test_resamples_only_observed_values(self, rng):
+        dist = EmpiricalTokenDistribution.from_samples([5, 10, 15])
+        samples = dist.sample(rng, 1000)
+        assert set(np.unique(samples)).issubset({5, 10, 15})
+
+    def test_rejects_empty_or_invalid(self):
+        with pytest.raises(ValueError):
+            EmpiricalTokenDistribution(values=())
+        with pytest.raises(ValueError):
+            EmpiricalTokenDistribution(values=(0, 5))
+
+    def test_median(self):
+        assert EmpiricalTokenDistribution.from_samples([1, 2, 3, 4, 100]).median() == 3
+
+
+class TestWorkloadSpecs:
+    def test_coding_prompt_median_about_1500(self, rng):
+        samples = CODING_WORKLOAD.prompt_tokens.sample(rng, 20000)
+        assert np.median(samples) == pytest.approx(1500, rel=0.08)
+
+    def test_coding_output_median_about_13(self, rng):
+        samples = CODING_WORKLOAD.output_tokens.sample(rng, 20000)
+        assert 10 <= np.median(samples) <= 17
+
+    def test_conversation_prompt_median_about_1020(self, rng):
+        samples = CONVERSATION_WORKLOAD.prompt_tokens.sample(rng, 20000)
+        assert np.median(samples) == pytest.approx(1020, rel=0.10)
+
+    def test_conversation_output_is_bimodal_wide(self, rng):
+        samples = CONVERSATION_WORKLOAD.output_tokens.sample(rng, 20000)
+        assert np.percentile(samples, 25) < 60
+        assert np.percentile(samples, 75) > 200
+
+    def test_coding_outputs_much_shorter_than_conversation(self, rng):
+        coding = CODING_WORKLOAD.output_tokens.sample(rng, 10000).mean()
+        conversation = CONVERSATION_WORKLOAD.output_tokens.sample(rng, 10000).mean()
+        assert conversation > 5 * coding
+
+    def test_registry(self):
+        assert get_workload("CODING") is CODING_WORKLOAD
+        assert get_workload("conversation") is CONVERSATION_WORKLOAD
+        with pytest.raises(KeyError):
+            get_workload("search")
+        assert set(registered_workloads()) == {"CODING", "CONVERSATION"}
+
+
+class TestArrivalProcesses:
+    def test_poisson_rate_approximately_respected(self, rng):
+        process = PoissonArrivalProcess(rate_rps=10.0)
+        times = process.arrival_times(rng, 200.0)
+        assert len(times) == pytest.approx(2000, rel=0.10)
+        assert np.all(np.diff(times) >= 0)
+        assert times.max() < 200.0
+
+    def test_poisson_requires_positive_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivalProcess(rate_rps=0)
+
+    def test_poisson_zero_duration(self, rng):
+        assert PoissonArrivalProcess(rate_rps=5).arrival_times(rng, 0.0).size == 0
+
+    def test_uniform_spacing_exact(self, rng):
+        process = UniformArrivalProcess(rate_rps=2.0)
+        times = process.arrival_times(rng, 5.0)
+        assert list(times) == [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5]
+
+    def test_uniform_negative_duration_rejected(self, rng):
+        with pytest.raises(ValueError):
+            UniformArrivalProcess(rate_rps=2.0).arrival_times(rng, -1.0)
+
+
+class TestRequestDescriptor:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RequestDescriptor(request_id=0, arrival_time_s=-1, prompt_tokens=1, output_tokens=1)
+        with pytest.raises(ValueError):
+            RequestDescriptor(request_id=0, arrival_time_s=0, prompt_tokens=0, output_tokens=1)
+        with pytest.raises(ValueError):
+            RequestDescriptor(request_id=0, arrival_time_s=0, prompt_tokens=1, output_tokens=0)
+
+    def test_total_tokens(self):
+        descriptor = RequestDescriptor(request_id=1, arrival_time_s=0.0, prompt_tokens=100, output_tokens=20)
+        assert descriptor.total_tokens == 120
+
+
+class TestTrace:
+    def test_from_records_sorted_and_indexed(self):
+        trace = Trace.from_records([(2.0, 10, 5), (1.0, 20, 2)])
+        assert trace[0].arrival_time_s == 1.0
+        assert len(trace) == 2
+        assert trace.duration_s == 2.0
+
+    def test_request_rate(self):
+        trace = Trace.from_records([(0.0, 10, 1), (1.0, 10, 1), (2.0, 10, 1), (4.0, 10, 1)])
+        assert trace.request_rate_rps == pytest.approx(1.0)
+
+    def test_truncation(self):
+        trace = Trace.from_records([(0.0, 10, 1), (5.0, 10, 1), (10.0, 10, 1)])
+        shorter = trace.truncated(6.0)
+        assert len(shorter) == 2
+
+    def test_scaling_to_rate(self):
+        trace = Trace.from_records([(float(i), 10, 1) for i in range(11)])
+        faster = trace.scaled_to_rate(2.0)
+        assert faster.request_rate_rps == pytest.approx(2.0)
+        assert len(faster) == len(trace)
+
+    def test_scaling_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(requests=()).scaled_to_rate(1.0)
+
+    def test_csv_roundtrip(self, tmp_path):
+        trace = generate_trace("coding", rate_rps=2, duration_s=10, seed=3)
+        path = trace.to_csv(tmp_path / "trace.csv")
+        loaded = Trace.from_csv(path)
+        assert len(loaded) == len(trace)
+        assert loaded[0].prompt_tokens == trace[0].prompt_tokens
+        assert loaded[-1].arrival_time_s == pytest.approx(trace[-1].arrival_time_s, abs=1e-5)
+
+    def test_json_roundtrip(self, tmp_path):
+        trace = generate_trace("conversation", rate_rps=2, duration_s=10, seed=3)
+        path = trace.to_json(tmp_path / "trace.json")
+        loaded = Trace.from_json(path)
+        assert len(loaded) == len(trace)
+        assert loaded.metadata["workload"] == "conversation"
+
+    def test_token_count_accessors(self, tiny_trace):
+        assert tiny_trace.prompt_token_counts() == [512, 1024, 256, 2048]
+        assert tiny_trace.output_token_counts() == [8, 4, 16, 2]
+
+
+class TestTraceGenerator:
+    def test_deterministic_for_same_seed(self):
+        first = generate_trace("coding", rate_rps=5, duration_s=20, seed=11)
+        second = generate_trace("coding", rate_rps=5, duration_s=20, seed=11)
+        assert [r.prompt_tokens for r in first] == [r.prompt_tokens for r in second]
+        assert [r.arrival_time_s for r in first] == [r.arrival_time_s for r in second]
+
+    def test_different_seeds_differ(self):
+        first = generate_trace("coding", rate_rps=5, duration_s=20, seed=1)
+        second = generate_trace("coding", rate_rps=5, duration_s=20, seed=2)
+        assert [r.prompt_tokens for r in first] != [r.prompt_tokens for r in second]
+
+    def test_rate_respected(self):
+        trace = generate_trace("conversation", rate_rps=10, duration_s=120, seed=0)
+        assert trace.request_rate_rps == pytest.approx(10, rel=0.15)
+
+    def test_metadata_recorded(self):
+        trace = generate_trace("coding", rate_rps=2, duration_s=10, seed=5)
+        assert trace.metadata["workload"] == "coding"
+        assert trace.metadata["rate_rps"] == 2
+        assert trace.metadata["seed"] == 5
+
+    def test_custom_workload_spec_accepted(self):
+        trace = generate_trace(CODING_WORKLOAD, rate_rps=2, duration_s=10, seed=5)
+        assert len(trace) > 0
+
+    def test_invalid_duration_rejected(self):
+        generator = TraceGenerator(workload=CODING_WORKLOAD, arrival=UniformArrivalProcess(1.0), seed=0)
+        with pytest.raises(ValueError):
+            generator.generate(0)
