@@ -27,6 +27,32 @@ DEFAULT_MAX_PROMPT_TOKENS = 2048
 #: Default cap on the number of requests decoded together in one iteration.
 DEFAULT_MAX_BATCH_SIZE = 64
 
+#: Sentinel KV budget used when a machine has no configured memory model
+#: (``max_kv_tokens == 0`` means "unlimited").
+_UNBOUNDED_KV_TOKENS = 2**62
+
+
+def priority_key(request: "Request") -> tuple[float, float, int]:
+    """Scheduling order of the token pool: aged first, then FCFS.
+
+    The ``request_id`` component makes the key a total order, so any two
+    orderings produced with it are identical — the basis for maintaining the
+    order incrementally instead of re-sorting every iteration.
+    """
+    return (-request.priority_boost, request.arrival_time, request.request_id)
+
+
+class PriorityOrderedView(list):
+    """A token pool whose owner guarantees :func:`priority_key` order.
+
+    Policies treat this as pre-sorted and skip their ordering pass entirely;
+    a machine maintains the invariant incrementally (binary-search inserts on
+    admission, binary-search removals, and a two-run merge after each aging
+    pass).  Plain lists keep the legacy check-then-sort behavior.
+    """
+
+    __slots__ = ()
+
 
 @dataclass(frozen=True)
 class BatchConstraints:
@@ -37,6 +63,8 @@ class BatchConstraints:
         max_batch_size: Maximum number of requests (prompt + token) batched.
         max_kv_tokens: KV-cache capacity of the machine in tokens; requests
             whose combined context would exceed it cannot all be batched.
+            ``0`` means the memory model is unconfigured and the KV-cache is
+            treated as unlimited.
     """
 
     max_prompt_tokens: int = DEFAULT_MAX_PROMPT_TOKENS
@@ -48,36 +76,49 @@ class BatchConstraints:
             raise ValueError(f"max_prompt_tokens must be >= 1, got {self.max_prompt_tokens}")
         if self.max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
-        if self.max_kv_tokens < 1:
-            raise ValueError(f"max_kv_tokens must be >= 1, got {self.max_kv_tokens}")
+        if self.max_kv_tokens < 0:
+            raise ValueError(f"max_kv_tokens must be >= 0, got {self.max_kv_tokens}")
+
+    @property
+    def kv_capacity(self) -> int:
+        """Effective KV budget in tokens (``max_kv_tokens`` with 0 = unlimited)."""
+        return self.max_kv_tokens or _UNBOUNDED_KV_TOKENS
 
 
 @dataclass
 class BatchPlan:
     """The composition of one iteration.
 
+    The token totals are computed once at construction time: a plan is
+    immutable after the policy returns it, and the simulator reads
+    ``prompt_tokens`` on every queue probe of the owning machine, so eager
+    totals keep those probes O(1).
+
     Attributes:
         prompt_requests: Requests whose prompt phase runs this iteration.
         token_requests: Requests that generate one token this iteration.
+        prompt_tokens: Total prompt tokens processed this iteration.
+        context_tokens: Total cached context read by token-phase requests
+            this iteration (snapshot at planning time).
     """
 
     prompt_requests: list[Request] = field(default_factory=list)
     token_requests: list[Request] = field(default_factory=list)
+    #: Totals may be passed by policies that already accumulated them during
+    #: selection; negative sentinels trigger a recount for direct construction.
+    prompt_tokens: int = -1
+    context_tokens: int = -1
+
+    def __post_init__(self) -> None:
+        if self.prompt_tokens < 0:
+            self.prompt_tokens = sum(r.prompt_tokens for r in self.prompt_requests)
+        if self.context_tokens < 0:
+            self.context_tokens = sum(r.prompt_tokens + r.generated_tokens for r in self.token_requests)
 
     @property
     def is_empty(self) -> bool:
         """True when the iteration has no work."""
         return not self.prompt_requests and not self.token_requests
-
-    @property
-    def prompt_tokens(self) -> int:
-        """Total prompt tokens processed this iteration."""
-        return sum(r.prompt_tokens for r in self.prompt_requests)
-
-    @property
-    def context_tokens(self) -> int:
-        """Total cached context read by token-phase requests this iteration."""
-        return sum(r.context_tokens for r in self.token_requests)
 
     @property
     def active_tokens(self) -> int:
@@ -116,40 +157,73 @@ class BatchingPolicy(ABC):
         """
 
     @staticmethod
-    def _select_tokens(
-        token_pool: Iterable[Request], constraints: BatchConstraints, slots: int, kv_budget: int
-    ) -> list[Request]:
-        """Pick token-phase requests FCFS by arrival, respecting slots and memory."""
-        selected: list[Request] = []
-        used_kv = 0
-        ordered = sorted(token_pool, key=lambda r: (-r.priority_boost, r.arrival_time, r.request_id))
-        for request in ordered:
-            if len(selected) >= slots:
+    def _priority_order(token_pool: Iterable[Request]) -> Iterable[Request]:
+        """The pool in ``(-priority_boost, arrival_time, request_id)`` order.
+
+        A :class:`PriorityOrderedView` is returned as-is (its owner maintains
+        the order incrementally, making this O(1)).  Any other sequence is
+        checked in one O(n) scan — machines admit token requests roughly FCFS,
+        so an unboosted pool is often already ordered — and re-sorted only
+        when the scan finds a violation.
+        """
+        if isinstance(token_pool, PriorityOrderedView):
+            return token_pool
+        previous: tuple[float, float, int] | None = None
+        for request in token_pool:
+            key = priority_key(request)
+            if previous is not None and key < previous:
                 break
-            if used_kv + request.context_tokens > kv_budget:
-                continue
-            selected.append(request)
-            used_kv += request.context_tokens
-        return selected
+            previous = key
+        else:
+            return token_pool
+        return sorted(token_pool, key=priority_key)
 
     @staticmethod
-    def _select_prompts(
+    def _select_tokens_with_total(
+        token_pool: Iterable[Request], constraints: BatchConstraints, slots: int, kv_budget: int
+    ) -> tuple[list[Request], int]:
+        """Pick token-phase requests FCFS by arrival, respecting slots and memory.
+
+        Returns the selection plus its total context tokens (accumulated while
+        selecting, so the batch plan never recounts it).
+        """
+        selected: list[Request] = []
+        if slots <= 0:
+            return selected, 0
+        pool = token_pool if isinstance(token_pool, list) else list(token_pool)
+        used_kv = 0
+        append = selected.append
+        for request in BatchingPolicy._priority_order(pool):
+            context = request.prompt_tokens + request.generated_tokens
+            if used_kv + context > kv_budget:
+                continue
+            append(request)
+            used_kv += context
+            slots -= 1
+            if slots <= 0:
+                break
+        return selected, used_kv
+
+    @staticmethod
+    def _select_prompts_with_total(
         pending_prompts: deque[Request], constraints: BatchConstraints, slots: int
-    ) -> list[Request]:
+    ) -> tuple[list[Request], int]:
         """Pop prompts FCFS until the token budget or slot budget is exhausted.
 
         The first prompt is always admitted even if it alone exceeds the token
-        budget (a single oversized prompt must still run).
+        budget (a single oversized prompt must still run).  Returns the
+        selection plus its total prompt tokens.
         """
         selected: list[Request] = []
         used_tokens = 0
+        max_prompt_tokens = constraints.max_prompt_tokens
         while pending_prompts and len(selected) < slots:
             candidate = pending_prompts[0]
-            if selected and used_tokens + candidate.prompt_tokens > constraints.max_prompt_tokens:
+            if selected and used_tokens + candidate.prompt_tokens > max_prompt_tokens:
                 break
             selected.append(pending_prompts.popleft())
             used_tokens += candidate.prompt_tokens
-        return selected
+        return selected, used_tokens
 
 
 class MixedContinuousBatching(BatchingPolicy):
@@ -169,11 +243,20 @@ class MixedContinuousBatching(BatchingPolicy):
         token_pool: Sequence[Request],
         constraints: BatchConstraints,
     ) -> BatchPlan:
-        prompts = self._select_prompts(pending_prompts, constraints, constraints.max_batch_size)
+        prompts, prompt_tokens = self._select_prompts_with_total(
+            pending_prompts, constraints, constraints.max_batch_size
+        )
         remaining_slots = constraints.max_batch_size - len(prompts)
-        kv_budget = constraints.max_kv_tokens - sum(r.prompt_tokens for r in prompts)
-        tokens = self._select_tokens(token_pool, constraints, remaining_slots, max(0, kv_budget))
-        return BatchPlan(prompt_requests=prompts, token_requests=tokens)
+        kv_budget = constraints.kv_capacity - prompt_tokens
+        tokens, context_tokens = self._select_tokens_with_total(
+            token_pool, constraints, remaining_slots, max(0, kv_budget)
+        )
+        return BatchPlan(
+            prompt_requests=prompts,
+            token_requests=tokens,
+            prompt_tokens=prompt_tokens,
+            context_tokens=context_tokens,
+        )
 
 
 class ContinuousBatching(BatchingPolicy):
@@ -193,12 +276,14 @@ class ContinuousBatching(BatchingPolicy):
         constraints: BatchConstraints,
     ) -> BatchPlan:
         if pending_prompts:
-            prompts = self._select_prompts(pending_prompts, constraints, constraints.max_batch_size)
-            return BatchPlan(prompt_requests=prompts)
-        tokens = self._select_tokens(
-            token_pool, constraints, constraints.max_batch_size, constraints.max_kv_tokens
+            prompts, prompt_tokens = self._select_prompts_with_total(
+                pending_prompts, constraints, constraints.max_batch_size
+            )
+            return BatchPlan(prompt_requests=prompts, prompt_tokens=prompt_tokens, context_tokens=0)
+        tokens, context_tokens = self._select_tokens_with_total(
+            token_pool, constraints, constraints.max_batch_size, constraints.kv_capacity
         )
-        return BatchPlan(token_requests=tokens)
+        return BatchPlan(token_requests=tokens, prompt_tokens=0, context_tokens=context_tokens)
 
 
 class RequestLevelBatching(BatchingPolicy):
@@ -227,15 +312,17 @@ class RequestLevelBatching(BatchingPolicy):
         self._current_batch = [r for r in self._current_batch if not r.is_complete]
         if not self._current_batch:
             # Admit a new batch: all its prompts run in the first iteration.
-            admitted = self._select_prompts(pending_prompts, constraints, constraints.max_batch_size)
+            admitted, prompt_tokens = self._select_prompts_with_total(
+                pending_prompts, constraints, constraints.max_batch_size
+            )
             self._current_batch = admitted
-            return BatchPlan(prompt_requests=admitted)
+            return BatchPlan(prompt_requests=admitted, prompt_tokens=prompt_tokens, context_tokens=0)
         # Continue decoding only the members of the in-flight batch.
         in_flight = [r for r in token_pool if r in self._current_batch]
-        tokens = self._select_tokens(
-            in_flight, constraints, constraints.max_batch_size, constraints.max_kv_tokens
+        tokens, context_tokens = self._select_tokens_with_total(
+            in_flight, constraints, constraints.max_batch_size, constraints.kv_capacity
         )
-        return BatchPlan(token_requests=tokens)
+        return BatchPlan(token_requests=tokens, prompt_tokens=0, context_tokens=context_tokens)
 
 
 _POLICIES = {

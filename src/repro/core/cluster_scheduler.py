@@ -29,6 +29,7 @@ from repro.core.machine import MachineRole, SimulatedMachine
 from repro.hardware.interconnect import infiniband_for
 from repro.models.llm import ModelSpec
 from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import Event
 from repro.simulation.request import Request, RequestPhase
 
 #: A prompt pool machine whose queue exceeds this many pending prompt tokens
@@ -48,13 +49,22 @@ DEFAULT_MEMORY_HEADROOM_FRACTION = 0.05
 class MachinePool:
     """A named collection of machines with JSQ selection helpers.
 
+    Membership is mirrored in a set so ``in`` checks and duplicate-free adds
+    are O(1) instead of scanning the member list; the list is kept for
+    deterministic iteration order.  ``version`` increments on every
+    membership change so callers can cache views derived from the pool.
+
     Attributes:
         name: Pool name (``"prompt"``, ``"token"``, or ``"mixed"``).
-        machines: Member machines.
+        machines: Member machines (insertion-ordered).
     """
 
     name: str
     machines: list[SimulatedMachine] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._members: set[SimulatedMachine] = set(self.machines)
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self.machines)
@@ -62,15 +72,22 @@ class MachinePool:
     def __iter__(self):
         return iter(self.machines)
 
+    def __contains__(self, machine: SimulatedMachine) -> bool:
+        return machine in self._members
+
     def add(self, machine: SimulatedMachine) -> None:
-        """Add a machine if not already a member."""
-        if machine not in self.machines:
+        """Add a machine if not already a member (O(1) membership check)."""
+        if machine not in self._members:
+            self._members.add(machine)
             self.machines.append(machine)
+            self.version += 1
 
     def remove(self, machine: SimulatedMachine) -> None:
-        """Remove a machine if present."""
-        if machine in self.machines:
+        """Remove a machine if present (O(1) membership check)."""
+        if machine in self._members:
+            self._members.discard(machine)
             self.machines.remove(machine)
+            self.version += 1
 
     def least_loaded(self, load: Callable[[SimulatedMachine], float]) -> SimulatedMachine | None:
         """The member machine minimizing ``load`` (ties broken by name)."""
@@ -141,7 +158,13 @@ class ClusterScheduler:
         self.prompt_pool = MachinePool("prompt")
         self.token_pool = MachinePool("token")
         self.mixed_pool = MachinePool("mixed")
+        #: request_id -> RoutingDecision; the index that lets withdrawal and
+        #: outstanding-request lookup go straight to the two relevant machines
+        #: instead of scanning every queue in the cluster.
         self._assignments: dict[int, RoutingDecision] = {}
+        self._transfer_events: dict[int, Event] = {}
+        self._machines_cache: list[SimulatedMachine] | None = None
+        self._machines_cache_versions: tuple[int, int, int] = (-1, -1, -1)
         self._transfer_models: dict[tuple[str, str], KVTransferModel] = {}
         self.completed_requests: list[Request] = []
         self.restarted_requests: list[Request] = []
@@ -163,8 +186,17 @@ class ClusterScheduler:
 
     @property
     def machines(self) -> list[SimulatedMachine]:
-        """All machines managed by this scheduler."""
-        return list(self.prompt_pool) + list(self.token_pool) + list(self.mixed_pool)
+        """All machines managed by this scheduler.
+
+        The view is cached and invalidated by pool-version counters, so
+        repeated reads between pool changes are O(1).  Treat the returned
+        list as read-only.
+        """
+        versions = (self.prompt_pool.version, self.token_pool.version, self.mixed_pool.version)
+        if self._machines_cache is None or self._machines_cache_versions != versions:
+            self._machines_cache = list(self.prompt_pool) + list(self.token_pool) + list(self.mixed_pool)
+            self._machines_cache_versions = versions
+        return self._machines_cache
 
     def submit(self, request: Request) -> RoutingDecision:
         """Route a newly arrived request and enqueue its prompt phase."""
@@ -332,20 +364,32 @@ class ClusterScheduler:
         raise KeyError(f"no machine named {machine!r} in this cluster")
 
     def _find_outstanding_request(self, request_id: int, decision: RoutingDecision) -> Request | None:
+        """O(1) queue lookup on the two machines the request was routed to."""
         for machine in (decision.prompt_machine, decision.token_machine):
-            for request in list(machine.pending_prompts) + machine.token_pool:
-                if request.request_id == request_id:
-                    return request
+            found = machine.find_queued(request_id)
+            if found is not None:
+                return found
         return None
 
     def _withdraw(self, request: Request) -> None:
-        """Remove a request from every surviving machine's queues before restart."""
-        for machine in self.machines:
-            if request in machine.pending_prompts:
-                machine.pending_prompts.remove(request)
-            if request in machine.token_pool:
-                machine.token_pool.remove(request)
-            machine.cancel_transfer(request)
+        """Remove a request from the machines it was routed to before restart.
+
+        The routing index (``_assignments``) names the only machines that can
+        hold the request, so withdrawal touches at most two machines instead
+        of scanning every queue in the cluster.  Any in-flight KV-transfer
+        completion event for the request is tombstoned.
+        """
+        decision = self._assignments.get(request.request_id)
+        if decision is not None:
+            decision.prompt_machine.withdraw(request)
+            if decision.token_machine is not decision.prompt_machine:
+                decision.token_machine.withdraw(request)
+        else:
+            for machine in self.machines:
+                machine.withdraw(request)
+        event = self._transfer_events.pop(request.request_id, None)
+        if event is not None:
+            self.engine.cancel(event)
 
     # -- KV-cache transfer ---------------------------------------------------------------
 
@@ -376,13 +420,14 @@ class ClusterScheduler:
         transfer = self._transfer_model(machine, destination)
         latency = transfer.visible_latency(request.prompt_tokens, prompt_latency)
         request.start_kv_transfer(self.engine.now)
-        self.engine.schedule_after(
+        self._transfer_events[request.request_id] = self.engine.schedule_after(
             latency,
             lambda: self._complete_transfer(request, destination),
             tag=f"kv-transfer:{request.request_id}",
         )
 
     def _complete_transfer(self, request: Request, destination: SimulatedMachine) -> None:
+        self._transfer_events.pop(request.request_id, None)
         if request.phase is not RequestPhase.KV_TRANSFER and not request.is_complete:
             # The request was restarted (machine failure) while its KV-cache
             # was in flight; the stale transfer completion is dropped.

@@ -12,11 +12,21 @@ simply never receives token work, a token machine never receives prompt
 work, and a machine pulled into the mixed pool receives both and batches
 them with mixed continuous batching.  Pool membership is managed by the
 cluster-level scheduler.
+
+Queue metrics (``pending_prompt_tokens``, ``pending_decode_tokens``,
+``kv_tokens_in_use``, ``memory_headroom_fraction``) are maintained as
+incremental counters updated at every enqueue/admit/generate/complete/fail/
+withdraw transition, so a JSQ probe over the whole cluster costs O(machines)
+instead of O(machines x queue length).  Set ``debug_accounting=True`` (or
+the ``REPRO_DEBUG_ACCOUNTING=1`` environment variable) to cross-check every
+counter against a full recount on each read.
 """
 
 from __future__ import annotations
 
 import enum
+import os
+from bisect import bisect_left, insort
 from collections import deque
 from typing import Callable
 
@@ -27,6 +37,8 @@ from repro.batching.policies import (
     BatchPlan,
     BatchingPolicy,
     MixedContinuousBatching,
+    PriorityOrderedView,
+    priority_key,
 )
 from repro.core.kv_transfer import KVTransferModel
 from repro.hardware.machine import MachineSpec
@@ -36,7 +48,7 @@ from repro.models.memory import MemoryModel
 from repro.models.performance import AnalyticalPerformanceModel, PerformanceModel
 from repro.models.power import PowerModel
 from repro.simulation.engine import SimulationEngine
-from repro.simulation.request import Request
+from repro.simulation.request import Request, RequestPhase
 
 
 class MachineRole(enum.Enum):
@@ -51,6 +63,15 @@ class MachineRole(enum.Enum):
 #: same timestamp so freed capacity is visible to the router).
 _FINISH_PRIORITY = 0
 _START_PRIORITY = 1
+
+_COMPLETED = RequestPhase.COMPLETED
+_TOKEN_RUNNING = RequestPhase.TOKEN_RUNNING
+
+
+
+
+class AccountingError(AssertionError):
+    """An incremental queue counter diverged from a full recount."""
 
 
 class SimulatedMachine:
@@ -72,6 +93,9 @@ class SimulatedMachine:
             machines; ``None`` elsewhere).
         max_prompt_batch_tokens: MLS limit on batched prompt tokens (§IV-B).
         max_batch_size: MLS limit on batched requests per iteration.
+        debug_accounting: Cross-check the incremental queue counters against
+            a full recount on every read (slow; for tests and debugging).
+            Defaults to the ``REPRO_DEBUG_ACCOUNTING=1`` environment flag.
     """
 
     def __init__(
@@ -87,6 +111,7 @@ class SimulatedMachine:
         kv_transfer: KVTransferModel | None = None,
         max_prompt_batch_tokens: int = DEFAULT_MAX_PROMPT_TOKENS,
         max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+        debug_accounting: bool | None = None,
     ) -> None:
         self.name = name
         self.spec = spec
@@ -105,14 +130,44 @@ class SimulatedMachine:
             max_batch_size=max_batch_size,
             max_kv_tokens=self.memory.max_kv_tokens,
         )
+        if debug_accounting is None:
+            debug_accounting = os.environ.get("REPRO_DEBUG_ACCOUNTING") == "1"
+        self.debug_accounting = debug_accounting
 
         self.pending_prompts: deque[Request] = deque()
         self.token_pool: list[Request] = []
+        # The token pool in priority_key order, maintained incrementally
+        # (insort on admit, binary-search removal, two-run merge after aging)
+        # so the batching policy never re-sorts it.  Same members as
+        # token_pool, which keeps admission order for fail/restart semantics.
+        self._token_ready: PriorityOrderedView = PriorityOrderedView()
         self.in_transfer: set[int] = set()
         self._in_transfer_tokens: dict[int, int] = {}
         self._running_plan: BatchPlan | None = None
         self._busy = False
         self.failed = False
+
+        # Incremental queue accounting (tentpole of the O(1) hot path): each
+        # counter mirrors a sum the JSQ router used to recompute per probe.
+        self._queued_prompt_tokens = 0  # sum(prompt_tokens) over pending_prompts
+        self._running_prompt_tokens = 0  # prompt tokens of the running plan
+        self._pool_decode_tokens = 0  # sum(remaining_tokens) over token_pool
+        self._expected_decode_tokens = 0  # sum of _in_transfer_tokens values
+        self._kv_tokens = 0  # sum(context_tokens) over token_pool
+        # request_id indexes over the queues for O(1) lookup and withdrawal.
+        self._queued_by_id: dict[int, Request] = {}
+        self._pool_by_id: dict[int, Request] = {}
+        # At most one pending start event per machine (kick collapsing).
+        self._start_scheduled = False
+        # Aging bookkeeping: pool size at planning time plus admissions until
+        # the aging pass lets _finish_iteration derive the skipped count O(1).
+        self._pool_len_at_plan = 0
+        self._admitted_during_iteration = 0
+        self._aging_pending = False
+        # request_ids withdrawn while the current iteration is in flight.
+        self._withdrawn_ids: set[int] = set()
+        self._start_tag = f"{name}:start"
+        self._finish_tag = f"{name}:finish"
 
         # Callbacks wired by the cluster simulation.
         self.on_prompt_complete: Callable[[Request, "SimulatedMachine", float], None] | None = None
@@ -130,28 +185,84 @@ class SimulatedMachine:
         if self.failed:
             raise RuntimeError(f"machine {self.name} has failed and cannot accept prompts")
         self.pending_prompts.append(request)
+        self._queued_prompt_tokens += request.prompt_tokens
+        self._queued_by_id[request.request_id] = request
         self._kick()
 
     def expect_transfer(self, request: Request) -> None:
         """Register a request whose KV-cache will arrive later (for JSQ accounting)."""
-        self.in_transfer.add(request.request_id)
-        self._in_transfer_tokens[request.request_id] = request.output_tokens
+        request_id = request.request_id
+        previous = self._in_transfer_tokens.get(request_id)
+        if previous is not None:
+            self._expected_decode_tokens -= previous
+        self.in_transfer.add(request_id)
+        self._in_transfer_tokens[request_id] = request.output_tokens
+        self._expected_decode_tokens += request.output_tokens
 
     def cancel_transfer(self, request: Request) -> None:
         """Drop a previously expected transfer (request finished in its prompt phase)."""
         self.in_transfer.discard(request.request_id)
-        self._in_transfer_tokens.pop(request.request_id, None)
+        tokens = self._in_transfer_tokens.pop(request.request_id, None)
+        if tokens is not None:
+            self._expected_decode_tokens -= tokens
 
     def admit_token_request(self, request: Request) -> None:
         """Admit a request whose KV-cache has arrived into the token pool."""
         if self.failed:
             raise RuntimeError(f"machine {self.name} has failed and cannot accept token requests")
         self.in_transfer.discard(request.request_id)
-        self._in_transfer_tokens.pop(request.request_id, None)
-        if request.is_complete:
+        tokens = self._in_transfer_tokens.pop(request.request_id, None)
+        if tokens is not None:
+            self._expected_decode_tokens -= tokens
+        if request.phase is _COMPLETED:
             return
         self.token_pool.append(request)
+        insort(self._token_ready, request, key=priority_key)
+        self._pool_by_id[request.request_id] = request
+        self._pool_decode_tokens += request.output_tokens - request.generated_tokens
+        self._kv_tokens += request.prompt_tokens + request.generated_tokens
+        if self._aging_pending:
+            self._admitted_during_iteration += 1
         self._kick()
+
+    def withdraw(self, request: Request) -> None:
+        """Remove a request from this machine's queues (cluster restart path).
+
+        Safe to call when the request is not present; any expected KV-cache
+        transfer for it is dropped as well.
+        """
+        request_id = request.request_id
+        if self._queued_by_id.pop(request_id, None) is not None:
+            self.pending_prompts.remove(request)
+            self._queued_prompt_tokens -= request.prompt_tokens
+        if self._pool_by_id.pop(request_id, None) is not None:
+            self.token_pool.remove(request)
+            self._remove_ready(request)
+            self._pool_decode_tokens -= request.remaining_tokens
+            self._kv_tokens -= request.prompt_tokens + request.generated_tokens
+            if self._busy:
+                # The running plan may reference this request; the finish
+                # loop must skip it (a membership re-check is not enough —
+                # the restarted request can be re-admitted to this very
+                # machine before the stale finish event fires).
+                self._withdrawn_ids.add(request_id)
+        self.cancel_transfer(request)
+
+    def _remove_ready(self, request: Request) -> None:
+        """Drop a request from the priority-ordered ready view via binary search."""
+        ready = self._token_ready
+        index = bisect_left(ready, priority_key(request), key=priority_key)
+        if index < len(ready) and ready[index] is request:
+            del ready[index]
+        else:  # pragma: no cover - defensive; keys are unique so this is unreachable
+            ready.remove(request)
+
+    def find_queued(self, request_id: int) -> Request | None:
+        """The queued or decoding request with ``request_id``, if present (O(1))."""
+        found = self._queued_by_id.get(request_id)
+        if found is not None:
+            return found
+        return self._pool_by_id.get(request_id)
 
     def fail(self) -> list[Request]:
         """Mark the machine as failed and surrender all in-flight work (§IV-E).
@@ -169,14 +280,25 @@ class SimulatedMachine:
             affected.extend(self._running_plan.token_requests)
         self.pending_prompts.clear()
         self.token_pool.clear()
+        self._token_ready.clear()
         self.in_transfer.clear()
         self._in_transfer_tokens.clear()
+        self._queued_by_id.clear()
+        self._pool_by_id.clear()
+        self._queued_prompt_tokens = 0
+        self._running_prompt_tokens = 0
+        self._pool_decode_tokens = 0
+        self._expected_decode_tokens = 0
+        self._kv_tokens = 0
         self._running_plan = None
         self._busy = False
+        self._aging_pending = False
+        self._admitted_during_iteration = 0
+        self._withdrawn_ids.clear()
         seen: set[int] = set()
         unique: list[Request] = []
         for request in affected:
-            if not request.is_complete and id(request) not in seen:
+            if request.phase is not _COMPLETED and id(request) not in seen:
                 seen.add(id(request))
                 unique.append(request)
         return unique
@@ -191,16 +313,16 @@ class SimulatedMachine:
     @property
     def pending_prompt_tokens(self) -> int:
         """Prompt tokens queued or currently running (JSQ queue length)."""
-        queued = sum(r.prompt_tokens for r in self.pending_prompts)
-        running = self._running_plan.prompt_tokens if self._running_plan else 0
-        return queued + running
+        if self.debug_accounting:
+            self.verify_accounting()
+        return self._queued_prompt_tokens + self._running_prompt_tokens
 
     @property
     def pending_decode_tokens(self) -> int:
         """Output tokens still owed by requests assigned to this machine."""
-        in_pool = sum(r.remaining_tokens for r in self.token_pool)
-        expected = sum(self._in_transfer_tokens.values())
-        return in_pool + expected
+        if self.debug_accounting:
+            self.verify_accounting()
+        return self._pool_decode_tokens + self._expected_decode_tokens
 
     @property
     def pending_prompt_count(self) -> int:
@@ -215,13 +337,24 @@ class SimulatedMachine:
     @property
     def kv_tokens_in_use(self) -> int:
         """KV-cache tokens currently resident on the machine."""
-        return sum(r.context_tokens for r in self.token_pool)
+        if self.debug_accounting:
+            self.verify_accounting()
+        return self._kv_tokens
 
     @property
     def memory_headroom_fraction(self) -> float:
-        """Fraction of the KV-cache budget still free."""
+        """Fraction of the KV-cache budget still free.
+
+        A machine with no configured memory model (``max_kv_tokens == 0``)
+        reports full headroom rather than reading as "machine full".
+        """
         budget = self.constraints.max_kv_tokens
-        return max(0.0, 1.0 - self.kv_tokens_in_use / budget) if budget else 0.0
+        if not budget:
+            return 1.0
+        if self.debug_accounting:
+            self.verify_accounting()
+        headroom = 1.0 - self._kv_tokens / budget
+        return headroom if headroom > 0.0 else 0.0
 
     def has_prompt_work(self) -> bool:
         """Whether any prompt work is queued or running."""
@@ -240,25 +373,76 @@ class SimulatedMachine:
             return self.has_prompt_work()
         return False
 
+    def verify_accounting(self) -> None:
+        """Cross-check every incremental counter against a full recount.
+
+        Raises:
+            AccountingError: if any counter diverged (indicates a missed
+                transition in the incremental accounting).
+        """
+        recounts = {
+            "_queued_prompt_tokens": sum(r.prompt_tokens for r in self.pending_prompts),
+            "_running_prompt_tokens": self._running_plan.prompt_tokens if self._running_plan else 0,
+            "_pool_decode_tokens": sum(r.remaining_tokens for r in self.token_pool),
+            "_expected_decode_tokens": sum(self._in_transfer_tokens.values()),
+            "_kv_tokens": sum(r.context_tokens for r in self.token_pool),
+        }
+        for attribute, expected in recounts.items():
+            actual = getattr(self, attribute)
+            if actual != expected:
+                raise AccountingError(
+                    f"machine {self.name}: counter {attribute} is {actual}, full recount gives {expected}"
+                )
+        queued_ids = {r.request_id for r in self.pending_prompts}
+        if queued_ids != set(self._queued_by_id):
+            raise AccountingError(f"machine {self.name}: _queued_by_id out of sync with pending_prompts")
+        pool_ids = {r.request_id for r in self.token_pool}
+        if pool_ids != set(self._pool_by_id):
+            raise AccountingError(f"machine {self.name}: _pool_by_id out of sync with token_pool")
+        ready_keys = [priority_key(r) for r in self._token_ready]
+        if {r.request_id for r in self._token_ready} != pool_ids:
+            raise AccountingError(f"machine {self.name}: _token_ready out of sync with token_pool")
+        if ready_keys != sorted(ready_keys):
+            raise AccountingError(f"machine {self.name}: _token_ready is not in priority order")
+
     # -- iteration loop -----------------------------------------------------------------
 
     def _kick(self) -> None:
-        """Start an iteration if the machine is idle."""
-        if not self._busy:
-            self.engine.schedule_after(0.0, self._start_iteration, priority=_START_PRIORITY, tag=f"{self.name}:start")
+        """Start an iteration if the machine is idle and none is already pending."""
+        if not self._busy and not self._start_scheduled:
+            self._start_scheduled = True
+            self.engine.schedule_after(0.0, self._on_start_event, priority=_START_PRIORITY, tag=self._start_tag)
+
+    def _on_start_event(self) -> None:
+        self._start_scheduled = False
+        self._start_iteration()
 
     def _start_iteration(self) -> None:
         if self._busy or self.failed:
             return
-        plan = self.policy.plan_iteration(self.pending_prompts, self.token_pool, self.constraints)
+        # The FCFS-sorted ready view makes the policy's priority ordering a
+        # detected no-op whenever no request carries an aging boost.
+        plan = self.policy.plan_iteration(self.pending_prompts, self._token_ready, self.constraints)
         if plan.is_empty:
             return
         self._busy = True
         self._running_plan = plan
+        self._pool_len_at_plan = len(self.token_pool)
+        self._admitted_during_iteration = 0
+        self._aging_pending = True
 
         prompt_tokens = plan.prompt_tokens
         token_requests = len(plan.token_requests)
         context_tokens = plan.context_tokens
+
+        # The policy popped the admitted prompts off pending_prompts; move
+        # their tokens from the queued counter to the running counter.
+        if prompt_tokens:
+            self._queued_prompt_tokens -= prompt_tokens
+            self._running_prompt_tokens = prompt_tokens
+            queued_by_id = self._queued_by_id
+            for request in plan.prompt_requests:
+                queued_by_id.pop(request.request_id, None)
 
         prompt_latency = self.performance.prompt_latency(prompt_tokens) if prompt_tokens else 0.0
         prompt_latency *= self._transfer_interference(plan)
@@ -282,15 +466,68 @@ class SimulatedMachine:
             tokens_generated=len(plan.prompt_requests) + token_requests,
         )
 
+        now = self.engine.now
         for request in plan.prompt_requests:
-            request.start_prompt(self.engine.now, self.name)
+            request.start_prompt(now, self.name)
 
         self.engine.schedule_after(
             duration,
             lambda: self._finish_iteration(plan, prompt_latency),
             priority=_FINISH_PRIORITY,
-            tag=f"{self.name}:finish",
+            tag=self._finish_tag,
         )
+
+    def _age_skipped(self, plan: BatchPlan) -> None:
+        """Boost every pool member left out of ``plan`` and restore ready order.
+
+        Selection preserves ready-view order, so the plan's token requests are
+        a subsequence of the view: a two-pointer walk splits the pool into the
+        kept (selected, keys unchanged) and boosted (skipped, keys uniformly
+        shifted) runs without any hashing.  Both runs remain internally
+        ordered, so the order is restored by an O(1) concatenation check or,
+        failing that, a two-run merge (which Timsort performs in O(n)
+        comparisons).
+        """
+        ready = self._token_ready
+        selected = plan.token_requests
+        kept: list[Request] = []
+        boosted: list[Request] = []
+        if self._withdrawn_ids:
+            # Rare path: mid-iteration withdrawals broke the subsequence
+            # property; fall back to set membership.
+            selected_ids = {id(r) for r in selected}
+            for request in ready:
+                if id(request) in selected_ids:
+                    kept.append(request)
+                else:
+                    request.priority_boost += 1.0
+                    boosted.append(request)
+        else:
+            index = 0
+            count = len(selected)
+            for request in ready:
+                # Completed plan members were already removed from the view.
+                while index < count and selected[index].phase is _COMPLETED:
+                    index += 1
+                if index < count and request is selected[index]:
+                    kept.append(request)
+                    index += 1
+                else:
+                    request.priority_boost += 1.0
+                    boosted.append(request)
+        if not kept or not boosted:
+            return  # a uniformly shifted (or untouched) pool keeps its order
+        if priority_key(kept[-1]) <= priority_key(boosted[0]):
+            merged = PriorityOrderedView(kept)
+            merged.extend(boosted)
+        elif priority_key(boosted[-1]) <= priority_key(kept[0]):
+            merged = PriorityOrderedView(boosted)
+            merged.extend(kept)
+        else:
+            merged = PriorityOrderedView(boosted)
+            merged.extend(kept)
+            merged.sort(key=priority_key)
+        self._token_ready = merged
 
     def _transfer_interference(self, plan: BatchPlan) -> float:
         """Prompt slowdown from overlapped KV-cache transfers (Splitwise prompt machines)."""
@@ -309,27 +546,63 @@ class SimulatedMachine:
         now = self.engine.now
         self._busy = False
         self._running_plan = None
+        self._running_prompt_tokens = 0
 
+        on_prompt_complete = self.on_prompt_complete
+        on_request_complete = self.on_request_complete
         for request in plan.prompt_requests:
             request.finish_prompt(now)
-            if self.on_prompt_complete is not None:
-                self.on_prompt_complete(request, self, prompt_latency)
-            if request.is_complete and self.on_request_complete is not None:
-                self.on_request_complete(request, self)
+            if on_prompt_complete is not None:
+                on_prompt_complete(request, self, prompt_latency)
+            if request.phase is _COMPLETED and on_request_complete is not None:
+                on_request_complete(request, self)
 
-        selected = {id(r) for r in plan.token_requests}
+        pool_by_id = self._pool_by_id
+        # A request withdrawn mid-iteration (failure restart) was reset and
+        # rerouted; mutating it here would corrupt the restarted state, so its
+        # plan slot is skipped outright.  Keyed on the withdrawn-id set rather
+        # than pool membership: the restarted request may already have been
+        # re-admitted to this very machine, putting its id back in the pool.
+        withdrawn = self._withdrawn_ids
+        generated_count = 0
+        kv_delta = 0
         for request in plan.token_requests:
-            request.generate_token(now)
-            if request.is_complete:
+            if withdrawn and request.request_id in withdrawn:
+                continue
+            # Token bookkeeping inlined from Request.generate_token: this loop
+            # runs once per generated token across the whole cluster.
+            if request.phase is _COMPLETED:
+                raise RuntimeError(f"request {request.request_id} already complete")
+            generated = request.generated_tokens + 1
+            request.generated_tokens = generated
+            request.token_times.append(now)
+            generated_count += 1
+            if generated < request.output_tokens:
+                request.phase = _TOKEN_RUNNING
+            else:
+                request.phase = _COMPLETED
+                request.completion_time = now
+                del pool_by_id[request.request_id]
                 self.token_pool.remove(request)
-                if self.on_request_complete is not None:
-                    self.on_request_complete(request, self)
+                self._remove_ready(request)
+                kv_delta -= request.prompt_tokens + generated
+                if on_request_complete is not None:
+                    on_request_complete(request, self)
+        if generated_count:
+            self._pool_decode_tokens -= generated_count
+            self._kv_tokens += generated_count + kv_delta
 
         # Aging: requests left out of this iteration gain priority so that
-        # preemption (on mixed machines) cannot starve them (§IV-B).
-        for request in self.token_pool:
-            if id(request) not in selected:
-                request.priority_boost += 1.0
+        # preemption (on mixed machines) cannot starve them (§IV-B).  The
+        # skipped count is derived O(1) from the pool size at planning time;
+        # in the common fully-batched case there is nothing to age.
+        skipped = self._pool_len_at_plan - len(plan.token_requests) + self._admitted_during_iteration
+        if skipped:
+            self._age_skipped(plan)
+        self._aging_pending = False
+        self._admitted_during_iteration = 0
+        if self._withdrawn_ids:
+            self._withdrawn_ids.clear()
 
         if self.on_iteration_complete is not None:
             self.on_iteration_complete(self)

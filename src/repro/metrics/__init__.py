@@ -8,6 +8,14 @@ slowdowns relative to an uncontended DGX-A100 request.
 """
 
 from repro.metrics.collectors import BatchOccupancyTracker, MetricsCollector
+from repro.metrics.perf import (
+    SCALING_SCENARIOS,
+    PerfSample,
+    PerfScenario,
+    build_bench_report,
+    run_perf_scenario,
+    write_bench_report,
+)
 from repro.metrics.slo import DEFAULT_SLO, SloPolicy, SloReport
 from repro.metrics.summary import LatencySummary, RequestMetrics, percentile, summarize_requests
 
@@ -21,4 +29,10 @@ __all__ = [
     "SloPolicy",
     "SloReport",
     "DEFAULT_SLO",
+    "PerfScenario",
+    "PerfSample",
+    "SCALING_SCENARIOS",
+    "run_perf_scenario",
+    "build_bench_report",
+    "write_bench_report",
 ]

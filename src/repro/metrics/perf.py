@@ -1,0 +1,180 @@
+"""Simulator performance measurement (events/sec and requests/sec).
+
+Unlike the rest of :mod:`repro.metrics`, which measures the *simulated*
+cluster, this module measures the *simulator itself*: how fast the
+discrete-event engine chews through a cluster-scale scenario on the host
+machine.  It drives the perf-tracking harness (``BENCH_perf.json``) that the
+roadmap's "as fast as the hardware allows" north star is tracked against —
+every future PR can compare its numbers to the recorded trajectory.
+
+The scaling scenarios deliberately run the cluster in the short-burst
+saturation regime of the paper's robustness study (§VI-G): arrival rate far
+above provisioned throughput, so machine queues grow long.  That is exactly
+where naive O(queue-length) accounting makes simulation cost quadratic in
+trace length, and where the incremental-accounting hot path keeps it linear.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class PerfScenario:
+    """One self-benchmark configuration.
+
+    Attributes:
+        name: Scenario label (keys the benchmark report).
+        num_prompt: Prompt-pool machines in the Splitwise-HH cluster.
+        num_token: Token-pool machines.
+        rate_rps: Arrival rate of the Poisson burst.
+        num_requests: Approximate number of requests in the trace (the trace
+            duration is derived as ``num_requests / rate_rps``).
+        workload: Workload name for the token-size distributions.
+        seed: Trace generation seed (scenarios are fully deterministic).
+    """
+
+    name: str
+    num_prompt: int
+    num_token: int
+    rate_rps: float
+    num_requests: int
+    workload: str = "conversation"
+    seed: int = 0
+
+    @property
+    def num_machines(self) -> int:
+        """Total machines in the scenario's cluster."""
+        return self.num_prompt + self.num_token
+
+    @property
+    def duration_s(self) -> float:
+        """Trace duration implied by the request count and rate."""
+        return self.num_requests / self.rate_rps
+
+
+#: The scaling ladder used by ``benchmarks/test_perf_scaling.py``: 4, 16 and
+#: 40 machines under a 12.5 requests/sec/machine burst (roughly 5x the
+#: sustainable rate, mirroring the paper's robustness bursts).
+SCALING_SCENARIOS: tuple[PerfScenario, ...] = (
+    PerfScenario(name="4-machine", num_prompt=2, num_token=2, rate_rps=50.0, num_requests=2_000, seed=11),
+    PerfScenario(name="16-machine", num_prompt=10, num_token=6, rate_rps=200.0, num_requests=8_000, seed=12),
+    PerfScenario(name="40-machine", num_prompt=25, num_token=15, rate_rps=500.0, num_requests=20_000, seed=13),
+)
+
+
+@dataclass
+class PerfSample:
+    """Measured simulator throughput for one scenario run.
+
+    Attributes:
+        scenario: Scenario label.
+        machines: Cluster size.
+        requests: Requests in the generated trace.
+        completed: Requests that finished (must equal ``requests`` for a
+            valid sample — an incomplete drain means the scenario is broken).
+        events: Events executed by the engine.
+        events_cancelled: Events tombstoned before execution.
+        tokens_generated: Total output tokens produced across the cluster.
+        wall_s: Host wall-clock seconds for the run.
+        sim_time_s: Final simulated time (a pure simulation output — it must
+            be identical on every host and across perf-only refactors).
+        events_per_s: Engine throughput (events / wall second).
+        requests_per_s: End-to-end throughput (requests / wall second).
+    """
+
+    scenario: str
+    machines: int
+    requests: int
+    completed: int
+    events: int
+    events_cancelled: int
+    tokens_generated: int
+    wall_s: float
+    sim_time_s: float
+    events_per_s: float = field(init=False)
+    requests_per_s: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.events_per_s = self.events / self.wall_s if self.wall_s > 0 else 0.0
+        self.requests_per_s = self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+
+def run_perf_scenario(scenario: PerfScenario) -> PerfSample:
+    """Build the scenario's cluster, replay its trace, and time the run."""
+    # Imported here rather than at module level: repro.core.cluster imports
+    # repro.metrics.collectors, so a top-level import would be circular.
+    from repro.core.cluster import ClusterSimulation
+    from repro.core.designs import splitwise_hh
+    from repro.workload.generator import generate_trace
+
+    trace = generate_trace(
+        scenario.workload,
+        rate_rps=scenario.rate_rps,
+        duration_s=scenario.duration_s,
+        seed=scenario.seed,
+    )
+    simulation = ClusterSimulation(splitwise_hh(scenario.num_prompt, scenario.num_token))
+    start = time.perf_counter()
+    result = simulation.run(trace)
+    wall_s = time.perf_counter() - start
+    tokens = sum(r.generated_tokens for r in result.requests)
+    return PerfSample(
+        scenario=scenario.name,
+        machines=scenario.num_machines,
+        requests=len(trace),
+        completed=len(result.completed_requests),
+        events=simulation.engine.events_processed,
+        events_cancelled=simulation.engine.events_cancelled,
+        tokens_generated=tokens,
+        wall_s=wall_s,
+        sim_time_s=result.duration_s,
+    )
+
+
+def build_bench_report(
+    samples: Iterable[PerfSample],
+    baseline: Mapping[str, Mapping[str, float]] | None = None,
+) -> dict:
+    """Assemble the ``BENCH_perf.json`` payload.
+
+    Args:
+        samples: Measured samples, one per scenario.
+        baseline: Optional reference numbers (``wall_s``/``events_per_s``/
+            ``requests_per_s`` per scenario name) to compute speedups against
+            — typically the recorded seed-implementation measurements.
+
+    Returns:
+        A JSON-serializable report with per-scenario measurements and, when a
+        baseline is given, per-scenario ``speedup`` (baseline wall / measured
+        wall) entries.
+    """
+    report: dict = {
+        "benchmark": "simulator-scaling",
+        "unit": {"wall_s": "seconds", "events_per_s": "events/sec", "requests_per_s": "requests/sec"},
+        "scenarios": {},
+    }
+    for sample in samples:
+        entry = asdict(sample)
+        if baseline and sample.scenario in baseline:
+            reference = baseline[sample.scenario]
+            entry["baseline"] = dict(reference)
+            if sample.wall_s > 0 and reference.get("wall_s"):
+                entry["speedup"] = reference["wall_s"] / sample.wall_s
+        report["scenarios"][sample.scenario] = entry
+    return report
+
+
+def write_bench_report(
+    path: str | Path,
+    samples: Iterable[PerfSample],
+    baseline: Mapping[str, Mapping[str, float]] | None = None,
+) -> dict:
+    """Write :func:`build_bench_report` output to ``path`` and return it."""
+    report = build_bench_report(samples, baseline)
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report

@@ -5,6 +5,17 @@ relative simulated times, then :meth:`SimulationEngine.run` until the queue
 drains or a time horizon is reached.  All Splitwise cluster components
 (machines, schedulers, transfers) advance exclusively through this engine, so
 a whole cluster simulation is a single-threaded, reproducible computation.
+
+The engine is the innermost loop of every cluster simulation, so it is built
+for throughput:
+
+* The heap stores ``(time, priority, sequence, event)`` tuples, so ordering
+  is resolved by C-level tuple comparison instead of ``Event.__lt__``.
+* Cancellation uses tombstones (:meth:`cancel`): the event stays in the heap
+  but is discarded unexecuted when it reaches the head, which keeps
+  cancellation O(1) instead of O(n).
+* :meth:`schedule_recurring` provides self-rescheduling periodic tasks
+  without allocating a fresh closure per occurrence.
 """
 
 from __future__ import annotations
@@ -15,14 +26,78 @@ from typing import Callable
 from repro.simulation.events import Event
 
 
+class RecurringTask:
+    """Handle for a periodic task created by :meth:`SimulationEngine.schedule_recurring`.
+
+    The task reschedules itself after every firing until :meth:`cancel` is
+    called.  A single bound-method callback is reused for every occurrence,
+    so recurring work allocates no per-occurrence closures.
+    """
+
+    __slots__ = ("_engine", "interval", "action", "priority", "tag", "_event", "_cancelled", "fire_count")
+
+    def __init__(
+        self,
+        engine: "SimulationEngine",
+        interval: float,
+        action: Callable[[], None],
+        priority: int,
+        tag: str,
+        first_delay: float,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self._engine = engine
+        self.interval = interval
+        self.action = action
+        self.priority = priority
+        self.tag = tag
+        self._cancelled = False
+        self.fire_count = 0
+        self._event = engine.schedule_after(first_delay, self._fire, priority=priority, tag=tag)
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the task has been cancelled."""
+        return self._cancelled
+
+    @property
+    def next_event(self) -> Event | None:
+        """The pending event for the next occurrence (None once cancelled)."""
+        return None if self._cancelled else self._event
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.fire_count += 1
+        self.action()
+        if not self._cancelled:  # the action itself may cancel the task
+            self._event = self._engine.schedule_after(
+                self.interval, self._fire, priority=self.priority, tag=self.tag
+            )
+
+    def cancel(self) -> None:
+        """Stop the task; its pending event is tombstoned, never executed."""
+        if self._cancelled:
+            return
+        self._cancelled = True
+        if self._event is not None:
+            self._engine.cancel(self._event)
+            self._event = None
+
+
 class SimulationEngine:
     """Deterministic discrete-event simulator clock and queue."""
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: list[Event] = []
+        # Heap entries are (time, priority, sequence, event): comparison never
+        # reaches the event because sequence numbers are unique.
+        self._queue: list[tuple[float, int, int, Event]] = []
         self._sequence = 0
         self._events_processed = 0
+        self._events_cancelled = 0
+        self._tombstones = 0  # cancelled events still sitting in the heap
 
     @property
     def now(self) -> float:
@@ -31,13 +106,18 @@ class SimulationEngine:
 
     @property
     def events_processed(self) -> int:
-        """Number of events executed so far."""
+        """Number of events executed so far (cancelled events are not counted)."""
         return self._events_processed
 
     @property
+    def events_cancelled(self) -> int:
+        """Number of events cancelled before they could execute."""
+        return self._events_cancelled
+
+    @property
     def pending_events(self) -> int:
-        """Number of events still in the queue."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events still in the queue."""
+        return len(self._queue) - self._tombstones
 
     # -- scheduling -----------------------------------------------------------
 
@@ -49,9 +129,10 @@ class SimulationEngine:
         """
         if time < self._now:
             raise ValueError(f"cannot schedule event at {time:.6f}, current time is {self._now:.6f}")
-        event = Event(time=time, priority=priority, sequence=self._sequence, action=action, tag=tag)
-        self._sequence += 1
-        heapq.heappush(self._queue, event)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = Event(time=time, priority=priority, sequence=sequence, action=action, tag=tag)
+        heapq.heappush(self._queue, (time, priority, sequence, event))
         return event
 
     def schedule_after(self, delay: float, action: Callable[[], None], priority: int = 0, tag: str = "") -> Event:
@@ -64,17 +145,67 @@ class SimulationEngine:
             raise ValueError(f"delay must be non-negative, got {delay}")
         return self.schedule_at(self._now + delay, action, priority=priority, tag=tag)
 
+    def schedule_recurring(
+        self,
+        interval: float,
+        action: Callable[[], None],
+        priority: int = 0,
+        tag: str = "",
+        first_delay: float | None = None,
+    ) -> RecurringTask:
+        """Schedule ``action`` every ``interval`` simulated seconds until cancelled.
+
+        Args:
+            interval: Spacing between occurrences (must be positive).
+            action: Callback executed at each occurrence.
+            priority: Event priority of every occurrence.
+            tag: Debug label attached to every occurrence.
+            first_delay: Delay before the first occurrence; defaults to
+                ``interval``.
+
+        Returns:
+            A :class:`RecurringTask` handle whose ``cancel()`` stops the task.
+
+        Raises:
+            ValueError: if ``interval`` is not positive.
+        """
+        delay = interval if first_delay is None else first_delay
+        return RecurringTask(self, interval, action, priority, tag, delay)
+
+    def cancel(self, event: Event) -> bool:
+        """Tombstone a pending event so it is discarded instead of executed.
+
+        Returns:
+            True if the event was live and is now cancelled; False if it had
+            already fired or was already cancelled (a no-op).
+        """
+        if event.fired or event.cancelled:
+            return False
+        event._mark_cancelled()
+        self._tombstones += 1
+        self._events_cancelled += 1
+        return True
+
     # -- execution ------------------------------------------------------------
 
     def step(self) -> bool:
-        """Execute the next event.  Returns False when the queue is empty."""
-        if not self._queue:
-            return False
-        event = heapq.heappop(self._queue)
-        self._now = event.time
-        self._events_processed += 1
-        event.action()
-        return True
+        """Execute the next live event.  Returns False when the queue is empty.
+
+        Cancelled events surfacing at the head of the queue are discarded
+        without executing, advancing the clock, or counting as processed.
+        """
+        queue = self._queue
+        while queue:
+            time, _, _, event = heapq.heappop(queue)
+            if event.cancelled:
+                self._tombstones -= 1
+                continue
+            event._mark_fired()
+            self._now = time
+            self._events_processed += 1
+            event.action()
+            return True
+        return False
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Run until the queue drains, ``until`` is reached, or ``max_events`` fire.
@@ -82,16 +213,23 @@ class SimulationEngine:
         Args:
             until: Optional simulated-time horizon; events after it stay queued
                 and the clock is advanced to exactly ``until``.
-            max_events: Optional cap on the number of events to execute.
+            max_events: Optional cap on the number of events to execute
+                (cancelled events do not count toward the cap).
 
         Returns:
             The simulated time when the run stopped.
         """
+        queue = self._queue
         executed = 0
-        while self._queue:
+        while queue:
             if max_events is not None and executed >= max_events:
                 break
-            if until is not None and self._queue[0].time > until:
+            head = queue[0]
+            if head[3].cancelled:
+                heapq.heappop(queue)
+                self._tombstones -= 1
+                continue
+            if until is not None and head[0] > until:
                 self._now = until
                 break
             self.step()

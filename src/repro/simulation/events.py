@@ -4,6 +4,12 @@ Events are ordered by ``(time, priority, sequence)``.  The sequence number is
 assigned by the engine at scheduling time, which makes simulations fully
 deterministic: two events at the same timestamp and priority fire in the
 order they were scheduled.
+
+Events support *tombstone cancellation*: :meth:`SimulationEngine.cancel
+<repro.simulation.engine.SimulationEngine.cancel>` marks an event as
+cancelled instead of removing it from the heap (an O(n) operation); the
+engine silently discards cancelled events when they surface at the head of
+the queue.
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 
-@dataclass(order=True, frozen=True)
+@dataclass(order=True, frozen=True, slots=True)
 class Event:
     """A scheduled callback.
 
@@ -22,6 +28,8 @@ class Event:
         sequence: Monotonic insertion counter (assigned by the engine).
         action: Zero-argument callable executed when the event fires.
         tag: Optional human-readable label for debugging and tracing.
+        cancelled: Tombstone flag; cancelled events are skipped by the engine.
+        fired: Whether the event has already executed (set by the engine).
     """
 
     time: float
@@ -29,7 +37,19 @@ class Event:
     sequence: int
     action: Callable[[], None] = field(compare=False)
     tag: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.time < 0:
             raise ValueError(f"event time must be non-negative, got {self.time}")
+
+    # The dataclass is frozen so callers cannot corrupt ordering fields while
+    # the event sits in the heap; the two status flags are still mutated
+    # through these narrow helpers (used only by the engine).
+
+    def _mark_cancelled(self) -> None:
+        object.__setattr__(self, "cancelled", True)
+
+    def _mark_fired(self) -> None:
+        object.__setattr__(self, "fired", True)

@@ -6,12 +6,18 @@ latency metrics need: arrival, prompt start/end (TTFT), each generated token
 enum mirrors the lifecycle in the paper's Fig. 1 and Fig. 10: a request is
 queued, runs its prompt phase on a prompt machine, has its KV-cache shipped
 to a token machine, generates tokens there, and completes.
+
+``Request`` is the most frequently touched object in a cluster simulation
+(every generated token mutates one), so it is a ``__slots__`` class with the
+immutable descriptor fields (``request_id``, ``arrival_time``,
+``prompt_tokens``, ``output_tokens``) copied into plain attributes at
+construction — attribute reads on the hot path cost one slot lookup instead
+of a property call plus a descriptor indirection.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 
 from repro.workload.trace import RequestDescriptor
 
@@ -28,7 +34,6 @@ class RequestPhase(enum.Enum):
     COMPLETED = "completed"
 
 
-@dataclass(eq=False)
 class Request:
     """A live request flowing through the simulated cluster.
 
@@ -38,6 +43,10 @@ class Request:
 
     Attributes:
         descriptor: The immutable trace record (sizes and arrival time).
+        request_id: Trace-level request id (copied from the descriptor).
+        arrival_time: Arrival time in seconds from trace start.
+        prompt_tokens: Number of prompt (input) tokens.
+        output_tokens: Number of output tokens the request must generate.
         phase: Current lifecycle phase.
         prompt_machine: Name of the machine assigned to the prompt phase.
         token_machine: Name of the machine assigned to the token phase.
@@ -56,42 +65,53 @@ class Request:
             a machine failure (§IV-E: Splitwise restarts failed requests).
     """
 
-    descriptor: RequestDescriptor
-    phase: RequestPhase = RequestPhase.QUEUED
-    prompt_machine: str | None = None
-    token_machine: str | None = None
-    prompt_start_time: float | None = None
-    first_token_time: float | None = None
-    token_times: list[float] = field(default_factory=list)
-    completion_time: float | None = None
-    generated_tokens: int = 0
-    kv_transfer_start: float | None = None
-    kv_transfer_end: float | None = None
-    preemptions: int = 0
-    priority_boost: float = 0.0
-    restarts: int = 0
+    __slots__ = (
+        "descriptor",
+        "request_id",
+        "arrival_time",
+        "prompt_tokens",
+        "output_tokens",
+        "phase",
+        "prompt_machine",
+        "token_machine",
+        "prompt_start_time",
+        "first_token_time",
+        "token_times",
+        "completion_time",
+        "generated_tokens",
+        "kv_transfer_start",
+        "kv_transfer_end",
+        "preemptions",
+        "priority_boost",
+        "restarts",
+    )
 
-    # -- descriptor passthroughs ---------------------------------------------------
+    def __init__(self, descriptor: RequestDescriptor, phase: RequestPhase = RequestPhase.QUEUED) -> None:
+        self.descriptor = descriptor
+        self.request_id = descriptor.request_id
+        self.arrival_time = descriptor.arrival_time_s
+        self.prompt_tokens = descriptor.prompt_tokens
+        self.output_tokens = descriptor.output_tokens
+        self.phase = phase
+        self.prompt_machine: str | None = None
+        self.token_machine: str | None = None
+        self.prompt_start_time: float | None = None
+        self.first_token_time: float | None = None
+        self.token_times: list[float] = []
+        self.completion_time: float | None = None
+        self.generated_tokens = 0
+        self.kv_transfer_start: float | None = None
+        self.kv_transfer_end: float | None = None
+        self.preemptions = 0
+        self.priority_boost = 0.0
+        self.restarts = 0
 
-    @property
-    def request_id(self) -> int:
-        """Trace-level request id."""
-        return self.descriptor.request_id
-
-    @property
-    def arrival_time(self) -> float:
-        """Arrival time in seconds from trace start."""
-        return self.descriptor.arrival_time_s
-
-    @property
-    def prompt_tokens(self) -> int:
-        """Number of prompt (input) tokens."""
-        return self.descriptor.prompt_tokens
-
-    @property
-    def output_tokens(self) -> int:
-        """Number of output tokens the request must generate."""
-        return self.descriptor.output_tokens
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Request(id={self.request_id}, phase={self.phase.value!r}, "
+            f"prompt={self.prompt_tokens}, output={self.output_tokens}, "
+            f"generated={self.generated_tokens})"
+        )
 
     # -- state ------------------------------------------------------------------
 
@@ -103,7 +123,8 @@ class Request:
     @property
     def remaining_tokens(self) -> int:
         """Output tokens still to generate."""
-        return max(0, self.output_tokens - self.generated_tokens)
+        remaining = self.output_tokens - self.generated_tokens
+        return remaining if remaining > 0 else 0
 
     @property
     def context_tokens(self) -> int:
@@ -123,32 +144,39 @@ class Request:
         """Record the first output token (end of the prompt phase)."""
         if self.first_token_time is None:
             self.first_token_time = time
-        self.generated_tokens += 1
+        generated = self.generated_tokens + 1
+        self.generated_tokens = generated
         self.token_times.append(time)
-        if self.remaining_tokens == 0:
+        if generated >= self.output_tokens:
             self.complete(time)
 
     def start_kv_transfer(self, time: float) -> None:
         """Mark the start of the KV-cache transfer to the token machine."""
-        if not self.is_complete:
+        if self.phase is not RequestPhase.COMPLETED:
             self.phase = RequestPhase.KV_TRANSFER
         self.kv_transfer_start = time
 
     def finish_kv_transfer(self, time: float) -> None:
         """Mark the end of the KV-cache transfer; the request can now decode."""
         self.kv_transfer_end = time
-        if not self.is_complete:
+        if self.phase is not RequestPhase.COMPLETED:
             self.phase = RequestPhase.TOKEN_QUEUED
 
     def generate_token(self, time: float) -> None:
-        """Record one generated token in the token phase."""
-        if self.is_complete:
+        """Record one generated token in the token phase.
+
+        NOTE: ``SimulatedMachine._finish_iteration`` inlines this state
+        transition on its per-token hot loop; keep the two in sync.
+        """
+        if self.phase is RequestPhase.COMPLETED:
             raise RuntimeError(f"request {self.request_id} already complete")
-        self.phase = RequestPhase.TOKEN_RUNNING
-        self.generated_tokens += 1
+        generated = self.generated_tokens + 1
+        self.generated_tokens = generated
         self.token_times.append(time)
-        if self.remaining_tokens == 0:
+        if generated >= self.output_tokens:
             self.complete(time)
+        else:
+            self.phase = RequestPhase.TOKEN_RUNNING
 
     def preempt(self, time: float) -> None:
         """Preempt the token phase (mixed machines prioritizing prompts)."""
@@ -171,7 +199,7 @@ class Request:
         Raises:
             RuntimeError: if the request has already completed.
         """
-        if self.is_complete:
+        if self.phase is RequestPhase.COMPLETED:
             raise RuntimeError(f"request {self.request_id} already completed; nothing to restart")
         self.phase = RequestPhase.QUEUED
         self.prompt_machine = None

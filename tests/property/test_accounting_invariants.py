@@ -1,0 +1,91 @@
+"""Property tests for the machines' incremental queue accounting.
+
+The O(1) hot-path counters (pending prompt/decode tokens, KV residency,
+transfer expectations and the priority-ordered ready view) must stay equal to
+a full recount of the underlying queues after *any* interleaving of submits,
+iterations, transfers, completions, machine failures and restarts.  With
+``debug_accounting`` enabled every queue-metric read cross-checks the
+counters, so simply driving a cluster hard exercises the invariant millions
+of times; these tests additionally sweep ``verify_accounting`` between engine
+steps so windows where no probe happens are covered too.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cluster import ClusterSimulation
+from repro.core.designs import baseline_h100, splitwise_hh
+from repro.simulation.request import Request
+from repro.workload.generator import generate_trace
+
+
+def _enable_debug_accounting(simulation: ClusterSimulation) -> None:
+    for machine in simulation.machines:
+        machine.debug_accounting = True
+
+
+def _verify_all(simulation: ClusterSimulation) -> None:
+    for machine in simulation.machines:
+        if not machine.failed:
+            machine.verify_accounting()
+
+
+class TestAccountingInvariants:
+    def test_randomized_lifecycle_keeps_counters_exact(self):
+        """Seeded, deterministic: saturating load plus failures and restarts."""
+        rng = random.Random(20240727)
+        for _ in range(3):
+            simulation = ClusterSimulation(splitwise_hh(3, 2))
+            trace = generate_trace(
+                "conversation",
+                rate_rps=rng.choice([6.0, 12.0, 25.0]),
+                duration_s=30.0,
+                seed=rng.randrange(10_000),
+            )
+            # Fail one prompt and one token machine at random times inside the
+            # trace so restart/withdraw paths run under load.
+            failures = [
+                (rng.uniform(2.0, 20.0), f"prompt-{rng.randrange(3)}"),
+                (rng.uniform(2.0, 25.0), f"token-{rng.randrange(2)}"),
+            ]
+            _enable_debug_accounting(simulation)
+            # debug_accounting makes every JSQ probe self-verify during run().
+            result = simulation.run(trace, failures=failures)
+            _verify_all(simulation)
+            assert len(result.completed_requests) == len(result.requests)
+            assert simulation.scheduler.restarted_requests, "failures should restart work"
+
+    def test_stepwise_sweep_between_events(self):
+        """Verify counters in the gaps between events, not only at probes."""
+        simulation = ClusterSimulation(splitwise_hh(2, 2))
+        trace = generate_trace("coding", rate_rps=10.0, duration_s=20.0, seed=99)
+        _enable_debug_accounting(simulation)
+        engine = simulation.engine
+        live = [Request(descriptor=descriptor) for descriptor in trace]
+        for request in live:
+            engine.schedule_at(
+                request.arrival_time, lambda r=request: simulation.scheduler.submit(r), priority=2
+            )
+        engine.schedule_at(5.0, lambda: simulation.scheduler.fail_machine("prompt-0"), priority=1)
+        steps = 0
+        while engine.step():
+            steps += 1
+            if steps % 7 == 0:
+                _verify_all(simulation)
+        _verify_all(simulation)
+        assert steps > 0
+        assert all(request.is_complete for request in live)
+
+    @given(rate=st.sampled_from([3.0, 8.0, 16.0]), seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=8, deadline=None)
+    def test_baseline_cluster_counters_hold_under_load(self, rate, seed):
+        simulation = ClusterSimulation(baseline_h100(3))
+        trace = generate_trace("conversation", rate_rps=rate, duration_s=10.0, seed=seed)
+        _enable_debug_accounting(simulation)
+        result = simulation.run(trace)
+        _verify_all(simulation)
+        assert len(result.completed_requests) == len(result.requests)

@@ -37,11 +37,15 @@ class TestBatchConstraints:
     @pytest.mark.parametrize("kwargs", [
         {"max_prompt_tokens": 0},
         {"max_batch_size": 0},
-        {"max_kv_tokens": 0},
+        {"max_kv_tokens": -1},
     ])
     def test_validation(self, kwargs):
         with pytest.raises(ValueError):
             BatchConstraints(**kwargs)
+
+    def test_zero_kv_tokens_means_unlimited(self):
+        constraints = BatchConstraints(max_kv_tokens=0)
+        assert constraints.kv_capacity > 10**15
 
 
 class TestBatchPlan:

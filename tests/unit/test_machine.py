@@ -78,6 +78,49 @@ class TestQueueAccounting:
         assert machine.kv_tokens_in_use == 1001
         assert 0.0 < machine.memory_headroom_fraction < 1.0
 
+    def test_unconfigured_memory_model_reports_full_headroom(self, machine):
+        # Regression: max_kv_tokens == 0 (unconfigured memory model) used to
+        # read as "machine full" (0.0 headroom), skewing the cluster
+        # scheduler's overflow decisions toward never using the machine.
+        from repro.batching.policies import BatchConstraints
+
+        machine.constraints = BatchConstraints(max_kv_tokens=0)
+        assert machine.memory_headroom_fraction == 1.0
+        request = _request(0, prompt=1000, output=5)
+        request.start_prompt(0.0, "other")
+        request.finish_prompt(0.1)
+        machine.admit_token_request(request)
+        assert machine.memory_headroom_fraction == 1.0
+
+    def test_incremental_counters_match_recount(self, machine):
+        machine.debug_accounting = True
+        for i in range(4):
+            machine.enqueue_prompt(_request(i, prompt=100 * (i + 1), output=3))
+        transferring = _request(10, prompt=50, output=7)
+        machine.expect_transfer(transferring)
+        # Property reads self-verify under debug_accounting.
+        assert machine.pending_prompt_tokens == 100 + 200 + 300 + 400
+        assert machine.pending_decode_tokens == 7
+        machine.verify_accounting()
+
+    def test_withdraw_updates_counters(self, machine):
+        queued = _request(0, prompt=300, output=4)
+        decoding = _request(1, prompt=100, output=6)
+        decoding.start_prompt(0.0, "other")
+        decoding.finish_prompt(0.1)
+        machine.enqueue_prompt(queued)
+        machine.admit_token_request(decoding)
+        machine.debug_accounting = True
+        machine.withdraw(queued)
+        machine.withdraw(decoding)
+        assert machine.pending_prompt_tokens == 0
+        assert machine.pending_decode_tokens == 0
+        assert machine.kv_tokens_in_use == 0
+        assert machine.find_queued(0) is None and machine.find_queued(1) is None
+        # Withdrawing an absent request is a no-op.
+        machine.withdraw(queued)
+        machine.verify_accounting()
+
 
 class TestRoleTracking:
     def test_prompt_machine_reports_foreign_token_work(self, engine):
@@ -180,6 +223,62 @@ class TestIterationExecution:
         machine.enqueue_prompt(_request(0, prompt=100, output=1))
         engine.run()
         assert len(calls) == 1
+
+    def test_withdraw_mid_iteration_does_not_touch_restarted_request(self, engine):
+        # Regression: a request withdrawn (failure restart) while its token
+        # machine was mid-iteration used to receive a phantom token when the
+        # iteration finished, corrupting the restarted request's timeline.
+        machine = SimulatedMachine("t0", DGX_H100, LLAMA2_70B, engine, role=MachineRole.TOKEN)
+        request = _request(0, prompt=100, output=5)
+        request.start_prompt(0.0, "p")
+        request.finish_prompt(0.1)
+        machine.admit_token_request(request)
+        engine.step()  # run the start event: the iteration is now in flight
+        assert machine.is_busy
+        machine.withdraw(request)
+        request.reset_for_restart()
+        engine.run()  # the stale finish event fires
+        assert request.generated_tokens == 0
+        assert request.token_times == []
+        assert request.phase is RequestPhase.QUEUED
+        machine.verify_accounting()
+
+    def test_stale_finish_skips_request_readmitted_after_withdrawal(self, engine):
+        # Regression: if a withdrawn request restarts fast enough to be
+        # re-admitted to the same machine before the old iteration's finish
+        # event fires, a request_id-based membership check matches again and
+        # the dead iteration injects a phantom token into the new timeline.
+        machine = SimulatedMachine("t0", DGX_H100, LLAMA2_70B, engine, role=MachineRole.TOKEN)
+        request = _request(0, prompt=100, output=4)
+        request.start_prompt(0.0, "p")
+        request.finish_prompt(0.1)
+        machine.admit_token_request(request)
+        engine.step()  # start event: the iteration is now in flight
+        assert machine.is_busy
+        machine.withdraw(request)
+        request.reset_for_restart()
+        # Restarted prompt finishes elsewhere and JSQ routes it back here
+        # while the stale iteration is still running.
+        request.start_prompt(engine.now, "p")
+        request.finish_prompt(engine.now)
+        machine.admit_token_request(request)
+        engine.run()
+        assert request.is_complete
+        assert request.generated_tokens == request.output_tokens
+        assert len(request.token_times) == request.output_tokens
+        assert request.token_times == sorted(request.token_times)
+        machine.verify_accounting()
+
+    def test_enqueue_bursts_schedule_single_start_event(self, engine, machine):
+        # Regression: every enqueue used to schedule its own zero-delay start
+        # event even when one was already pending, inflating events_processed.
+        machine.on_prompt_complete = lambda req, m, lat: None
+        for i in range(5):
+            machine.enqueue_prompt(_request(i, prompt=100, output=1))
+        assert engine.pending_events == 1  # one collapsed start event
+        engine.run()
+        assert not machine.is_busy
+        assert machine.pending_prompt_tokens == 0
 
     def test_transfer_interference_extends_prompt_iteration(self, engine):
         from repro.core.kv_transfer import KVTransferModel

@@ -115,6 +115,93 @@ class TestSimulationEngine:
         assert engine.events_processed == 2
 
 
+class TestEventCancellation:
+    def test_cancelled_event_never_executes(self):
+        engine = SimulationEngine()
+        fired = []
+        event = engine.schedule_at(1.0, lambda: fired.append("cancelled"))
+        engine.schedule_at(2.0, lambda: fired.append("kept"))
+        assert engine.cancel(event) is True
+        engine.run()
+        assert fired == ["kept"]
+        assert engine.events_processed == 1
+        assert engine.events_cancelled == 1
+
+    def test_pending_events_excludes_tombstones(self):
+        engine = SimulationEngine()
+        event = engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        engine.cancel(event)
+        assert engine.pending_events == 1
+
+    def test_cancel_is_idempotent_and_rejects_fired_events(self):
+        engine = SimulationEngine()
+        event = engine.schedule_at(1.0, lambda: None)
+        engine.run()
+        assert engine.cancel(event) is False  # already fired
+        pending = engine.schedule_at(5.0, lambda: None)
+        assert engine.cancel(pending) is True
+        assert engine.cancel(pending) is False  # already cancelled
+
+    def test_cancelled_event_does_not_advance_clock(self):
+        engine = SimulationEngine()
+        event = engine.schedule_at(10.0, lambda: None)
+        engine.schedule_at(1.0, lambda: None)
+        engine.cancel(event)
+        engine.run()
+        assert engine.now == 1.0
+
+    def test_run_drains_queue_of_only_tombstones(self):
+        engine = SimulationEngine()
+        events = [engine.schedule_at(float(i + 1), lambda: None) for i in range(3)]
+        for event in events:
+            engine.cancel(event)
+        engine.run()
+        assert engine.now == 0.0
+        assert engine.pending_events == 0
+        assert engine.events_processed == 0
+
+
+class TestScheduleRecurring:
+    def test_fires_at_interval_until_cancelled(self):
+        engine = SimulationEngine()
+        times = []
+        task = engine.schedule_recurring(1.0, lambda: times.append(engine.now))
+        engine.run(until=3.5)
+        assert times == [1.0, 2.0, 3.0]
+        task.cancel()
+        engine.run(until=10.0)
+        assert times == [1.0, 2.0, 3.0]
+        assert task.cancelled
+        assert task.fire_count == 3
+
+    def test_first_delay_overrides_interval(self):
+        engine = SimulationEngine()
+        times = []
+        engine.schedule_recurring(2.0, lambda: times.append(engine.now), first_delay=0.5)
+        engine.run(until=5.0)
+        assert times == [0.5, 2.5, 4.5]
+
+    def test_action_can_cancel_its_own_task(self):
+        engine = SimulationEngine()
+        times = []
+        holder = {}
+
+        def action():
+            times.append(engine.now)
+            if len(times) == 2:
+                holder["task"].cancel()
+
+        holder["task"] = engine.schedule_recurring(1.0, action)
+        engine.run(until=10.0)
+        assert times == [1.0, 2.0]
+        assert engine.pending_events == 0
+
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ValueError, match="interval"):
+            SimulationEngine().schedule_recurring(0.0, lambda: None)
+
+
 class TestRequestLifecycle:
     def test_initial_state(self, make_request):
         request = make_request(prompt=100, output=5)
