@@ -20,10 +20,16 @@ Run with::
 
 from __future__ import annotations
 
+import cProfile
 import os
 from pathlib import Path
 
-from repro.metrics.perf import SCALING_SCENARIOS, run_perf_scenario, write_bench_report
+from repro.metrics.perf import (
+    SCALING_SCENARIOS,
+    profile_top_functions,
+    run_perf_scenario,
+    write_bench_report,
+)
 
 from benchmarks.conftest import print_table
 
@@ -53,12 +59,36 @@ EXPECTED_SIM_TIME = {
 #: always *recorded* in BENCH_perf.json either way.
 MIN_HEADLINE_SPEEDUP = 2.0
 
+#: Absolute events/sec floor per scenario — the seed implementation's own
+#: throughput.  Any host that runs CI at all clears these by an order of
+#: magnitude unless the simulator genuinely regresses below the seed, so the
+#: smoke run fails hard when REPRO_PERF_ENFORCE_FLOOR=1 (set in CI) and a
+#: scenario's logical events/sec drops below its floor.
+EVENTS_PER_S_FLOOR = {
+    "4-machine": 7487.0,
+    "16-machine": 3184.4,
+    "40-machine": 1302.3,
+}
+
 _REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
 
 def test_perf_scaling(run_once):
-    samples = run_once(lambda: [run_perf_scenario(scenario) for scenario in SCALING_SCENARIOS])
-    report = write_bench_report(_REPORT_PATH, samples, baseline=SEED_BASELINE)
+    profiler = cProfile.Profile() if os.environ.get("REPRO_PERF_PROFILE") == "1" else None
+
+    def _run():
+        samples = []
+        for scenario in SCALING_SCENARIOS:
+            if profiler is not None:
+                profiler.enable()
+            samples.append(run_perf_scenario(scenario))
+            if profiler is not None:
+                profiler.disable()
+        return samples
+
+    samples = run_once(_run)
+    profile = profile_top_functions(profiler) if profiler is not None else None
+    report = write_bench_report(_REPORT_PATH, samples, baseline=SEED_BASELINE, profile=profile)
 
     rows = {}
     for sample in samples:
@@ -76,6 +106,11 @@ def test_perf_scaling(run_once):
         assert sample.completed == sample.requests
         # Bit-identity guard: simulated results must not drift with perf work.
         assert repr(sample.sim_time_s) == EXPECTED_SIM_TIME[sample.scenario]
+        if os.environ.get("REPRO_PERF_ENFORCE_FLOOR") == "1":
+            assert sample.events_per_s >= EVENTS_PER_S_FLOOR[sample.scenario], (
+                f"{sample.scenario}: {sample.events_per_s:.0f} logical events/s fell below the "
+                f"recorded floor {EVENTS_PER_S_FLOOR[sample.scenario]:.0f}"
+            )
     print_table("Simulator scaling (burst regime)", rows)
 
     headline = report["scenarios"]["40-machine"]

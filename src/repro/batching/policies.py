@@ -139,12 +139,25 @@ class BatchingPolicy(ABC):
 
     name: str = "abstract"
 
+    #: True when, given an empty prompt queue, the policy's token selection is
+    #: exactly the first ``max_batch_size`` pool members in priority order
+    #: (skipping only over-budget members).  The steady-state rotation engine
+    #: relies on this to reproduce the selection without invoking the policy.
+    prefix_token_selection: bool = False
+
+    #: True when, with prompts queued, the policy composes an iteration as
+    #: FCFS prompt admission followed by prefix token selection over the
+    #: remaining slots (the mixed continuous shape).  Lets the rotation engine
+    #: keep stepping through prompt arrivals instead of bailing out.
+    prefix_mixed_composition: bool = False
+
     @abstractmethod
     def plan_iteration(
         self,
         pending_prompts: deque[Request],
         token_pool: Sequence[Request],
         constraints: BatchConstraints,
+        pool_context_tokens: int | None = None,
     ) -> BatchPlan:
         """Compose the next iteration.
 
@@ -154,6 +167,11 @@ class BatchingPolicy(ABC):
             token_pool: Requests currently in their token-generation phase on
                 this machine (never popped; the policy selects a subset).
             constraints: Machine limits.
+            pool_context_tokens: Optional exact total context (KV tokens) of
+                ``token_pool``, supplied by owners that track it incrementally.
+                Enables an O(1) whole-pool selection when the pool trivially
+                fits the batch (the common steady-decode case); selection
+                semantics are unchanged.
         """
 
     @staticmethod
@@ -180,7 +198,11 @@ class BatchingPolicy(ABC):
 
     @staticmethod
     def _select_tokens_with_total(
-        token_pool: Iterable[Request], constraints: BatchConstraints, slots: int, kv_budget: int
+        token_pool: Iterable[Request],
+        constraints: BatchConstraints,
+        slots: int,
+        kv_budget: int,
+        pool_context_tokens: int | None = None,
     ) -> tuple[list[Request], int]:
         """Pick token-phase requests FCFS by arrival, respecting slots and memory.
 
@@ -190,6 +212,15 @@ class BatchingPolicy(ABC):
         selected: list[Request] = []
         if slots <= 0:
             return selected, 0
+        if (
+            pool_context_tokens is not None
+            and isinstance(token_pool, PriorityOrderedView)
+            and len(token_pool) <= slots
+            and pool_context_tokens <= kv_budget
+        ):
+            # Whole pool fits: the scan below would admit every member in
+            # view order with this exact context total, so skip it.
+            return list(token_pool), pool_context_tokens
         pool = token_pool if isinstance(token_pool, list) else list(token_pool)
         used_kv = 0
         append = selected.append
@@ -236,12 +267,15 @@ class MixedContinuousBatching(BatchingPolicy):
     """
 
     name = "mixed-continuous"
+    prefix_token_selection = True
+    prefix_mixed_composition = True
 
     def plan_iteration(
         self,
         pending_prompts: deque[Request],
         token_pool: Sequence[Request],
         constraints: BatchConstraints,
+        pool_context_tokens: int | None = None,
     ) -> BatchPlan:
         prompts, prompt_tokens = self._select_prompts_with_total(
             pending_prompts, constraints, constraints.max_batch_size
@@ -249,7 +283,7 @@ class MixedContinuousBatching(BatchingPolicy):
         remaining_slots = constraints.max_batch_size - len(prompts)
         kv_budget = constraints.kv_capacity - prompt_tokens
         tokens, context_tokens = self._select_tokens_with_total(
-            token_pool, constraints, remaining_slots, max(0, kv_budget)
+            token_pool, constraints, remaining_slots, max(0, kv_budget), pool_context_tokens
         )
         return BatchPlan(
             prompt_requests=prompts,
@@ -268,12 +302,14 @@ class ContinuousBatching(BatchingPolicy):
     """
 
     name = "continuous"
+    prefix_token_selection = True
 
     def plan_iteration(
         self,
         pending_prompts: deque[Request],
         token_pool: Sequence[Request],
         constraints: BatchConstraints,
+        pool_context_tokens: int | None = None,
     ) -> BatchPlan:
         if pending_prompts:
             prompts, prompt_tokens = self._select_prompts_with_total(
@@ -281,7 +317,7 @@ class ContinuousBatching(BatchingPolicy):
             )
             return BatchPlan(prompt_requests=prompts, prompt_tokens=prompt_tokens, context_tokens=0)
         tokens, context_tokens = self._select_tokens_with_total(
-            token_pool, constraints, constraints.max_batch_size, constraints.kv_capacity
+            token_pool, constraints, constraints.max_batch_size, constraints.kv_capacity, pool_context_tokens
         )
         return BatchPlan(token_requests=tokens, prompt_tokens=0, context_tokens=context_tokens)
 
@@ -308,7 +344,11 @@ class RequestLevelBatching(BatchingPolicy):
         pending_prompts: deque[Request],
         token_pool: Sequence[Request],
         constraints: BatchConstraints,
+        pool_context_tokens: int | None = None,
     ) -> BatchPlan:
+        # The in-flight batch may be a strict subset of the pool, so the
+        # whole-pool context hint does not apply here.
+        del pool_context_tokens
         self._current_batch = [r for r in self._current_batch if not r.is_complete]
         if not self._current_batch:
             # Admit a new batch: all its prompts run in the first iteration.

@@ -1,0 +1,419 @@
+"""Steady-state decode rotation: O(batch) iterations over oversubscribed pools.
+
+When a machine's token pool holds more requests than fit one decode batch,
+the batching policy selects the first ``max_batch_size`` requests in priority
+order and the aging pass boosts everyone left out (§IV-B), producing a fair
+round-robin rotation.  Maintaining that order as a flat sorted list costs
+O(pool) per iteration — the boost writes, the kept/boosted split, and the
+two-run merge each walk the whole pool — which made saturated drains the
+hottest loop in the simulator.
+
+:class:`RotationForest` represents the same total order hierarchically so
+each iteration costs O(batch) instead of O(pool):
+
+* Members are grouped into **levels** by priority boost.  A level stores the
+  boost relative to a forest-wide ``offset``; the aging pass ("everyone not
+  selected gains +1") becomes ``offset += 1`` plus a ``-1`` on the handful of
+  wholly-selected levels — O(selected levels), not O(pool).
+* Within a level, members sit in **runs**: ``(arrival_time, request_id)``-
+  sorted segments.  Selection takes whole levels from the top and splits at
+  most one level via a lazy k-way extraction across its sibling runs, so the
+  interleaving merge the flat list needed on every iteration is deferred
+  until a split actually reaches it.
+* Each level caches its live member count and total KV context, so the
+  batch's context total — the input to the latency model — is accumulated
+  from O(selected levels) cached sums plus the split remainder.
+
+The forest reproduces the flat view's order *exactly*: effective boosts are
+``stored + offset`` (integer-valued, as produced by +1.0 aging steps), and
+:meth:`RotationForest.flatten` materializes the identical
+``(-priority_boost, arrival_time, request_id)`` order and writes back the
+float boosts the per-iteration simulator would have produced.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.simulation.request import Request
+
+
+def _member_key(request: "Request") -> tuple[float, int]:
+    """Within-level order: FCFS by arrival, request id as the total tie-break."""
+    return (request.arrival_time, request.request_id)
+
+
+class RotationRun:
+    """A ``(arrival, id)``-sorted segment of live members within one level.
+
+    ``members[start:]`` are the live entries; extraction consumes from the
+    head by advancing ``start`` instead of slicing.
+    """
+
+    __slots__ = ("members", "start")
+
+    def __init__(self, members: list, start: int = 0) -> None:
+        self.members = members
+        self.start = start
+
+    def __len__(self) -> int:
+        return len(self.members) - self.start
+
+    def live(self) -> list:
+        """The live members in order (a copy only when consumed)."""
+        return self.members if self.start == 0 else self.members[self.start :]
+
+
+class RotationLevel:
+    """All members sharing one effective boost, as sibling sorted runs.
+
+    Attributes:
+        stored: Boost relative to the forest offset (effective boost is
+            ``stored + offset``).
+        runs: Sibling runs; each is internally ordered but siblings may
+            interleave — splits resolve the interleaving lazily.
+        size: Live member count across runs.
+        context: Total KV context (``prompt_tokens + generated_tokens``) of
+            the live members, maintained incrementally.
+    """
+
+    __slots__ = ("stored", "runs", "size", "context")
+
+    def __init__(self, stored: int, runs: list, size: int, context: int) -> None:
+        self.stored = stored
+        self.runs = runs
+        self.size = size
+        self.context = context
+
+
+class SelectedSegment:
+    """One run's contribution to an iteration's batch."""
+
+    __slots__ = ("level", "run", "members")
+
+    def __init__(self, level: RotationLevel | None, run: RotationRun | None, members: list) -> None:
+        self.level = level  # None for the split extraction (not yet levelled)
+        self.run = run  # None for the split extraction
+        self.members = members
+
+
+class Selection:
+    """The batch for one rotation iteration plus the data aging needs."""
+
+    __slots__ = ("segments", "count", "context", "whole_levels", "split_level", "extracted", "extracted_context")
+
+    def __init__(self) -> None:
+        self.segments: list[SelectedSegment] = []
+        self.count = 0
+        self.context = 0
+        self.whole_levels: list[RotationLevel] = []
+        self.split_level: RotationLevel | None = None
+        self.extracted: list = []
+        self.extracted_context = 0
+
+    def requests(self) -> list:
+        """The batch in priority order (matches the flat view's selection)."""
+        flat: list = []
+        for segment in self.segments:
+            flat.extend(segment.members)
+        return flat
+
+
+class RotationForest:
+    """Priority-ordered token pool with O(batch) selection and O(1) aging."""
+
+    __slots__ = ("levels", "offset")
+
+    #: A level with more sibling runs than this is consolidated into one run
+    #: on its next split, bounding k-way heap width (amortized rare).
+    MAX_SIBLING_RUNS = 32
+
+    def __init__(self) -> None:
+        self.levels: list[RotationLevel] = []  # stored DESC == effective DESC
+        self.offset = 0
+
+    # -- construction ---------------------------------------------------------------
+
+    @classmethod
+    def from_ordered_view(cls, view: Iterable) -> "RotationForest | None":
+        """Build a forest from a ``(-boost, arrival, id)``-ordered pool view.
+
+        Returns ``None`` if any boost is not integer-valued (aging only ever
+        adds 1.0, so non-integer boosts mean an external writer is involved
+        and the flat representation must be kept).
+        """
+        forest = cls()
+        levels = forest.levels
+        current_boost: float | None = None
+        members: list = []
+        context = 0
+        for request in view:
+            boost = request.priority_boost
+            if boost != current_boost:
+                if not float(boost).is_integer():
+                    return None
+                if members:
+                    levels.append(RotationLevel(int(current_boost), [RotationRun(members)], len(members), context))
+                current_boost = boost
+                members = []
+                context = 0
+            members.append(request)
+            context += request.prompt_tokens + request.generated_tokens
+        if members:
+            levels.append(RotationLevel(int(current_boost), [RotationRun(members)], len(members), context))
+        return forest
+
+    # -- selection ------------------------------------------------------------------
+
+    def select(self, limit: int, kv_budget: int) -> Selection | None:
+        """The first ``limit`` members in priority order, or ``None`` when the
+        KV budget would force the policy to skip a member (caller falls back
+        to the exact policy path for that iteration)."""
+        selection = Selection()
+        segments = selection.segments
+        need = limit
+        for level in self.levels:
+            if need <= 0:
+                break
+            if level.size <= need:
+                for run in level.runs:
+                    segments.append(SelectedSegment(level, run, run.live()))
+                selection.whole_levels.append(level)
+                selection.count += level.size
+                selection.context += level.context
+                need -= level.size
+            else:
+                extracted, context = self._extract(level, need)
+                selection.split_level = level
+                selection.extracted = extracted
+                selection.extracted_context = context
+                segments.append(SelectedSegment(None, None, extracted))
+                selection.count += need
+                selection.context += context
+                need = 0
+        if selection.context > kv_budget:
+            # The policy would skip (not truncate) here; hand the iteration
+            # back to the exact selection loop.
+            self._unextract(selection)
+            return None
+        return selection
+
+    def _extract(self, level: RotationLevel, count: int) -> tuple[list, int]:
+        """Consume the ``count`` smallest ``(arrival, id)`` members of ``level``.
+
+        Multi-run levels use a galloping k-way merge: instead of moving one
+        member per heap operation, the run holding the current minimum is
+        consumed as a slice up to the second-smallest sibling head (found by
+        bisection), so the cost is one heap operation per *run switch*, not
+        per member — sibling runs hold mostly disjoint arrival bands, so
+        switches are rare.
+        """
+        runs = level.runs
+        if len(runs) == 1:
+            run = runs[0]
+            start = run.start
+            stop = start + count
+            extracted = run.members[start:stop]
+            run.start = stop
+        else:
+            if len(runs) > self.MAX_SIBLING_RUNS:
+                self._consolidate(level)
+                runs = level.runs
+            if len(runs) == 1:
+                return self._extract(level, count)
+            heap = []
+            for index, run in enumerate(runs):
+                if len(run):
+                    head = run.members[run.start]
+                    heap.append((head.arrival_time, head.request_id, index))
+            heapq.heapify(heap)
+            extracted: list = []
+            extend = extracted.extend
+            taken = 0
+            while taken < count:
+                index = heap[0][2]
+                run = runs[index]
+                members = run.members
+                start = run.start
+                room = start + (count - taken)
+                heap_size = len(heap)
+                if heap_size == 1:
+                    stop = min(len(members), room)
+                else:
+                    # Second-smallest head is the smaller root child; consume
+                    # this run up to it in one slice.
+                    limit = heap[1] if heap_size < 3 or heap[1] < heap[2] else heap[2]
+                    stop = bisect_left(
+                        members,
+                        (limit[0], limit[1]),
+                        start + 1,
+                        min(len(members), room),
+                        key=_member_key,
+                    )
+                extend(members[start:stop])
+                taken += stop - start
+                run.start = stop
+                if stop == len(members):
+                    heapq.heappop(heap)
+                    if not heap:
+                        break
+                else:
+                    head = members[stop]
+                    heapq.heapreplace(heap, (head.arrival_time, head.request_id, index))
+        context = 0
+        for request in extracted:
+            context += request.prompt_tokens + request.generated_tokens
+        level.size -= count
+        level.context -= context
+        level.runs = [run for run in level.runs if len(run)]
+        return extracted, context
+
+    def _unextract(self, selection: Selection) -> None:
+        """Undo a split extraction after an aborted (over-budget) selection."""
+        level = selection.split_level
+        if level is None or not selection.extracted:
+            return
+        extracted = selection.extracted
+        context = 0
+        for request in extracted:
+            context += request.prompt_tokens + request.generated_tokens
+        level.runs.insert(0, RotationRun(extracted))
+        level.size += len(extracted)
+        level.context += context
+        self._consolidate(level)
+
+    def _consolidate(self, level: RotationLevel) -> None:
+        """Merge a level's sibling runs into one ordered run."""
+        if len(level.runs) <= 1:
+            return
+        merged = list(heapq.merge(*(run.live() for run in level.runs), key=_member_key))
+        level.runs = [RotationRun(merged)]
+
+    # -- aging ----------------------------------------------------------------------
+
+    def commit_aging(self, selection: Selection, survivors: list, survivors_context: int) -> None:
+        """Apply one aging pass: everyone not selected gains +1 boost.
+
+        Implemented relatively: the forest offset rises by one while the
+        wholly-selected levels and the split extraction (its ``survivors``,
+        i.e. extracted members that did not complete this iteration, whose
+        post-service context total the caller tracks) step down one stored
+        level, keeping their effective boost unchanged.
+        """
+        self.offset += 1
+        for level in selection.whole_levels:
+            level.stored -= 1
+        split = selection.split_level
+        levels = self.levels
+        if split is not None and survivors:
+            new_level = RotationLevel(split.stored - 1, [RotationRun(survivors)], len(survivors), survivors_context)
+            index = levels.index(split)
+            levels.insert(index + 1, new_level)
+        # Drop emptied levels and merge stored-level collisions (a selected
+        # level can land on the one below it).  The scan is O(levels); the
+        # rebuild runs only when something actually changed.
+        previous_stored = None
+        dirty = False
+        for level in levels:
+            if level.size <= 0 or level.stored == previous_stored:
+                dirty = True
+                break
+            previous_stored = level.stored
+        if dirty:
+            self._normalize()
+
+    def _normalize(self) -> None:
+        levels = [level for level in self.levels if level.size > 0]
+        merged: list[RotationLevel] = []
+        for level in levels:
+            if merged and merged[-1].stored == level.stored:
+                previous = merged[-1]
+                previous.runs.extend(level.runs)
+                previous.size += level.size
+                previous.context += level.context
+            else:
+                merged.append(level)
+        self.levels = merged
+
+    # -- membership -----------------------------------------------------------------
+
+    def insert(self, request) -> None:
+        """Add a newly admitted member at its current (integer) boost."""
+        effective = int(request.priority_boost)
+        stored = effective - self.offset
+        context = request.prompt_tokens + request.generated_tokens
+        levels = self.levels
+        for index, level in enumerate(levels):
+            if level.stored == stored:
+                last = level.runs[-1]
+                tail = last.members[-1] if len(last) else None
+                if tail is not None and _member_key(tail) < _member_key(request):
+                    last.members.append(request)
+                else:
+                    level.runs.append(RotationRun([request]))
+                level.size += 1
+                level.context += context
+                return
+            if level.stored < stored:
+                levels.insert(index, RotationLevel(stored, [RotationRun([request])], 1, context))
+                return
+        levels.append(RotationLevel(stored, [RotationRun([request])], 1, context))
+
+    def note_serviced(self, selection: Selection, completed_per_segment: list) -> None:
+        """Update level size/context caches after one service pass.
+
+        Every surviving serviced member's context grew by one token; completed
+        members (passed per selected segment, pre-service contexts included)
+        leave their level entirely.  The split extraction is not levelled yet
+        — its survivors are accounted by :meth:`commit_aging`.
+        """
+        for segment, completed in zip(selection.segments, completed_per_segment):
+            level = segment.level
+            if level is None:
+                continue
+            survivors = len(segment.members)
+            if completed:
+                removed_context = 0
+                for request, pre_context in completed:
+                    removed_context += pre_context
+                level.size -= len(completed)
+                level.context -= removed_context
+                run = segment.run
+                done = {id(request) for request, _ in completed}
+                run.members = [r for r in run.live() if id(r) not in done]
+                run.start = 0
+                survivors -= len(completed)
+            level.context += survivors
+
+    # -- materialization ------------------------------------------------------------
+
+    def flatten(self, inflight: Selection | None = None) -> list:
+        """The pool in exact flat-view order, with float boosts written back.
+
+        Pure with respect to the forest structure (safe to call between any
+        two iterations, and — with ``inflight`` — mid-iteration: the
+        in-flight selection's consumed split extraction is spliced back in at
+        its level's head, where those members sort).
+        """
+        flat: list = []
+        offset = self.offset
+        split = inflight.split_level if inflight is not None else None
+        for level in self.levels:
+            boost = float(level.stored + offset)
+            if level is split:
+                for request in inflight.extracted:
+                    request.priority_boost = boost
+                    flat.append(request)
+            runs = level.runs
+            members = runs[0].live() if len(runs) == 1 else heapq.merge(*(run.live() for run in runs), key=_member_key)
+            for request in members:
+                request.priority_boost = boost
+                flat.append(request)
+        return flat
+
+    def total_size(self) -> int:
+        """Live member count (for cross-checks)."""
+        return sum(level.size for level in self.levels)

@@ -119,6 +119,10 @@ class ClusterSimulation:
             paper's default, or ``"continuous"`` / ``"request-level"`` for the
             Fig. 2 comparison).
         routing: CLS routing policy (``"jsq"``, ``"round-robin"``, ``"random"``).
+        fast_forward: Coalesce steady-state decode runs into macro-events on
+            every machine (bit-identical results; see
+            :mod:`repro.core.machine`).  ``None`` keeps the machines' default
+            (enabled unless ``REPRO_NO_FAST_FORWARD=1``).
     """
 
     def __init__(
@@ -131,11 +135,13 @@ class ClusterSimulation:
         decode_queue_threshold: int | None = None,
         batching: str = "mixed",
         routing: str = "jsq",
+        fast_forward: bool | None = None,
     ) -> None:
         self.design = design
         self.model = model
         self.batching = batching
         self.routing = routing
+        self.fast_forward = fast_forward
         self.engine = SimulationEngine()
         self.metrics = MetricsCollector()
         self.machines = self._build_machines(max_prompt_batch_tokens, max_batch_size)
@@ -174,6 +180,7 @@ class ClusterSimulation:
                         kv_transfer=prompt_transfer,
                         max_prompt_batch_tokens=max_prompt_batch_tokens,
                         max_batch_size=max_batch_size,
+                        fast_forward=self.fast_forward,
                     )
                 )
             for index in range(design.num_token):
@@ -188,6 +195,7 @@ class ClusterSimulation:
                         metrics=self.metrics,
                         max_prompt_batch_tokens=max_prompt_batch_tokens,
                         max_batch_size=max_batch_size,
+                        fast_forward=self.fast_forward,
                     )
                 )
         else:
@@ -203,6 +211,7 @@ class ClusterSimulation:
                         metrics=self.metrics,
                         max_prompt_batch_tokens=max_prompt_batch_tokens,
                         max_batch_size=max_batch_size,
+                        fast_forward=self.fast_forward,
                     )
                 )
         return machines
@@ -244,6 +253,11 @@ class ClusterSimulation:
             )
         until = horizon_s if horizon_s is not None else (None if drain else trace.duration_s)
         self.engine.run(until=until)
+        # A horizon-limited run can stop mid-macro-event: materialize the
+        # coalesced iterations the clock has already passed so partial results
+        # match per-iteration stepping (a no-op after a full drain).
+        for machine in self.machines:
+            machine.sync_fast_forward()
         duration = max(self.engine.now, trace.duration_s)
         return SimulationResult(
             design=self.design,

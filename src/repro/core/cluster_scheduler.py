@@ -90,10 +90,24 @@ class MachinePool:
             self.version += 1
 
     def least_loaded(self, load: Callable[[SimulatedMachine], float]) -> SimulatedMachine | None:
-        """The member machine minimizing ``load`` (ties broken by name)."""
-        if not self.machines:
-            return None
-        return min(self.machines, key=lambda m: (load(m), m.name))
+        """The member machine minimizing ``load`` (ties broken by name).
+
+        Open-coded rather than ``min(..., key=...)``: JSQ probes run this for
+        every routed request, and skipping the per-machine key-tuple
+        allocation measurably trims the routing hot path.
+        """
+        best: SimulatedMachine | None = None
+        best_load: float | None = None
+        for machine in self.machines:
+            machine_load = load(machine)
+            if (
+                best_load is None
+                or machine_load < best_load
+                or (machine_load == best_load and machine.name < best.name)
+            ):
+                best = machine
+                best_load = machine_load
+        return best
 
 
 @dataclass(frozen=True)

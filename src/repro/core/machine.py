@@ -20,13 +20,38 @@ withdraw transition, so a JSQ probe over the whole cluster costs O(machines)
 instead of O(machines x queue length).  Set ``debug_accounting=True`` (or
 the ``REPRO_DEBUG_ACCOUNTING=1`` environment variable) to cross-check every
 counter against a full recount on each read.
+
+**Decode fast-forwarding** (see ``docs/performance.md``) removes the
+per-iteration cost of the two steady-state decode regimes while keeping
+results bit-identical to per-iteration stepping:
+
+* **Full-pool macro-events.**  When a decode-only plan covers the whole
+  token pool, the next *k* iterations (until the earliest completion, capped
+  by the KV budget) are fully determined.  The machine precomputes the
+  latency/energy series, schedules a single macro-event at the k-th
+  boundary, and lazily commits virtual iterations — token timestamps,
+  counters, metrics, callbacks — whenever the pool is observed (JSQ probes,
+  accounting checks) or transitions (enqueue/admit/withdraw/fail).  A
+  transition tombstones the macro-event and resumes per-iteration stepping
+  at the in-flight iteration's boundary.
+* **Oversubscribed rotation.**  With more pool members than batch slots, the
+  aging round-robin is stepped through a
+  :class:`~repro.batching.rotation.RotationForest` in O(batch) per
+  iteration instead of O(pool).  Every rotation iteration keeps its own
+  event at the true boundary, so arrivals, admissions, completions, and
+  pool restores all happen at exact per-iteration times; withdrawals,
+  failures, or a binding KV budget flatten the forest back into the exact
+  policy path.
+
+Disable both with ``fast_forward=False`` or ``REPRO_NO_FAST_FORWARD=1``.
 """
 
 from __future__ import annotations
 
 import enum
 import os
-from bisect import bisect_left, insort
+from array import array
+from bisect import bisect_left, bisect_right, insort
 from collections import deque
 from typing import Callable
 
@@ -40,6 +65,7 @@ from repro.batching.policies import (
     PriorityOrderedView,
     priority_key,
 )
+from repro.batching.rotation import RotationForest
 from repro.core.kv_transfer import KVTransferModel
 from repro.hardware.machine import MachineSpec
 from repro.metrics.collectors import MetricsCollector
@@ -66,6 +92,10 @@ _START_PRIORITY = 1
 
 _COMPLETED = RequestPhase.COMPLETED
 _TOKEN_RUNNING = RequestPhase.TOKEN_RUNNING
+
+#: A steady-state run must cover at least this many decode iterations for the
+#: macro-event machinery to beat plain per-iteration stepping.
+_MIN_COALESCED_ITERATIONS = 2
 
 
 
@@ -96,6 +126,13 @@ class SimulatedMachine:
         debug_accounting: Cross-check the incremental queue counters against
             a full recount on every read (slow; for tests and debugging).
             Defaults to the ``REPRO_DEBUG_ACCOUNTING=1`` environment flag.
+        fast_forward: Coalesce steady-state decode runs into macro-events
+            (bit-identical results, large speedup on decode-heavy phases).
+            Defaults to enabled unless ``REPRO_NO_FAST_FORWARD=1`` is set.
+            Callers that attach an ``on_iteration_complete`` hook observing
+            *wall-clock-accurate* per-iteration timing should disable it:
+            coalesced iterations fire the hook once per iteration but in a
+            burst at commit time.
     """
 
     def __init__(
@@ -112,6 +149,7 @@ class SimulatedMachine:
         max_prompt_batch_tokens: int = DEFAULT_MAX_PROMPT_TOKENS,
         max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
         debug_accounting: bool | None = None,
+        fast_forward: bool | None = None,
     ) -> None:
         self.name = name
         self.spec = spec
@@ -133,13 +171,17 @@ class SimulatedMachine:
         if debug_accounting is None:
             debug_accounting = os.environ.get("REPRO_DEBUG_ACCOUNTING") == "1"
         self.debug_accounting = debug_accounting
+        if fast_forward is None:
+            fast_forward = os.environ.get("REPRO_NO_FAST_FORWARD") != "1"
+        self.fast_forward_enabled = fast_forward
 
         self.pending_prompts: deque[Request] = deque()
-        self.token_pool: list[Request] = []
         # The token pool in priority_key order, maintained incrementally
         # (insort on admit, binary-search removal, two-run merge after aging)
         # so the batching policy never re-sorts it.  Same members as
-        # token_pool, which keeps admission order for fail/restart semantics.
+        # _pool_by_id, whose insertion order is the admission order relied on
+        # by fail/restart semantics (the `token_pool` property materializes
+        # that view; hot paths use the dict so completions remove in O(1)).
         self._token_ready: PriorityOrderedView = PriorityOrderedView()
         self.in_transfer: set[int] = set()
         self._in_transfer_tokens: dict[int, int] = {}
@@ -168,6 +210,34 @@ class SimulatedMachine:
         self._withdrawn_ids: set[int] = set()
         self._start_tag = f"{name}:start"
         self._finish_tag = f"{name}:finish"
+        self._macro_tag = f"{name}:macro"
+        # Pending-finish arguments (one iteration in flight at a time), so the
+        # finish event is a reused bound method instead of a fresh closure.
+        self._finish_plan: BatchPlan | None = None
+        self._finish_prompt_latency = 0.0
+        # Decode fast-forward state: the macro-event's plan, the per-iteration
+        # duration/energy series, the absolute end time of every coalesced
+        # iteration, and commit cursors (bookkeeping committed vs. metrics
+        # recorded — metrics lead by one because the per-iteration simulator
+        # records an iteration when it *starts*).
+        self._ff_plan: BatchPlan | None = None
+        self._ff_boundaries: array | None = None
+        self._ff_durations: array | None = None
+        self._ff_energies: array | None = None
+        self._ff_count = 0
+        self._ff_done = 0
+        self._ff_recorded = 0
+        self._ff_event = None
+        self.fast_forward_runs = 0  # macro-events launched (introspection)
+        # Steady-state rotation state (oversubscribed pools): the level forest
+        # replaces the flat priority view while active, and the in-flight
+        # iteration's selection is precomputed one step ahead so admissions
+        # landing mid-iteration cannot retroactively join it.
+        self._rot_forest: RotationForest | None = None
+        self._rot_selection = None
+        self._rot_event = None
+        self._rot_tag = f"{name}:rotate"
+        self.rotation_runs = 0  # rotation engagements (introspection)
 
         # Callbacks wired by the cluster simulation.
         self.on_prompt_complete: Callable[[Request, "SimulatedMachine", float], None] | None = None
@@ -184,6 +254,11 @@ class SimulatedMachine:
         """
         if self.failed:
             raise RuntimeError(f"machine {self.name} has failed and cannot accept prompts")
+        if self._rot_forest is not None and not self.policy.prefix_mixed_composition:
+            # The rotation can't compose this policy's prompt iterations;
+            # hand the next boundary back to the exact path.
+            self._rotation_interrupt()
+        self._ff_interrupt()
         self.pending_prompts.append(request)
         self._queued_prompt_tokens += request.prompt_tokens
         self._queued_by_id[request.request_id] = request
@@ -216,7 +291,23 @@ class SimulatedMachine:
             self._expected_decode_tokens -= tokens
         if request.phase is _COMPLETED:
             return
-        self.token_pool.append(request)
+        if self._rot_forest is not None:
+            if float(request.priority_boost).is_integer():
+                # A steady-state rotation absorbs admissions without breaking:
+                # the in-flight iteration's batch is already fixed (exactly as
+                # a real in-flight iteration's is), and the forest places the
+                # newcomer at its boost level, where the next aging pass
+                # boosts it just as the per-iteration path's
+                # admitted-during-iteration count would.
+                self._pool_by_id[request.request_id] = request
+                self._pool_decode_tokens += request.output_tokens - request.generated_tokens
+                self._kv_tokens += request.prompt_tokens + request.generated_tokens
+                self._rot_forest.insert(request)
+                return
+            # Non-integer boost (external writer): the forest can't represent
+            # it; fall back to the exact flat path, like entry does.
+            self._rotation_interrupt()
+        self._ff_interrupt()
         insort(self._token_ready, request, key=priority_key)
         self._pool_by_id[request.request_id] = request
         self._pool_decode_tokens += request.output_tokens - request.generated_tokens
@@ -231,12 +322,13 @@ class SimulatedMachine:
         Safe to call when the request is not present; any expected KV-cache
         transfer for it is dropped as well.
         """
+        self._rotation_interrupt()
+        self._ff_interrupt()
         request_id = request.request_id
         if self._queued_by_id.pop(request_id, None) is not None:
             self.pending_prompts.remove(request)
             self._queued_prompt_tokens -= request.prompt_tokens
         if self._pool_by_id.pop(request_id, None) is not None:
-            self.token_pool.remove(request)
             self._remove_ready(request)
             self._pool_decode_tokens -= request.remaining_tokens
             self._kv_tokens -= request.prompt_tokens + request.generated_tokens
@@ -271,15 +363,16 @@ class SimulatedMachine:
         iteration on this machine so the cluster scheduler can restart them
         elsewhere.  A failed machine executes no further iterations.
         """
+        self._rotation_interrupt()
+        self._ff_interrupt()
         self.failed = True
         affected: list[Request] = []
         affected.extend(self.pending_prompts)
-        affected.extend(self.token_pool)
+        affected.extend(self._pool_by_id.values())
         if self._running_plan is not None:
             affected.extend(self._running_plan.prompt_requests)
             affected.extend(self._running_plan.token_requests)
         self.pending_prompts.clear()
-        self.token_pool.clear()
         self._token_ready.clear()
         self.in_transfer.clear()
         self._in_transfer_tokens.clear()
@@ -320,6 +413,8 @@ class SimulatedMachine:
     @property
     def pending_decode_tokens(self) -> int:
         """Output tokens still owed by requests assigned to this machine."""
+        if self._ff_boundaries is not None:
+            self._ff_sync()
         if self.debug_accounting:
             self.verify_accounting()
         return self._pool_decode_tokens + self._expected_decode_tokens
@@ -330,13 +425,25 @@ class SimulatedMachine:
         return len(self.pending_prompts)
 
     @property
+    def token_pool(self) -> list[Request]:
+        """Decoding requests in admission order (materialized read-only view).
+
+        Backed by the insertion-ordered ``_pool_by_id`` dict so the hot paths
+        (completion removal, membership) are O(1); building the list here is
+        for introspection, tests, and the failure path only.
+        """
+        return list(self._pool_by_id.values())
+
+    @property
     def active_token_requests(self) -> int:
         """Number of requests currently decoding on this machine."""
-        return len(self.token_pool)
+        return len(self._pool_by_id)
 
     @property
     def kv_tokens_in_use(self) -> int:
         """KV-cache tokens currently resident on the machine."""
+        if self._ff_boundaries is not None:
+            self._ff_sync()
         if self.debug_accounting:
             self.verify_accounting()
         return self._kv_tokens
@@ -351,6 +458,8 @@ class SimulatedMachine:
         budget = self.constraints.max_kv_tokens
         if not budget:
             return 1.0
+        if self._ff_boundaries is not None:
+            self._ff_sync()
         if self.debug_accounting:
             self.verify_accounting()
         headroom = 1.0 - self._kv_tokens / budget
@@ -363,7 +472,7 @@ class SimulatedMachine:
 
     def has_token_work(self) -> bool:
         """Whether any token work is present or expected."""
-        return bool(self.token_pool) or bool(self.in_transfer)
+        return bool(self._pool_by_id) or bool(self.in_transfer)
 
     def has_foreign_work(self) -> bool:
         """Whether the machine holds work of the opposite kind to its home role."""
@@ -380,12 +489,19 @@ class SimulatedMachine:
             AccountingError: if any counter diverged (indicates a missed
                 transition in the incremental accounting).
         """
+        if self._ff_boundaries is not None:
+            self._ff_sync()
+        if self._rot_forest is not None:
+            # The flat view is dormant while the rotation forest owns the
+            # ordering; rebuild it (and the float boosts) for the cross-check,
+            # splicing the in-flight selection's extraction back in.
+            self._token_ready = PriorityOrderedView(self._rot_forest.flatten(self._rot_selection[0]))
         recounts = {
             "_queued_prompt_tokens": sum(r.prompt_tokens for r in self.pending_prompts),
             "_running_prompt_tokens": self._running_plan.prompt_tokens if self._running_plan else 0,
-            "_pool_decode_tokens": sum(r.remaining_tokens for r in self.token_pool),
+            "_pool_decode_tokens": sum(r.remaining_tokens for r in self._pool_by_id.values()),
             "_expected_decode_tokens": sum(self._in_transfer_tokens.values()),
-            "_kv_tokens": sum(r.context_tokens for r in self.token_pool),
+            "_kv_tokens": sum(r.context_tokens for r in self._pool_by_id.values()),
         }
         for attribute, expected in recounts.items():
             actual = getattr(self, attribute)
@@ -396,7 +512,7 @@ class SimulatedMachine:
         queued_ids = {r.request_id for r in self.pending_prompts}
         if queued_ids != set(self._queued_by_id):
             raise AccountingError(f"machine {self.name}: _queued_by_id out of sync with pending_prompts")
-        pool_ids = {r.request_id for r in self.token_pool}
+        pool_ids = {r.request_id for r in self._pool_by_id.values()}
         if pool_ids != set(self._pool_by_id):
             raise AccountingError(f"machine {self.name}: _pool_by_id out of sync with token_pool")
         ready_keys = [priority_key(r) for r in self._token_ready]
@@ -420,20 +536,62 @@ class SimulatedMachine:
     def _start_iteration(self) -> None:
         if self._busy or self.failed:
             return
+        # Oversubscribed steady state: more pool members than batch slots and
+        # a prefix-selecting policy — the pool enters the aging rotation,
+        # which the level forest steps in O(batch) per iteration instead of
+        # O(pool).  Every iteration keeps its own event at the true boundary
+        # (so cross-machine callbacks, prompt admissions, and pool restores
+        # all run at exact per-iteration times); arrivals and admissions are
+        # absorbed live, and only withdrawals, failures, or a binding KV
+        # budget fall back to the exact policy path.
+        if (
+            self.fast_forward_enabled
+            and not self._withdrawn_ids
+            and len(self._pool_by_id) > self.constraints.max_batch_size
+            and self.policy.prefix_token_selection
+            and (not self.pending_prompts or self.policy.prefix_mixed_composition)
+            and self._try_enter_rotation()
+        ):
+            return
         # The FCFS-sorted ready view makes the policy's priority ordering a
         # detected no-op whenever no request carries an aging boost.
-        plan = self.policy.plan_iteration(self.pending_prompts, self._token_ready, self.constraints)
+        plan = self.policy.plan_iteration(
+            self.pending_prompts, self._token_ready, self.constraints, self._kv_tokens
+        )
         if plan.is_empty:
             return
         self._busy = True
         self._running_plan = plan
-        self._pool_len_at_plan = len(self.token_pool)
+        self._pool_len_at_plan = len(self._pool_by_id)
         self._admitted_during_iteration = 0
         self._aging_pending = True
 
         prompt_tokens = plan.prompt_tokens
         token_requests = len(plan.token_requests)
         context_tokens = plan.context_tokens
+
+        # Steady-state decode: no prompt work anywhere, the whole pool is in
+        # the batch (so nothing can age), the per-iteration pool-restore hook
+        # is a provable no-op for the whole run, and no mid-iteration
+        # withdrawal is pending.  Every following iteration is then identical
+        # but for its growing context, so the run can be coalesced into one
+        # macro-event.  The pool-restore hook no-ops when the machine sits in
+        # its home pool, and also when a prompt-home machine is borrowed by
+        # the mixed pool: its token pool (non-empty for the whole run) *is*
+        # the foreign work that keeps it borrowed.  A token-home machine in
+        # the mixed pool must not coalesce — with no prompt work left it
+        # would be restored home after the first iteration.
+        if (
+            token_requests
+            and not plan.prompt_requests
+            and not self.pending_prompts
+            and self.fast_forward_enabled
+            and token_requests == len(self._pool_by_id)
+            and (self.role is self.home_role or self.home_role is MachineRole.PROMPT)
+            and not self._withdrawn_ids
+            and self._try_fast_forward(plan, token_requests)
+        ):
+            return
 
         # The policy popped the admitted prompts off pending_prompts; move
         # their tokens from the queued counter to the running counter.
@@ -458,24 +616,462 @@ class SimulatedMachine:
             energy_wh += self.power.token_energy_wh(token_requests, token_latency)
 
         self.metrics.record_iteration(
-            machine=self.name,
-            duration_s=duration,
-            active_tokens=plan.active_tokens,
-            energy_wh=energy_wh,
-            prompt_tokens=prompt_tokens,
-            tokens_generated=len(plan.prompt_requests) + token_requests,
+            self.name,
+            duration,
+            plan.active_tokens,
+            energy_wh,
+            prompt_tokens,
+            len(plan.prompt_requests) + token_requests,
         )
 
         now = self.engine.now
         for request in plan.prompt_requests:
             request.start_prompt(now, self.name)
 
+        self._finish_plan = plan
+        self._finish_prompt_latency = prompt_latency
         self.engine.schedule_after(
-            duration,
-            lambda: self._finish_iteration(plan, prompt_latency),
-            priority=_FINISH_PRIORITY,
-            tag=self._finish_tag,
+            duration, self._on_finish_event, priority=_FINISH_PRIORITY, tag=self._finish_tag
         )
+
+    def _on_finish_event(self) -> None:
+        """Finish the single in-flight iteration (reused bound-method callback)."""
+        plan = self._finish_plan
+        if plan is None:  # pragma: no cover - defensive; _busy gates scheduling
+            return
+        self._finish_plan = None
+        self._finish_iteration(plan, self._finish_prompt_latency)
+
+    # -- decode fast-forwarding ---------------------------------------------------------
+
+    def _try_fast_forward(self, plan: BatchPlan, token_requests: int) -> bool:
+        """Launch a macro-event coalescing the next steady-state decode run.
+
+        Returns False (leaving the caller on the per-iteration path) when the
+        run would be too short to pay for itself.  The run length is the
+        number of iterations until the earliest completion, additionally
+        capped so the pooled KV context — which grows by one token per
+        request per iteration — never crosses the budget that would force the
+        batching policy to skip a member.
+        """
+        count = min(r.output_tokens - r.generated_tokens for r in plan.token_requests) - 1
+        headroom_iterations = (self.constraints.kv_capacity - plan.context_tokens) // token_requests + 1
+        if headroom_iterations < count:
+            count = headroom_iterations
+        if count < _MIN_COALESCED_ITERATIONS:
+            return False
+
+        durations = self.performance.token_latency_series(
+            token_requests, plan.context_tokens, token_requests, count
+        )
+        if not isinstance(durations, array):
+            durations = array("d", durations)
+        energies = self.power.token_energy_series(token_requests, durations)
+        # Boundary j is the end of coalesced iteration j, accumulated with the
+        # same left-to-right float additions the event clock would perform.
+        boundaries = array("d")
+        append = boundaries.append
+        time = self.engine.now
+        for duration in durations:
+            time += duration
+            append(time)
+
+        self._ff_plan = plan
+        self._ff_durations = durations
+        self._ff_energies = energies
+        self._ff_boundaries = boundaries
+        self._ff_count = count
+        self._ff_done = 0
+        self._ff_recorded = 0
+        self._ff_event = self.engine.schedule_at(
+            boundaries[-1], self._on_macro_event, priority=_FINISH_PRIORITY, tag=self._macro_tag
+        )
+        self.fast_forward_runs += 1
+        # The first coalesced iteration starts now; record its metrics (the
+        # per-iteration path records an iteration when it starts).
+        self._ff_sync()
+        return True
+
+    def _ff_sync(self) -> None:
+        """Commit every coalesced iteration the simulated clock has passed.
+
+        Called before any observation of pool state (queue probes, accounting
+        checks) and on every interrupt, so mid-run observers see exactly the
+        state the per-iteration simulator would expose at the same timestamp:
+        bookkeeping for iterations whose boundary has passed, metrics for
+        iterations that have started.
+        """
+        boundaries = self._ff_boundaries
+        if boundaries is None:
+            return
+        finished = bisect_right(boundaries, self.engine.now)
+        done = self._ff_done
+        if finished > done:
+            self._ff_commit(done, finished)
+            self._ff_done = finished
+        started = finished + 1
+        count = self._ff_count
+        if started > count:
+            started = count
+        recorded = self._ff_recorded
+        if started > recorded:
+            plan = self._ff_plan
+            n = len(plan.token_requests)
+            self.metrics.record_coalesced(
+                self.name,
+                started - recorded,
+                n,  # decode-only batch: active tokens == batched requests
+                memoryview(self._ff_durations)[recorded:started],
+                memoryview(self._ff_energies)[recorded:started],
+                n,
+            )
+            self._ff_recorded = started
+
+    def _ff_commit(self, start: int, stop: int) -> None:
+        """Apply the bookkeeping of coalesced iterations ``[start, stop)``.
+
+        Equivalent to running ``stop - start`` per-iteration finish loops: one
+        token per pool member per iteration, timestamps at the precomputed
+        boundaries, counters moved by exact integer totals.  No member can
+        complete (the run stops one iteration short of the earliest
+        completion) and nothing can age (the whole pool is in the batch), so
+        the completion/aging arms of the per-iteration loop are provably dead
+        here.
+        """
+        plan = self._ff_plan
+        count = stop - start
+        times = self._ff_boundaries[start:stop]
+        for request in plan.token_requests:
+            request.generated_tokens += count
+            request.token_times.extend(times)
+            request.phase = _TOKEN_RUNNING
+        generated = count * len(plan.token_requests)
+        self._pool_decode_tokens -= generated
+        self._kv_tokens += generated
+        on_iteration_complete = self.on_iteration_complete
+        if on_iteration_complete is not None:
+            for _ in range(count):
+                on_iteration_complete(self)
+
+    def _ff_clear(self, fired: bool) -> None:
+        """Tear down the fast-forward state, crediting coalesced event counts."""
+        # Every committed iteration ran without its own queue entry, except
+        # the one the macro-event itself finished (when it fired).
+        self.engine.note_coalesced(self._ff_done - 1 if fired else self._ff_done)
+        if not fired and self._ff_event is not None:
+            self.engine.cancel(self._ff_event)
+        self._ff_plan = None
+        self._ff_boundaries = None
+        self._ff_durations = None
+        self._ff_energies = None
+        self._ff_event = None
+        self._ff_count = self._ff_done = self._ff_recorded = 0
+
+    def _ff_interrupt(self) -> None:
+        """Fall back to per-iteration stepping before a pool transition.
+
+        Commits everything the clock has passed, tombstones the macro-event,
+        and schedules a normal finish event at the in-flight iteration's
+        boundary — the iteration that is mid-execution keeps its already-fixed
+        batch, exactly as a real in-flight iteration would.
+        """
+        boundaries = self._ff_boundaries
+        if boundaries is None:
+            return
+        self._ff_sync()
+        in_flight = self._ff_done
+        plan = self._ff_plan
+        if in_flight >= self._ff_count:
+            # The run is fully committed (the interrupter fired at the final
+            # boundary, winning the tie against the macro-event): the machine
+            # is idle; re-plan via a fresh kick once the caller's transition
+            # lands.
+            self._ff_clear(fired=False)
+            self._busy = False
+            self._running_plan = None
+            self._aging_pending = False
+            self._admitted_during_iteration = 0
+            self._kick()
+            return
+        end_time = boundaries[in_flight]
+        self._ff_clear(fired=False)
+        self._finish_plan = plan
+        self._finish_prompt_latency = 0.0
+        self.engine.schedule_at(end_time, self._on_finish_event, priority=_FINISH_PRIORITY, tag=self._finish_tag)
+
+    def _on_macro_event(self) -> None:
+        """Finish a completed steady-state run and re-plan."""
+        if self.failed or self._ff_boundaries is None:  # pragma: no cover - defensive
+            return
+        self._ff_sync()  # now == final boundary: commits the whole run
+        self._ff_clear(fired=True)
+        self._busy = False
+        self._running_plan = None
+        self._aging_pending = False
+        self._admitted_during_iteration = 0
+        self._start_iteration()
+
+    # -- oversubscribed-pool rotation ----------------------------------------------------
+
+    def _try_enter_rotation(self) -> bool:
+        """Switch the pool into forest-backed rotation stepping.
+
+        Returns False — leaving the caller on the exact policy path — when
+        the pool carries non-integer boosts (external writer) or the very
+        first iteration can't be composed (a KV-budget skip would be needed).
+        """
+        forest = RotationForest.from_ordered_view(self._token_ready)
+        if forest is None:
+            return False
+        self._rot_forest = forest
+        self._busy = True
+        self._aging_pending = False
+        self._admitted_during_iteration = 0
+        if not self._rot_begin_iteration():
+            self._rot_forest = None
+            self._busy = False
+            return False
+        self.rotation_runs += 1
+        return True
+
+    def _rot_begin_iteration(self) -> bool:
+        """Compose and start one rotation iteration at the current instant.
+
+        Reproduces the per-iteration start path exactly — FCFS prompt
+        admission, prefix token selection, the same latency/energy/metric
+        calls — against the forest instead of the flat view.  The iteration
+        is fixed here, one boundary ahead, so later arrivals cannot join it,
+        just as a real in-flight plan is fixed at its start.  Returns False
+        (without side effects) when composition needs the exact policy path.
+        """
+        constraints = self.constraints
+        pending = self.pending_prompts
+        prompt_count = 0
+        prompt_tokens = 0
+        if pending:
+            if not self.policy.prefix_mixed_composition:
+                return False
+            # Non-destructive replica of FCFS prompt admission: count and sum
+            # first, pop only once the iteration is definitely rotation-run.
+            max_prompt_tokens = constraints.max_prompt_tokens
+            slots = constraints.max_batch_size
+            for request in pending:
+                if prompt_count and prompt_tokens + request.prompt_tokens > max_prompt_tokens:
+                    break
+                prompt_count += 1
+                prompt_tokens += request.prompt_tokens
+                if prompt_count >= slots:
+                    break
+        selection = self._rot_forest.select(
+            constraints.max_batch_size - prompt_count,
+            constraints.kv_capacity - prompt_tokens if prompt_tokens <= constraints.kv_capacity else 0,
+        )
+        if selection is None:
+            return False
+
+        prompts: list[Request] = []
+        if prompt_count:
+            queued_by_id = self._queued_by_id
+            popleft = pending.popleft
+            for _ in range(prompt_count):
+                request = popleft()
+                prompts.append(request)
+                queued_by_id.pop(request.request_id, None)
+            self._queued_prompt_tokens -= prompt_tokens
+            self._running_prompt_tokens = prompt_tokens
+        token_requests = selection.count
+        plan = BatchPlan(
+            prompt_requests=prompts,
+            token_requests=selection.requests(),
+            prompt_tokens=prompt_tokens,
+            context_tokens=selection.context,
+        )
+        self._running_plan = plan
+
+        prompt_latency = self.performance.prompt_latency(prompt_tokens) if prompt_tokens else 0.0
+        prompt_latency *= self._transfer_interference(plan)
+        token_latency = (
+            self.performance.token_latency(token_requests, selection.context) if token_requests else 0.0
+        )
+        duration = prompt_latency + token_latency
+
+        energy_wh = 0.0
+        if prompt_tokens:
+            energy_wh += self.power.prompt_energy_wh(prompt_tokens, prompt_latency)
+        if token_requests:
+            energy_wh += self.power.token_energy_wh(token_requests, token_latency)
+
+        self.metrics.record_iteration(
+            self.name,
+            duration,
+            plan.active_tokens,
+            energy_wh,
+            prompt_tokens,
+            prompt_count + token_requests,
+        )
+
+        if prompts:
+            now = self.engine.now
+            name = self.name
+            for request in prompts:
+                request.start_prompt(now, name)
+
+        self._rot_selection = (selection, plan, prompt_latency)
+        self._rot_event = self.engine.schedule_after(
+            duration, self._on_rotation_step, priority=_FINISH_PRIORITY, tag=self._rot_tag
+        )
+        return True
+
+    def _on_rotation_step(self) -> None:
+        """Finish the in-flight rotation iteration and start the next."""
+        forest = self._rot_forest
+        if self.failed or forest is None:  # pragma: no cover - defensive; exits cancel the stepper
+            return
+        selection, plan, prompt_latency = self._rot_selection
+        now = self.engine.now
+        self._running_prompt_tokens = 0
+        self._running_plan = None
+
+        if plan.prompt_requests:
+            on_prompt_complete = self.on_prompt_complete
+            on_request_complete = self.on_request_complete
+            for request in plan.prompt_requests:
+                request.finish_prompt(now)
+                if on_prompt_complete is not None:
+                    on_prompt_complete(request, self, prompt_latency)
+                if request.phase is _COMPLETED and on_request_complete is not None:
+                    on_request_complete(request, self)
+
+        offset = forest.offset
+        pool_by_id = self._pool_by_id
+        on_request_complete = self.on_request_complete
+        serviced = 0
+        kv_delta = 0
+        completed_extracted_context = 0
+        completed_per_segment = []
+        split_level = selection.split_level
+        for segment in selection.segments:
+            level = segment.level
+            completed = None
+            members = segment.members
+            for request in members:
+                generated = request.generated_tokens + 1
+                request.generated_tokens = generated
+                request.token_times.append(now)
+                if generated < request.output_tokens:
+                    request.phase = _TOKEN_RUNNING
+                else:
+                    request.phase = _COMPLETED
+                    request.completion_time = now
+                    request.priority_boost = float(
+                        (level.stored if level is not None else split_level.stored) + offset
+                    )
+                    if completed is None:
+                        completed = []
+                    pre_context = request.prompt_tokens + generated - 1
+                    completed.append((request, pre_context))
+                    if level is None:
+                        completed_extracted_context += pre_context
+                    del pool_by_id[request.request_id]
+                    kv_delta -= request.prompt_tokens + generated
+                    if on_request_complete is not None:
+                        on_request_complete(request, self)
+            serviced += len(members)
+            completed_per_segment.append(completed)
+        self._pool_decode_tokens -= serviced
+        self._kv_tokens += serviced + kv_delta
+        forest.note_serviced(selection, completed_per_segment)
+        if split_level is not None:
+            if completed_per_segment and completed_per_segment[-1]:
+                survivors = [r for r in selection.extracted if r.phase is not _COMPLETED]
+            else:
+                survivors = selection.extracted
+            # Post-service context of the surviving extraction, without
+            # re-walking it: pre-service total, minus completed members'
+            # pre-service contexts, plus one generated token per survivor.
+            survivors_context = selection.extracted_context - completed_extracted_context + len(survivors)
+        else:
+            survivors = []
+            survivors_context = 0
+        forest.commit_aging(selection, survivors, survivors_context)
+        if self.on_iteration_complete is not None:
+            self.on_iteration_complete(self)
+        if len(pool_by_id) <= self.constraints.max_batch_size:
+            # The pool now fits one batch: hand over to the full-pool
+            # coalescing (or plain stepping) via a fresh planning pass.
+            self._rotation_close()
+            return
+        if not self._rot_begin_iteration():
+            self._rotation_close()
+
+    def _rotation_close(self) -> None:
+        """Exit rotation at an iteration boundary and re-plan normally."""
+        self._materialize_rotation(None)
+        self._busy = False
+        self._start_iteration()
+
+    def _materialize_rotation(self, inflight) -> None:
+        """Flatten the forest back into the flat priority view (+ float boosts)."""
+        forest = self._rot_forest
+        self._rot_forest = None
+        self._rot_selection = None
+        self._rot_event = None
+        self._token_ready = PriorityOrderedView(forest.flatten(inflight))
+
+    def _rotation_interrupt(self) -> None:
+        """Fall back to per-iteration stepping before a pool transition.
+
+        The in-flight iteration keeps its already-fixed batch: its stepper
+        event is replaced by a normal finish event at the same boundary (so
+        completions, aging, and withdrawals take the standard code path), and
+        the forest is flattened back into the flat view the standard path
+        maintains.
+        """
+        if self._rot_forest is None:
+            return
+        selection, plan, prompt_latency = self._rot_selection
+        boundary = self._rot_event.time
+        self.engine.cancel(self._rot_event)
+        self._materialize_rotation(selection)
+        # The token selection is by construction the first `count` members of
+        # the flat view; re-slicing the rebuilt view yields the same set in
+        # exact view order, which the aging pass's subsequence walk relies on
+        # (sibling-run segments may interleave within a level).
+        plan.token_requests = list(self._token_ready[: selection.count])
+        self._running_plan = plan
+        self._finish_plan = plan
+        self._finish_prompt_latency = prompt_latency
+        self._pool_len_at_plan = len(self._pool_by_id)
+        self._admitted_during_iteration = 0
+        self._aging_pending = True
+        self.engine.schedule_at(boundary, self._on_finish_event, priority=_FINISH_PRIORITY, tag=self._finish_tag)
+
+    def sync_fast_forward(self) -> None:
+        """Materialize any coalesced-but-uncommitted iterations up to now.
+
+        Cluster drivers call this after a horizon-limited run so that partial
+        results match what per-iteration stepping would have produced by the
+        same simulated time.  Rotation bookkeeping is always current at the
+        clock, but its float boosts and flat view are materialized here for
+        post-run readers.  A no-op when nothing is coalesced.
+        """
+        self._ff_sync()
+        # A rotation in flight at a horizon stop is converted to a pending
+        # per-iteration finish — exactly the state per-iteration stepping
+        # leaves behind when the clock stops mid-iteration.
+        self._rotation_interrupt()
+
+    def notify_power_cap_change(self) -> None:
+        """Invalidate memoized latency/energy tables after a power-cap change.
+
+        Interrupts any in-flight macro-event first: its precomputed series
+        reflect the old cap, and only iterations that already started may
+        keep it (the in-flight iteration completes under the latency it was
+        launched with, exactly like the per-iteration simulator).
+        """
+        self._ff_interrupt()
+        self.performance.invalidate_caches()
+        self.power.invalidate_caches()
 
     def _age_skipped(self, plan: BatchPlan) -> None:
         """Boost every pool member left out of ``plan`` and restore ready order.
@@ -583,7 +1179,6 @@ class SimulatedMachine:
                 request.phase = _COMPLETED
                 request.completion_time = now
                 del pool_by_id[request.request_id]
-                self.token_pool.remove(request)
                 self._remove_ready(request)
                 kv_delta -= request.prompt_tokens + generated
                 if on_request_complete is not None:
@@ -612,5 +1207,5 @@ class SimulatedMachine:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SimulatedMachine(name={self.name!r}, spec={self.spec.name!r}, role={self.role.value!r}, "
-            f"prompts={len(self.pending_prompts)}, tokens={len(self.token_pool)})"
+            f"prompts={len(self.pending_prompts)}, tokens={len(self._pool_by_id)})"
         )

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -39,6 +39,28 @@ class BatchOccupancyTracker:
             raise ValueError(f"duration_s must be non-negative, got {duration_s}")
         if duration_s > 0:
             self._durations[active_tokens] += duration_s
+
+    def record_bulk(self, active_tokens: int, durations_s: Sequence[float]) -> None:
+        """Accumulate many same-occupancy samples in one call.
+
+        Bit-identical to calling :meth:`record` once per duration — the
+        samples are added to the bucket sequentially, in order, and
+        non-positive samples are skipped exactly as :meth:`record` skips them
+        (no bucket is created for them either) — with a single dict access
+        for the whole run.
+        """
+        if active_tokens < 0:
+            raise ValueError(f"active_tokens must be non-negative, got {active_tokens}")
+        if not durations_s:
+            return
+        total = self._durations.get(active_tokens, 0.0)
+        recorded = False
+        for duration_s in durations_s:
+            if duration_s > 0:
+                total += duration_s
+                recorded = True
+        if recorded:
+            self._durations[active_tokens] = total
 
     @property
     def total_time(self) -> float:
@@ -79,9 +101,13 @@ class BatchOccupancyTracker:
         return below / total
 
 
-@dataclass
+@dataclass(slots=True)
 class MachineStats:
     """Aggregated statistics for one simulated machine.
+
+    A slotted dataclass: ``record_iteration`` runs once per simulated
+    iteration across the whole cluster, and slot access keeps that hot path
+    free of per-instance ``__dict__`` lookups.
 
     Attributes:
         busy_time_s: Time spent executing non-empty iterations.
@@ -123,7 +149,11 @@ class MetricsCollector:
         prompt_tokens: int = 0,
         tokens_generated: int = 0,
     ) -> None:
-        """Record one executed iteration on ``machine``."""
+        """Record one executed iteration on ``machine``.
+
+        Hot path: callers on the simulator's iteration loop should pass
+        arguments positionally (no keyword-dict churn per call).
+        """
         stats = self._machines[machine]
         stats.busy_time_s += duration_s
         stats.energy_wh += energy_wh
@@ -131,6 +161,39 @@ class MetricsCollector:
         stats.prompt_tokens_processed += prompt_tokens
         stats.tokens_generated += tokens_generated
         stats.occupancy.record(active_tokens, duration_s)
+
+    def record_coalesced(
+        self,
+        machine: str,
+        count: int,
+        active_tokens: int,
+        durations_s: Sequence[float],
+        energies_wh: Sequence[float],
+        tokens_per_iteration: int,
+    ) -> None:
+        """Record ``count`` coalesced decode iterations in one call.
+
+        Equivalent — including float accumulation order — to ``count``
+        successive :meth:`record_iteration` calls with the given per-iteration
+        durations and energies, all at ``active_tokens`` occupancy with
+        ``tokens_per_iteration`` tokens generated each.  Used by the decode
+        fast-forward engine to commit a macro-iteration without per-iteration
+        collector overhead.
+        """
+        if count <= 0:
+            return
+        stats = self._machines[machine]
+        busy = stats.busy_time_s
+        for duration_s in durations_s:
+            busy += duration_s
+        stats.busy_time_s = busy
+        energy = stats.energy_wh
+        for energy_wh in energies_wh:
+            energy += energy_wh
+        stats.energy_wh = energy
+        stats.iterations += count
+        stats.tokens_generated += count * tokens_per_iteration
+        stats.occupancy.record_bulk(active_tokens, durations_s)
 
     def machine_stats(self, machine: str) -> MachineStats:
         """Stats for one machine (empty stats if it never ran)."""

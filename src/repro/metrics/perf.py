@@ -16,7 +16,10 @@ trace length, and where the incremental-accounting hot path keeps it linear.
 
 from __future__ import annotations
 
+import argparse
+import cProfile
 import json
+import pstats
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -79,11 +82,17 @@ class PerfSample:
             valid sample — an incomplete drain means the scenario is broken).
         events: Events executed by the engine.
         events_cancelled: Events tombstoned before execution.
+        events_coalesced: Iterations executed without their own queue entry
+            (decode fast-forward macro-events).  ``events + events_coalesced``
+            is invariant across coalescing changes — it measures the
+            simulated work actually performed.
         tokens_generated: Total output tokens produced across the cluster.
         wall_s: Host wall-clock seconds for the run.
         sim_time_s: Final simulated time (a pure simulation output — it must
             be identical on every host and across perf-only refactors).
-        events_per_s: Engine throughput (events / wall second).
+        events_per_s: Simulated work per wall second, counted as logical
+            events (executed + coalesced) so the trajectory metric stays
+            comparable across coalescing changes.
         requests_per_s: End-to-end throughput (requests / wall second).
     """
 
@@ -93,6 +102,7 @@ class PerfSample:
     completed: int
     events: int
     events_cancelled: int
+    events_coalesced: int
     tokens_generated: int
     wall_s: float
     sim_time_s: float
@@ -100,7 +110,8 @@ class PerfSample:
     requests_per_s: float = field(init=False)
 
     def __post_init__(self) -> None:
-        self.events_per_s = self.events / self.wall_s if self.wall_s > 0 else 0.0
+        logical_events = self.events + self.events_coalesced
+        self.events_per_s = logical_events / self.wall_s if self.wall_s > 0 else 0.0
         self.requests_per_s = self.requests / self.wall_s if self.wall_s > 0 else 0.0
 
 
@@ -130,6 +141,7 @@ def run_perf_scenario(scenario: PerfScenario) -> PerfSample:
         completed=len(result.completed_requests),
         events=simulation.engine.events_processed,
         events_cancelled=simulation.engine.events_cancelled,
+        events_coalesced=simulation.engine.events_coalesced,
         tokens_generated=tokens,
         wall_s=wall_s,
         sim_time_s=result.duration_s,
@@ -139,6 +151,7 @@ def run_perf_scenario(scenario: PerfScenario) -> PerfSample:
 def build_bench_report(
     samples: Iterable[PerfSample],
     baseline: Mapping[str, Mapping[str, float]] | None = None,
+    profile: Mapping | None = None,
 ) -> dict:
     """Assemble the ``BENCH_perf.json`` payload.
 
@@ -147,6 +160,8 @@ def build_bench_report(
         baseline: Optional reference numbers (``wall_s``/``events_per_s``/
             ``requests_per_s`` per scenario name) to compute speedups against
             — typically the recorded seed-implementation measurements.
+        profile: Optional embedded profile summary (see
+            :func:`profile_top_functions`).
 
     Returns:
         A JSON-serializable report with per-scenario measurements and, when a
@@ -155,7 +170,7 @@ def build_bench_report(
     """
     report: dict = {
         "benchmark": "simulator-scaling",
-        "unit": {"wall_s": "seconds", "events_per_s": "events/sec", "requests_per_s": "requests/sec"},
+        "unit": {"wall_s": "seconds", "events_per_s": "logical events/sec", "requests_per_s": "requests/sec"},
         "scenarios": {},
     }
     for sample in samples:
@@ -166,6 +181,8 @@ def build_bench_report(
             if sample.wall_s > 0 and reference.get("wall_s"):
                 entry["speedup"] = reference["wall_s"] / sample.wall_s
         report["scenarios"][sample.scenario] = entry
+    if profile is not None:
+        report["profile"] = dict(profile)
     return report
 
 
@@ -173,8 +190,79 @@ def write_bench_report(
     path: str | Path,
     samples: Iterable[PerfSample],
     baseline: Mapping[str, Mapping[str, float]] | None = None,
+    profile: Mapping | None = None,
 ) -> dict:
     """Write :func:`build_bench_report` output to ``path`` and return it."""
-    report = build_bench_report(samples, baseline)
+    report = build_bench_report(samples, baseline, profile)
     Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return report
+
+
+def profile_top_functions(profiler: cProfile.Profile, limit: int = 20) -> dict:
+    """Summarize a profiler run as its top-``limit`` cumulative functions.
+
+    Returns a JSON-serializable mapping embedded in ``BENCH_perf.json`` under
+    ``"profile"``, so the report itself names the current hot spots (the
+    functions the *next* perf PR should look at first).
+    """
+    stats = pstats.Stats(profiler)
+    rows = []
+    entries = sorted(stats.stats.items(), key=lambda item: item[1][3], reverse=True)
+    for (filename, line, function), (cc, ncalls, tottime, cumtime, _callers) in entries[:limit]:
+        rows.append(
+            {
+                "function": f"{filename}:{line}({function})",
+                "ncalls": ncalls,
+                "primitive_calls": cc,
+                "tottime_s": round(tottime, 6),
+                "cumtime_s": round(cumtime, 6),
+            }
+        )
+    return {
+        "note": "cProfile inflates wall time ~1.5-2x but ranks hot spots faithfully",
+        "sorted_by": "cumulative",
+        "top_functions": rows,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point: ``python -m repro.metrics.perf [--profile]``.
+
+    Runs the scaling scenarios and writes ``BENCH_perf.json``.  With
+    ``--profile``, the run executes under :mod:`cProfile` (wall times are
+    inflated; throughput numbers from a profiled run are not comparable to
+    unprofiled ones) and the report embeds the top-20 cumulative functions.
+    """
+    parser = argparse.ArgumentParser(description="Simulator scaling self-benchmark")
+    parser.add_argument("--profile", action="store_true", help="embed cProfile top functions in the report")
+    parser.add_argument("--output", default="BENCH_perf.json", help="report path (default: ./BENCH_perf.json)")
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        choices=[scenario.name for scenario in SCALING_SCENARIOS],
+        help="run only the named scenario (repeatable; default: all)",
+    )
+    args = parser.parse_args(argv)
+    selected = [s for s in SCALING_SCENARIOS if not args.scenario or s.name in args.scenario]
+
+    profiler = cProfile.Profile() if args.profile else None
+    samples = []
+    for scenario in selected:
+        if profiler is not None:
+            profiler.enable()
+        sample = run_perf_scenario(scenario)
+        if profiler is not None:
+            profiler.disable()
+        samples.append(sample)
+        print(
+            f"{sample.scenario}: wall={sample.wall_s:.3f}s events/s={sample.events_per_s:,.0f} "
+            f"requests/s={sample.requests_per_s:,.0f} coalesced={sample.events_coalesced}"
+        )
+    profile = profile_top_functions(profiler) if profiler is not None else None
+    write_bench_report(args.output, samples, profile=profile)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

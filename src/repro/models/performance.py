@@ -27,6 +27,7 @@ what makes mixed batching inflate TBT in the paper's Fig. 2(c).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from array import array
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -107,6 +108,28 @@ class PerformanceModel(ABC):
                 ``token_requests * DEFAULT_REFERENCE_CONTEXT``.
         """
 
+    def token_latency_series(
+        self, token_requests: int, context_start: int, context_step: int, count: int
+    ) -> Sequence[float]:
+        """Latencies of ``count`` consecutive decode iterations of a fixed batch.
+
+        The batched context starts at ``context_start`` tokens and grows by
+        ``context_step`` per iteration (one token per decoding request).  The
+        default implementation calls :meth:`token_latency` once per iteration,
+        so subclasses that vectorize or inline the computation must stay
+        bit-identical to that reference — the decode fast-forward engine
+        relies on it to coalesce iterations without drifting the simulation.
+        """
+        latency = self.token_latency
+        return [latency(token_requests, context_start + i * context_step) for i in range(count)]
+
+    def invalidate_caches(self) -> None:
+        """Drop memoized latency entries (call after a power-cap change).
+
+        The base implementation keeps no caches; memoizing subclasses
+        override this.
+        """
+
     # -- derived quantities ------------------------------------------------------
 
     def iteration_latency(self, batch: BatchSpec) -> float:
@@ -180,6 +203,11 @@ _TOKEN_COEFFS_MS: dict[tuple[str, str], tuple[float, float]] = {
 _REFERENCE_MODEL = "Llama2-70B"
 _REFERENCE_GPU = "H100"
 
+#: Memoized latency tables are cleared wholesale once they reach this many
+#: entries, bounding memory on million-token traces whose coalesced decode
+#: runs touch a long tail of unique (batch, context) keys.
+_MAX_MEMO_ENTRIES = 1 << 16
+
 
 def _gpu_family(machine: MachineSpec) -> str:
     """Map a machine to the GPU family used in the calibration tables."""
@@ -209,6 +237,12 @@ class AnalyticalPerformanceModel(PerformanceModel):
     reference by parameter count and by the FLOPs / HBM-bandwidth ratios of
     the GPU, so user-defined models remain usable.
 
+    Latencies are pure functions of the batch composition, so they are
+    memoized on exact ``prompt_tokens`` / ``(token_requests, context_tokens)``
+    keys — exact keys, not rounded buckets, so cached and freshly computed
+    values are bit-identical.  Call :meth:`invalidate_caches` after changing
+    the machine's power cap.
+
     Args:
         model: LLM being served.
         machine: Machine serving it (tensor-parallel across all its GPUs).
@@ -223,6 +257,14 @@ class AnalyticalPerformanceModel(PerformanceModel):
         self._power = PowerModel(model, machine)
         self._prompt_coeffs = self._resolve_prompt_coeffs()
         self._token_coeffs = self._resolve_token_coeffs()
+        self._prompt_cache: dict[int, float] = {}
+        self._token_cache: dict[tuple[int, int], float] = {}
+
+    def invalidate_caches(self) -> None:
+        """Drop every memoized latency entry and the power model's tables."""
+        self._prompt_cache.clear()
+        self._token_cache.clear()
+        self._power.invalidate_caches()
 
     # -- calibration resolution ---------------------------------------------------
 
@@ -263,6 +305,9 @@ class AnalyticalPerformanceModel(PerformanceModel):
     # -- latency -------------------------------------------------------------------
 
     def prompt_latency(self, prompt_tokens: int) -> float:
+        cached = self._prompt_cache.get(prompt_tokens)
+        if cached is not None:
+            return cached
         if prompt_tokens < 0:
             raise ValueError(f"prompt_tokens must be non-negative, got {prompt_tokens}")
         if prompt_tokens == 0:
@@ -271,20 +316,63 @@ class AnalyticalPerformanceModel(PerformanceModel):
         latency_ms = c0 + c1 * prompt_tokens + c2 * prompt_tokens**2
         if self.apply_power_cap:
             latency_ms *= self._power.prompt_cap_slowdown(prompt_tokens)
-        return latency_ms / 1e3
+        latency = latency_ms / 1e3
+        cache = self._prompt_cache
+        if len(cache) >= _MAX_MEMO_ENTRIES:
+            cache.clear()
+        cache[prompt_tokens] = latency
+        return latency
 
     def token_latency(self, token_requests: int, context_tokens: int | None = None) -> float:
+        if context_tokens is None:
+            context_tokens = token_requests * DEFAULT_REFERENCE_CONTEXT
+        key = (token_requests, context_tokens)
+        cached = self._token_cache.get(key)
+        if cached is not None:
+            return cached
         if token_requests < 0:
             raise ValueError(f"token_requests must be non-negative, got {token_requests}")
         if token_requests == 0:
             return 0.0
-        if context_tokens is None:
-            context_tokens = token_requests * DEFAULT_REFERENCE_CONTEXT
         d0, d1 = self._token_coeffs
         latency_ms = d0 + d1 * token_requests + self._kv_read_ms(context_tokens)
         if self.apply_power_cap:
             latency_ms *= self._power.token_cap_slowdown(token_requests)
-        return latency_ms / 1e3
+        latency = latency_ms / 1e3
+        cache = self._token_cache
+        if len(cache) >= _MAX_MEMO_ENTRIES:
+            cache.clear()
+        cache[key] = latency
+        return latency
+
+    def token_latency_series(
+        self, token_requests: int, context_start: int, context_step: int, count: int
+    ) -> array:
+        """Inlined decode-latency series for a coalesced run.
+
+        Reproduces :meth:`token_latency` operation-for-operation (same float
+        order) but skips the memo table — the growing-context keys of a
+        coalesced run are transient and would only churn the cache.
+        """
+        if token_requests < 0:
+            raise ValueError(f"token_requests must be non-negative, got {token_requests}")
+        latencies = array("d")
+        if count <= 0 or token_requests == 0:
+            return latencies
+        d0, d1 = self._token_coeffs
+        base_ms = d0 + d1 * token_requests
+        apply_cap = self.apply_power_cap
+        slowdown = self._power.token_cap_slowdown(token_requests) if apply_cap else 1.0
+        kv_read_ms = self._kv_read_ms
+        append = latencies.append
+        context = context_start
+        for _ in range(count):
+            latency_ms = base_ms + kv_read_ms(context)
+            if apply_cap:
+                latency_ms *= slowdown
+            append(latency_ms / 1e3)
+            context += context_step
+        return latencies
 
     def _kv_read_ms(self, context_tokens: int | float) -> float:
         """Milliseconds spent streaming the batched KV-cache from HBM."""
@@ -354,15 +442,33 @@ class ProfiledPerformanceModel(PerformanceModel):
         return cls(reference.model, reference.machine, prompt_profile, token_profile, reference_context)
 
     @staticmethod
-    def _interp(x: float, xs: np.ndarray, ys: np.ndarray) -> float:
-        """Linear interpolation with linear extrapolation beyond the ends."""
-        if x <= xs[0]:
+    def _interp(x: float | np.ndarray, xs: np.ndarray, ys: np.ndarray):
+        """Linear interpolation with linear extrapolation beyond the ends.
+
+        Accepts a scalar (returns ``float``) or an array of query points
+        (returns an ``ndarray``): batch evaluation runs one vectorized
+        ``np.interp`` over the breakpoint arrays plus masked extrapolation
+        fix-ups instead of a Python-level loop.
+        """
+        if np.ndim(x) == 0:
+            if x <= xs[0]:
+                slope = (ys[1] - ys[0]) / (xs[1] - xs[0])
+                return float(max(0.0, ys[0] + slope * (x - xs[0])))
+            if x >= xs[-1]:
+                slope = (ys[-1] - ys[-2]) / (xs[-1] - xs[-2])
+                return float(ys[-1] + slope * (x - xs[-1]))
+            return float(np.interp(x, xs, ys))
+        queries = np.asarray(x, dtype=float)
+        values = np.interp(queries, xs, ys)
+        below = queries <= xs[0]
+        if below.any():
             slope = (ys[1] - ys[0]) / (xs[1] - xs[0])
-            return float(max(0.0, ys[0] + slope * (x - xs[0])))
-        if x >= xs[-1]:
+            values[below] = np.maximum(0.0, ys[0] + slope * (queries[below] - xs[0]))
+        above = queries >= xs[-1]
+        if above.any():
             slope = (ys[-1] - ys[-2]) / (xs[-1] - xs[-2])
-            return float(ys[-1] + slope * (x - xs[-1]))
-        return float(np.interp(x, xs, ys))
+            values[above] = ys[-1] + slope * (queries[above] - xs[-1])
+        return values
 
     def prompt_latency(self, prompt_tokens: int) -> float:
         if prompt_tokens < 0:
@@ -382,6 +488,30 @@ class ProfiledPerformanceModel(PerformanceModel):
         # Correct for contexts that differ from the profiling reference.
         delta_tokens = context_tokens - token_requests * self.reference_context
         return max(0.0, base + delta_tokens * self._kv_read_per_token_s)
+
+    def token_latency_series(
+        self, token_requests: int, context_start: int, context_step: int, count: int
+    ) -> array:
+        """Vectorized decode-latency series for a coalesced run.
+
+        The interpolated base latency is constant across the run (fixed batch
+        size); only the KV-read correction varies, so the whole series is one
+        numpy expression.  Element-wise IEEE operations match the scalar
+        :meth:`token_latency` exactly.
+        """
+        if token_requests < 0:
+            raise ValueError(f"token_requests must be non-negative, got {token_requests}")
+        if count <= 0 or token_requests == 0:
+            return array("d")
+        base = self._interp(float(token_requests), self._token_x, self._token_y)
+        deltas = (context_start - token_requests * self.reference_context) + context_step * np.arange(
+            count, dtype=np.int64
+        )
+        values = base + deltas * self._kv_read_per_token_s
+        np.maximum(values, 0.0, out=values)
+        latencies = array("d")
+        latencies.frombytes(values.tobytes())
+        return latencies
 
 
 def mean_absolute_percentage_error(actual: Sequence[float], predicted: Sequence[float]) -> float:

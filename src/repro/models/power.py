@@ -14,7 +14,9 @@ Characterization findings the model reproduces:
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.hardware.machine import MachineSpec
 from repro.models.llm import ModelSpec
@@ -59,11 +61,27 @@ class PowerModel:
             the fidelity of the paper's figures; the spec is kept for
             interface symmetry and future refinement).
         machine: The machine whose GPUs draw the power.
+
+    Per-phase draw and default-cap slowdowns are pure functions of the batch
+    composition, and the simulator evaluates them once per iteration, so they
+    are memoized on exact batch keys.  Call :meth:`invalidate_caches` after
+    changing the machine's power cap.
     """
 
     def __init__(self, model: ModelSpec, machine: MachineSpec) -> None:
         self.model = model
         self.machine = machine
+        self._prompt_power_cache: dict[int | float, PhasePower] = {}
+        self._token_power_cache: dict[int, PhasePower] = {}
+        self._prompt_slowdown_cache: dict[int | float, float] = {}
+        self._token_slowdown_cache: dict[int, float] = {}
+
+    def invalidate_caches(self) -> None:
+        """Drop every memoized draw/slowdown entry (call after a cap change)."""
+        self._prompt_power_cache.clear()
+        self._token_power_cache.clear()
+        self._prompt_slowdown_cache.clear()
+        self._token_slowdown_cache.clear()
 
     # -- draw ------------------------------------------------------------------
 
@@ -88,14 +106,24 @@ class PowerModel:
         return min(uncapped, self.machine.gpu.power_cap_fraction)
 
     def prompt_power(self, batched_tokens: int | float) -> PhasePower:
-        """Prompt-phase draw in watts (all GPUs)."""
+        """Prompt-phase draw in watts (all GPUs); memoized per batch size."""
+        cached = self._prompt_power_cache.get(batched_tokens)
+        if cached is not None:
+            return cached
         fraction = self.prompt_power_fraction(batched_tokens)
-        return PhasePower(gpu_watts=fraction * self.machine.gpu_tdp_watts, fraction_of_tdp=fraction)
+        power = PhasePower(gpu_watts=fraction * self.machine.gpu_tdp_watts, fraction_of_tdp=fraction)
+        self._prompt_power_cache[batched_tokens] = power
+        return power
 
     def token_power(self, batch_size: int) -> PhasePower:
-        """Token-phase draw in watts (all GPUs)."""
+        """Token-phase draw in watts (all GPUs); memoized per batch size."""
+        cached = self._token_power_cache.get(batch_size)
+        if cached is not None:
+            return cached
         fraction = self.token_power_fraction(batch_size)
-        return PhasePower(gpu_watts=fraction * self.machine.gpu_tdp_watts, fraction_of_tdp=fraction)
+        power = PhasePower(gpu_watts=fraction * self.machine.gpu_tdp_watts, fraction_of_tdp=fraction)
+        self._token_power_cache[batch_size] = power
+        return power
 
     def idle_power_watts(self) -> float:
         """GPU draw of an idle (loaded but not executing) machine in watts."""
@@ -113,14 +141,19 @@ class PowerModel:
         Args:
             batched_tokens: Batched prompt tokens in the iteration.
             cap_fraction: Cap as a fraction of TDP; defaults to the machine's
-                configured cap.
+                configured cap.  Only the default-cap path is memoized.
         """
+        if cap_fraction is None:
+            cached = self._prompt_slowdown_cache.get(batched_tokens)
+            if cached is not None:
+                return cached
         cap = self._resolve_cap(cap_fraction)
         saturation = min(1.0, max(batched_tokens, 1) / PROMPT_SATURATION_TOKENS)
         wanted = PROMPT_BASE_FRACTION + PROMPT_SLOPE_FRACTION * saturation
-        if cap >= wanted:
-            return 1.0
-        return wanted / cap
+        slowdown = 1.0 if cap >= wanted else wanted / cap
+        if cap_fraction is None:
+            self._prompt_slowdown_cache[batched_tokens] = slowdown
+        return slowdown
 
     def token_cap_slowdown(self, batch_size: int, cap_fraction: float | None = None) -> float:
         """Latency multiplier the token phase suffers under a power cap.
@@ -128,12 +161,17 @@ class PowerModel:
         Flat at 1.0 down to roughly half of TDP (Fig. 9b), then degrading
         like the prompt phase below that.
         """
+        if cap_fraction is None:
+            cached = self._token_slowdown_cache.get(batch_size)
+            if cached is not None:
+                return cached
         cap = self._resolve_cap(cap_fraction)
         saturation = min(1.0, max(batch_size, 1) / TOKEN_SATURATION_BATCH)
         wanted = TOKEN_BASE_FRACTION + TOKEN_SLOPE_FRACTION * saturation
-        if cap >= wanted:
-            return 1.0
-        return wanted / cap
+        slowdown = 1.0 if cap >= wanted else wanted / cap
+        if cap_fraction is None:
+            self._token_slowdown_cache[batch_size] = slowdown
+        return slowdown
 
     def _resolve_cap(self, cap_fraction: float | None) -> float:
         cap = self.machine.gpu.power_cap_fraction if cap_fraction is None else cap_fraction
@@ -154,3 +192,18 @@ class PowerModel:
         if duration_s < 0:
             raise ValueError(f"duration_s must be non-negative, got {duration_s}")
         return self.token_power(batch_size).gpu_watts * duration_s / 3600.0
+
+    def token_energy_series(self, batch_size: int, durations_s: Iterable[float]) -> array:
+        """Per-iteration energies of a coalesced decode run.
+
+        Bit-identical to calling :meth:`token_energy_wh` once per duration
+        (same operations in the same order), with the wattage lookup hoisted
+        out of the loop.  Durations must be non-negative (the caller produces
+        them from a latency model, which already guarantees it).
+        """
+        watts = self.token_power(batch_size).gpu_watts
+        energies = array("d")
+        append = energies.append
+        for duration_s in durations_s:
+            append(watts * duration_s / 3600.0)
+        return energies

@@ -97,6 +97,7 @@ class SimulationEngine:
         self._sequence = 0
         self._events_processed = 0
         self._events_cancelled = 0
+        self._events_coalesced = 0
         self._tombstones = 0  # cancelled events still sitting in the heap
 
     @property
@@ -113,6 +114,22 @@ class SimulationEngine:
     def events_cancelled(self) -> int:
         """Number of events cancelled before they could execute."""
         return self._events_cancelled
+
+    @property
+    def events_coalesced(self) -> int:
+        """Logical events executed without their own queue entry.
+
+        The decode fast-forward path collapses a run of steady-state decode
+        iterations into one macro-event; every coalesced iteration beyond the
+        macro-event itself is counted here, so ``events_processed +
+        events_coalesced`` measures the simulated work actually performed.
+        """
+        return self._events_coalesced
+
+    def note_coalesced(self, count: int) -> None:
+        """Credit ``count`` logical events that were executed without being scheduled."""
+        if count > 0:
+            self._events_coalesced += count
 
     @property
     def pending_events(self) -> int:

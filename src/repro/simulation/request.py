@@ -13,11 +13,17 @@ immutable descriptor fields (``request_id``, ``arrival_time``,
 ``prompt_tokens``, ``output_tokens``) copied into plain attributes at
 construction — attribute reads on the hot path cost one slot lookup instead
 of a property call plus a descriptor indirection.
+
+``token_times`` is an ``array('d')`` rather than a list: one packed double
+per token instead of a boxed float plus a pointer, and the decode
+fast-forward path can reconstruct a whole coalesced run of timestamps with a
+single C-level ``extend`` instead of appending one float per iteration.
 """
 
 from __future__ import annotations
 
 import enum
+from array import array
 
 from repro.workload.trace import RequestDescriptor
 
@@ -53,7 +59,7 @@ class Request:
         prompt_start_time: When the prompt phase began executing.
         first_token_time: When the first output token was produced (TTFT end).
         token_times: Emission time of every generated token, including the
-            first one produced by the prompt phase.
+            first one produced by the prompt phase (packed ``array('d')``).
         completion_time: When the last token was produced.
         generated_tokens: Number of output tokens produced so far.
         kv_transfer_start: When the KV-cache transfer began.
@@ -97,7 +103,7 @@ class Request:
         self.token_machine: str | None = None
         self.prompt_start_time: float | None = None
         self.first_token_time: float | None = None
-        self.token_times: list[float] = []
+        self.token_times: array = array("d")
         self.completion_time: float | None = None
         self.generated_tokens = 0
         self.kv_transfer_start: float | None = None
@@ -206,7 +212,7 @@ class Request:
         self.token_machine = None
         self.prompt_start_time = None
         self.first_token_time = None
-        self.token_times = []
+        self.token_times = array("d")
         self.generated_tokens = 0
         self.kv_transfer_start = None
         self.kv_transfer_end = None
@@ -230,9 +236,16 @@ class Request:
         return self.completion_time - self.arrival_time
 
     @property
+    def token_intervals(self) -> list[float]:
+        """Per-token gaps after the first token, computed in one indexed pass
+        (no sliced/zipped copies of the timestamp array)."""
+        times = self.token_times
+        return [times[i] - times[i - 1] for i in range(1, len(times))]
+
+    @property
     def tbt_values(self) -> list[float]:
         """Per-token gaps after the first token (the TBT series)."""
-        return [b - a for a, b in zip(self.token_times, self.token_times[1:])]
+        return self.token_intervals
 
     @property
     def mean_tbt(self) -> float | None:

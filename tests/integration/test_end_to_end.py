@@ -69,7 +69,7 @@ class TestRequestLevelInvariants:
             assert request.prompt_start_time >= request.arrival_time
             assert request.first_token_time >= request.prompt_start_time
             assert request.completion_time >= request.first_token_time
-            assert request.token_times == sorted(request.token_times)
+            assert list(request.token_times) == sorted(request.token_times)
 
     def test_ttft_at_least_uncontended_prompt_latency(self, conversation_trace):
         from repro import AnalyticalPerformanceModel, DGX_H100

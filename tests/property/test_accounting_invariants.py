@@ -89,3 +89,84 @@ class TestAccountingInvariants:
         result = simulation.run(trace)
         _verify_all(simulation)
         assert len(result.completed_requests) == len(result.requests)
+
+
+def _run_simulation(design, trace, failures, fast_forward):
+    """Run one cluster simulation with coalescing forced on or off."""
+    simulation = ClusterSimulation(design, fast_forward=fast_forward)
+    _enable_debug_accounting(simulation)
+    result = simulation.run(trace, failures=failures)
+    _verify_all(simulation)
+    return simulation, result
+
+
+def _assert_bit_identical(reference, coalesced):
+    """Every per-request and per-machine output must match exactly (==, not approx)."""
+    sim_ref, res_ref = reference
+    sim_fast, res_fast = coalesced
+    assert res_ref.duration_s == res_fast.duration_s
+    assert len(res_ref.requests) == len(res_fast.requests)
+    for ref, fast in zip(res_ref.requests, res_fast.requests):
+        assert ref.request_id == fast.request_id
+        assert ref.completion_time == fast.completion_time
+        assert ref.first_token_time == fast.first_token_time
+        assert ref.generated_tokens == fast.generated_tokens
+        assert list(ref.token_times) == list(fast.token_times)
+        assert ref.priority_boost == fast.priority_boost
+        assert ref.restarts == fast.restarts
+        assert ref.phase is fast.phase
+    assert sim_ref.metrics.total_energy_wh() == sim_fast.metrics.total_energy_wh()
+    assert sim_ref.metrics.total_busy_time_s() == sim_fast.metrics.total_busy_time_s()
+    for name in sim_ref.metrics.machines():
+        ref = sim_ref.metrics.machine_stats(name)
+        fast = sim_fast.metrics.machine_stats(name)
+        assert ref.iterations == fast.iterations
+        assert ref.busy_time_s == fast.busy_time_s
+        assert ref.energy_wh == fast.energy_wh
+        assert ref.prompt_tokens_processed == fast.prompt_tokens_processed
+        assert ref.tokens_generated == fast.tokens_generated
+        assert ref.occupancy.as_mapping() == fast.occupancy.as_mapping()
+
+
+class TestFastForwardParity:
+    """Coalescing (macro-events + rotation) must be invisible in the results.
+
+    Saturating traces push the token pools through every coalescing regime —
+    full-pool macro-events, oversubscribed rotation, interrupts from
+    admissions and failures — and the fast-forwarding simulator must produce
+    bit-identical completion times, token timestamps, energy totals, and
+    per-machine metrics, all while debug accounting cross-checks every
+    counter read.
+    """
+
+    def test_saturating_split_cluster_with_failures_parity(self):
+        rng = random.Random(20260727)
+        coalesced_somewhere = False
+        for _ in range(3):
+            rate = rng.choice([15.0, 35.0, 60.0])
+            trace = generate_trace(
+                "conversation", rate_rps=rate, duration_s=18.0, seed=rng.randrange(10_000)
+            )
+            failures = [
+                (rng.uniform(2.0, 12.0), f"prompt-{rng.randrange(3)}"),
+                (rng.uniform(2.0, 15.0), f"token-{rng.randrange(2)}"),
+            ]
+            reference = _run_simulation(splitwise_hh(3, 2), trace, failures, fast_forward=False)
+            coalesced = _run_simulation(splitwise_hh(3, 2), trace, failures, fast_forward=True)
+            _assert_bit_identical(reference, coalesced)
+            assert reference[0].scheduler.restarted_requests, "failures should restart work"
+            if (
+                coalesced[0].engine.events_coalesced
+                or sum(machine.rotation_runs for machine in coalesced[0].machines)
+            ):
+                coalesced_somewhere = True
+            # Coalescing must actually reduce scheduled work somewhere.
+            assert coalesced[0].engine.events_processed <= reference[0].engine.events_processed
+        assert coalesced_somewhere, "no trace engaged the fast-forward machinery"
+
+    def test_oversubscribed_baseline_parity(self):
+        trace = generate_trace("conversation", rate_rps=30.0, duration_s=20.0, seed=424242)
+        reference = _run_simulation(baseline_h100(3), trace, (), fast_forward=False)
+        coalesced = _run_simulation(baseline_h100(3), trace, (), fast_forward=True)
+        _assert_bit_identical(reference, coalesced)
+        assert sum(machine.rotation_runs for machine in coalesced[0].machines) > 0

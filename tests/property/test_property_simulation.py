@@ -175,7 +175,7 @@ class TestSimulationProperties:
         for request in result.completed_requests:
             assert request.generated_tokens == request.output_tokens
             assert request.completion_time >= request.arrival_time
-            assert request.token_times == sorted(request.token_times)
+            assert list(request.token_times) == sorted(request.token_times)
 
     @given(_tiny_trace())
     @settings(max_examples=15, deadline=None)

@@ -28,7 +28,7 @@ class TestRequestRestart:
         request.reset_for_restart()
         assert request.phase is RequestPhase.QUEUED
         assert request.generated_tokens == 0
-        assert request.token_times == []
+        assert list(request.token_times) == []
         assert request.ttft is None
         assert request.restarts == 1
 

@@ -239,7 +239,7 @@ class TestIterationExecution:
         request.reset_for_restart()
         engine.run()  # the stale finish event fires
         assert request.generated_tokens == 0
-        assert request.token_times == []
+        assert list(request.token_times) == []
         assert request.phase is RequestPhase.QUEUED
         machine.verify_accounting()
 
@@ -266,7 +266,7 @@ class TestIterationExecution:
         assert request.is_complete
         assert request.generated_tokens == request.output_tokens
         assert len(request.token_times) == request.output_tokens
-        assert request.token_times == sorted(request.token_times)
+        assert list(request.token_times) == sorted(request.token_times)
         machine.verify_accounting()
 
     def test_enqueue_bursts_schedule_single_start_event(self, engine, machine):
@@ -300,3 +300,109 @@ class TestIterationExecution:
         plain_busy = plain.metrics.machine_stats("a").busy_time_s
         transfer_busy = with_transfer.metrics.machine_stats("b").busy_time_s
         assert transfer_busy > plain_busy
+
+
+def _decode_pool_machine(engine, outputs, fast_forward=True, max_batch_size=64):
+    machine = SimulatedMachine(
+        "t0",
+        DGX_H100,
+        LLAMA2_70B,
+        engine,
+        role=MachineRole.TOKEN,
+        max_batch_size=max_batch_size,
+        fast_forward=fast_forward,
+    )
+    for index, output in enumerate(outputs):
+        request = _request(index, prompt=200, output=output, arrival=index * 0.001)
+        request.start_prompt(0.0, "p")
+        request.finish_prompt(0.0)
+        machine.admit_token_request(request)
+    return machine
+
+
+class TestDecodeFastForward:
+    def _run_pair(self, outputs, max_batch_size=64, mid_run=None):
+        results = []
+        for fast_forward in (False, True):
+            engine = SimulationEngine()
+            machine = _decode_pool_machine(
+                engine, outputs, fast_forward=fast_forward, max_batch_size=max_batch_size
+            )
+            if mid_run is not None:
+                mid_run(engine, machine)
+            engine.run()
+            machine.verify_accounting()
+            results.append((engine, machine))
+        return results
+
+    def test_steady_pool_coalesces_and_stays_bit_identical(self):
+        outputs = [5, 9, 13, 21]
+        (engine_off, machine_off), (engine_on, machine_on) = self._run_pair(outputs)
+        req_off = sorted(machine_off.metrics.machine_stats("t0").occupancy.as_mapping().items())
+        req_on = sorted(machine_on.metrics.machine_stats("t0").occupancy.as_mapping().items())
+        assert req_off == req_on
+        assert engine_on.events_coalesced > 0
+        assert engine_on.events_processed < engine_off.events_processed
+        stats_off = machine_off.metrics.machine_stats("t0")
+        stats_on = machine_on.metrics.machine_stats("t0")
+        assert stats_off.iterations == stats_on.iterations
+        assert stats_off.busy_time_s == stats_on.busy_time_s
+        assert stats_off.energy_wh == stats_on.energy_wh
+
+    def test_mid_run_admission_interrupts_without_drift(self):
+        outputs = [10, 14, 18]
+        timelines = []
+        for fast_forward in (False, True):
+            engine = SimulationEngine()
+            machine = _decode_pool_machine(engine, outputs, fast_forward=fast_forward)
+            late = _request(99, prompt=150, output=6, arrival=0.05)
+            late.start_prompt(0.0, "p")
+            late.finish_prompt(0.0)
+            engine.schedule_at(0.08, lambda m=machine, r=late: m.admit_token_request(r))
+            engine.run()
+            machine.verify_accounting()
+            timelines.append(
+                {r.request_id: list(r.token_times) for r in [late]}
+            )
+        assert timelines[0] == timelines[1]
+
+    def test_oversubscribed_pool_enters_rotation_and_matches(self):
+        outputs = [6 + (i % 9) for i in range(12)]
+        per_request = []
+        rotations = 0
+        for fast_forward in (False, True):
+            engine = SimulationEngine()
+            machine = _decode_pool_machine(
+                engine, outputs, fast_forward=fast_forward, max_batch_size=4
+            )
+            engine.run()
+            machine.verify_accounting()
+            stats = machine.metrics.machine_stats("t0")
+            per_request.append((stats.iterations, stats.busy_time_s, stats.energy_wh))
+            rotations += machine.rotation_runs
+        assert per_request[0] == per_request[1]
+        assert rotations > 0
+
+    def test_withdraw_mid_fast_forward_matches_reference(self):
+        outputs = [12, 16, 20]
+        snapshots = []
+        for fast_forward in (False, True):
+            engine = SimulationEngine()
+            machine = _decode_pool_machine(engine, outputs, fast_forward=fast_forward)
+            victim = machine.find_queued(1)
+            engine.schedule_at(0.1, lambda m=machine, r=victim: m.withdraw(r))
+            engine.run()
+            machine.verify_accounting()
+            survivors = {r.request_id: list(r.token_times) for r in [machine.find_queued(0), machine.find_queued(2)] if r}
+            stats = machine.metrics.machine_stats("t0")
+            snapshots.append((survivors, stats.busy_time_s, stats.iterations))
+        # The withdrawn request stops decoding at the interrupt in both modes.
+        assert snapshots[0][1:] == snapshots[1][1:]
+
+    def test_notify_power_cap_change_invalidates_and_interrupts(self, engine):
+        machine = _decode_pool_machine(engine, [8, 8])
+        machine.performance.token_latency(2, 400)
+        machine.notify_power_cap_change()
+        assert not machine.performance._token_cache
+        engine.run()
+        assert machine.metrics.machine_stats("t0").tokens_generated > 0

@@ -185,3 +185,35 @@ class TestSlo:
         lax = SloPolicy(ttft={50: 100.0}, tbt={50: 100.0}, e2e={50: 100.0})
         requests = [self._request_with_slowdown(make_request, reference, 4.0) for _ in range(3)]
         assert evaluate_slo(requests, reference, lax).satisfied
+
+
+class TestCoalescedRecording:
+    def test_record_coalesced_equals_sequential_record_iteration(self):
+        """Bulk recording must match per-iteration recording bit for bit."""
+        durations = [0.0301, 0.0302, 0.0303, 0.0304]
+        energies = [0.011, 0.012, 0.013, 0.014]
+        sequential = MetricsCollector()
+        for duration, energy in zip(durations, energies):
+            sequential.record_iteration("m0", duration, 48, energy, 0, 48)
+        bulk = MetricsCollector()
+        bulk.record_coalesced("m0", len(durations), 48, durations, energies, 48)
+        a = sequential.machine_stats("m0")
+        b = bulk.machine_stats("m0")
+        assert a.busy_time_s == b.busy_time_s
+        assert a.energy_wh == b.energy_wh
+        assert a.iterations == b.iterations
+        assert a.tokens_generated == b.tokens_generated
+        assert a.occupancy.as_mapping() == b.occupancy.as_mapping()
+
+    def test_record_coalesced_zero_count_is_a_noop(self):
+        collector = MetricsCollector()
+        collector.record_coalesced("m0", 0, 8, [], [], 8)
+        assert collector.machine_stats("m0").iterations == 0
+
+    def test_occupancy_record_bulk_matches_sequential(self):
+        sequential = BatchOccupancyTracker()
+        for duration in (0.1, 0.2, 0.3):
+            sequential.record(7, duration)
+        bulk = BatchOccupancyTracker()
+        bulk.record_bulk(7, [0.1, 0.2, 0.3])
+        assert sequential.as_mapping() == bulk.as_mapping()

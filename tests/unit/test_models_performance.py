@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.hardware.machine import DGX_A100, DGX_H100, DGX_H100_CAPPED, MachineSpec
@@ -227,3 +228,56 @@ class TestMape:
     def test_rejects_zero_actuals(self):
         with pytest.raises(ValueError, match="non-zero"):
             mean_absolute_percentage_error([0, 1], [1, 1])
+
+
+class TestMemoizedLatencyTables:
+    def test_prompt_latency_cache_hits_are_bit_identical(self, llama_h100_perf):
+        first = llama_h100_perf.prompt_latency(1024)
+        assert llama_h100_perf.prompt_latency(1024) == first
+        assert 1024 in llama_h100_perf._prompt_cache
+
+    def test_token_latency_cache_key_is_exact(self, llama_h100_perf):
+        a = llama_h100_perf.token_latency(8, 8000)
+        b = llama_h100_perf.token_latency(8, 8001)
+        assert a != b  # exact context keys, not rounded buckets
+        assert llama_h100_perf.token_latency(8, 8000) == a
+
+    def test_invalidate_caches_clears_tables(self, llama_h100_perf):
+        llama_h100_perf.prompt_latency(512)
+        llama_h100_perf.token_latency(4, 4096)
+        llama_h100_perf.invalidate_caches()
+        assert not llama_h100_perf._prompt_cache
+        assert not llama_h100_perf._token_cache
+
+    def test_validation_still_raises_on_negative(self, llama_h100_perf):
+        with pytest.raises(ValueError):
+            llama_h100_perf.prompt_latency(-1)
+        with pytest.raises(ValueError):
+            llama_h100_perf.token_latency(-1)
+
+
+class TestTokenLatencySeries:
+    def test_analytical_series_matches_scalar_calls_exactly(self, llama_h100_perf):
+        series = llama_h100_perf.token_latency_series(16, 20000, 16, 40)
+        scalar = [llama_h100_perf.token_latency(16, 20000 + i * 16) for i in range(40)]
+        assert list(series) == scalar  # bit-identical, not approx
+
+    def test_profiled_series_matches_scalar_calls_exactly(self, llama_h100_perf):
+        profiled = ProfiledPerformanceModel.from_model(llama_h100_perf)
+        series = profiled.token_latency_series(8, 9000, 8, 25)
+        scalar = [profiled.token_latency(8, 9000 + i * 8) for i in range(25)]
+        assert list(series) == scalar
+
+    def test_empty_series(self, llama_h100_perf):
+        assert list(llama_h100_perf.token_latency_series(4, 100, 4, 0)) == []
+        profiled = ProfiledPerformanceModel.from_model(llama_h100_perf)
+        assert list(profiled.token_latency_series(4, 100, 4, 0)) == []
+
+
+class TestVectorizedInterp:
+    def test_array_queries_match_scalar_queries(self, llama_h100_perf):
+        profiled = ProfiledPerformanceModel.from_model(llama_h100_perf)
+        queries = np.asarray([1.0, 3.5, 64.0, 200.0, 0.5])  # interior + both extrapolation sides
+        vector = profiled._interp(queries, profiled._token_x, profiled._token_y)
+        scalar = [profiled._interp(float(q), profiled._token_x, profiled._token_y) for q in queries]
+        assert list(vector) == scalar

@@ -110,3 +110,36 @@ class TestEnergy:
 
     def test_idle_power_positive_but_small(self, power_h100):
         assert 0 < power_h100.idle_power_watts() < 0.2 * DGX_H100.gpu_tdp_watts
+
+
+class TestMemoizedPowerTables:
+    def test_power_and_slowdown_caches_return_identical_values(self, power_h100):
+        assert power_h100.token_power(8) is power_h100.token_power(8)  # memoized object
+        assert power_h100.prompt_power(2048) is power_h100.prompt_power(2048)
+        first = power_h100.token_cap_slowdown(16)
+        assert power_h100.token_cap_slowdown(16) == first
+
+    def test_explicit_cap_bypasses_the_cache(self, power_h100):
+        default = power_h100.token_cap_slowdown(16)
+        capped = power_h100.token_cap_slowdown(16, cap_fraction=0.3)
+        assert capped > default
+        # The explicit-cap result must not pollute the default-cap cache.
+        assert power_h100.token_cap_slowdown(16) == default
+
+    def test_invalidate_caches(self, power_h100):
+        power_h100.token_power(4)
+        power_h100.prompt_cap_slowdown(1024)
+        power_h100.invalidate_caches()
+        assert not power_h100._token_power_cache
+        assert not power_h100._prompt_slowdown_cache
+
+
+class TestTokenEnergySeries:
+    def test_series_matches_scalar_calls_exactly(self, power_h100):
+        durations = [0.03, 0.031, 0.0325, 0.04]
+        series = power_h100.token_energy_series(8, durations)
+        scalar = [power_h100.token_energy_wh(8, d) for d in durations]
+        assert list(series) == scalar  # bit-identical
+
+    def test_empty_series(self, power_h100):
+        assert list(power_h100.token_energy_series(8, [])) == []

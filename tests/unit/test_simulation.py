@@ -6,7 +6,7 @@ import pytest
 
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.events import Event
-from repro.simulation.request import RequestPhase
+from repro.simulation.request import Request, RequestPhase
 
 
 class TestEvent:
@@ -294,3 +294,30 @@ class TestRequestLifecycle:
         request.finish_prompt(0.1)
         request.generate_token(0.2)
         assert request.context_tokens == 102
+
+
+class TestTokenIntervals:
+    def test_intervals_match_tbt_values_without_copies(self):
+        from repro.workload.trace import RequestDescriptor
+
+        request = Request(
+            descriptor=RequestDescriptor(request_id=0, arrival_time_s=0.0, prompt_tokens=8, output_tokens=4)
+        )
+        for time in (1.0, 1.1, 1.25, 1.35):
+            request.token_times.append(time)
+        assert request.token_intervals == pytest.approx([0.1, 0.15, 0.1])
+        assert request.tbt_values == request.token_intervals
+
+    def test_token_times_is_a_packed_array(self):
+        from array import array
+
+        from repro.workload.trace import RequestDescriptor
+
+        request = Request(
+            descriptor=RequestDescriptor(request_id=0, arrival_time_s=0.0, prompt_tokens=8, output_tokens=4)
+        )
+        assert isinstance(request.token_times, array)
+        request.generate_token(0.5)
+        request.reset_for_restart()
+        assert isinstance(request.token_times, array)
+        assert len(request.token_times) == 0
