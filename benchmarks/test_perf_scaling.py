@@ -48,6 +48,10 @@ EXPECTED_SIM_TIME = {
     "4-machine": "172.7535822080592",
     "16-machine": "167.01584566882394",
     "40-machine": "173.58417218336652",
+    # Day-scale diurnal trace with the pool autoscaler active: the reported
+    # span ends at the last completion (trailing controller-only ticks are
+    # excluded so machine-hour windows stay comparable with static runs).
+    "diurnal-autoscale": "254.5188606131304",
 }
 
 #: Regression floor for the headline scenario: the O(1)-accounting simulator
@@ -68,6 +72,10 @@ EVENTS_PER_S_FLOOR = {
     "4-machine": 7487.0,
     "16-machine": 3184.4,
     "40-machine": 1302.3,
+    # New in the autoscaler PR (no seed measurement exists): floor set ~6x
+    # below the recording host's ~134k logical events/s so the gate only
+    # trips on a genuine regression, not on a slow CI runner.
+    "diurnal-autoscale": 20_000.0,
 }
 
 _REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"

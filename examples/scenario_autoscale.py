@@ -1,0 +1,50 @@
+"""Time-varying traffic with the dynamic pool autoscaler.
+
+Replays the ``diurnal`` scenario preset (a compressed day/night sinusoid)
+through the same peak-sized Splitwise-HH cluster twice — statically
+provisioned, then with the pool autoscaler parking and re-purposing
+machines — and prints the SLO and machine-hour comparison plus the
+autoscaler's action timeline.
+
+Run with::
+
+    python examples/scenario_autoscale.py
+"""
+
+from __future__ import annotations
+
+from repro import AutoscalerConfig, ClusterSimulation, get_scenario, splitwise_hh
+
+
+def main() -> None:
+    preset = get_scenario("diurnal")
+    trace = preset.build_trace(seed=0)
+    num_prompt, num_token = preset.machine_counts()
+    design = splitwise_hh(num_prompt, num_token)
+    print(f"Scenario {preset.name}: {preset.description}")
+    print(f"Trace: {len(trace)} requests over {preset.duration_s:g}s on {design.label}\n")
+
+    print(f"{'run':<12}{'SLO':>6}{'violations':>12}{'E2E p90 (s)':>13}{'machine-hours':>15}")
+    results = {}
+    for label, autoscaler in (("static", None), ("autoscaled", AutoscalerConfig())):
+        simulation = ClusterSimulation(design, autoscaler=autoscaler)
+        result = simulation.run(trace, failures=preset.failures())
+        slo = result.slo_report()
+        results[label] = result
+        print(
+            f"{label:<12}{'PASS' if slo.satisfied else 'FAIL':>6}{len(slo.violations()):>12}"
+            f"{result.request_metrics().e2e.p90:>13.2f}{result.machine_hours():>15.3f}"
+        )
+
+    autoscaler = results["autoscaled"].autoscaler
+    saved = results["static"].machine_hours() - results["autoscaled"].machine_hours()
+    print(f"\nmachine-hours saved: {saved:.3f} "
+          f"({saved / results['static'].machine_hours():.1%} of the static bill)")
+    print(f"autoscaler actions ({len(autoscaler.timeline)}):")
+    for event in autoscaler.timeline:
+        print(f"  t={event.time_s:>8.2f}s {event.action:<9} {event.machine:<10} "
+              f"{event.from_pool}->{event.to_pool}  ({event.reason})")
+
+
+if __name__ == "__main__":
+    main()

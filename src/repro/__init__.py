@@ -24,6 +24,7 @@ Quickstart::
     print(result.request_metrics())
 """
 
+from repro.core.autoscaler import AutoscalerConfig, PoolAutoscaler
 from repro.core.cluster import ClusterSimulation, SimulationResult, simulate_design, simulate_designs
 from repro.core.cluster_scheduler import ClusterScheduler
 from repro.core.designs import (
@@ -60,6 +61,17 @@ from repro.models.power import PowerModel
 from repro.simulation.request import Request, RequestPhase
 from repro.workload.distributions import CODING_WORKLOAD, CONVERSATION_WORKLOAD, WorkloadSpec, get_workload
 from repro.workload.generator import TraceGenerator, generate_trace
+from repro.workload.scenarios import (
+    SCENARIO_PRESETS,
+    MarkovModulatedArrival,
+    PiecewiseRateArrival,
+    Scenario,
+    SinusoidalDiurnalArrival,
+    concat_traces,
+    get_scenario,
+    mix_traces,
+    splice_traces,
+)
 from repro.workload.trace import RequestDescriptor, Trace
 
 __version__ = "1.0.0"
@@ -93,6 +105,16 @@ __all__ = [
     "generate_trace",
     "Trace",
     "RequestDescriptor",
+    # time-varying scenarios
+    "PiecewiseRateArrival",
+    "SinusoidalDiurnalArrival",
+    "MarkovModulatedArrival",
+    "Scenario",
+    "SCENARIO_PRESETS",
+    "get_scenario",
+    "concat_traces",
+    "splice_traces",
+    "mix_traces",
     # simulation
     "Request",
     "RequestPhase",
@@ -102,6 +124,8 @@ __all__ = [
     "SimulatedMachine",
     "MachineRole",
     "ClusterScheduler",
+    "PoolAutoscaler",
+    "AutoscalerConfig",
     "ClusterSimulation",
     "SimulationResult",
     "simulate_design",

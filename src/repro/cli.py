@@ -1,11 +1,16 @@
 """Command-line interface for the Splitwise reproduction.
 
-Four subcommands cover the common workflows without writing Python:
+Five subcommands cover the common workflows without writing Python:
 
 * ``repro-sim trace`` — generate a synthetic trace (Azure-like distributions)
   and write it to CSV.
 * ``repro-sim simulate`` — run a trace (or a freshly generated one) through a
-  cluster design and print the latency/SLO summary.
+  cluster design and print the latency/SLO summary.  When replaying a CSV
+  trace, ``--rate`` rescales it and ``--duration`` truncates it.
+* ``repro-sim scenario`` — run a named time-varying traffic preset (diurnal,
+  burst-storm, failure-under-load, mixed-tenant) with the dynamic pool
+  autoscaler and compare SLO attainment and machine-hours against the
+  statically provisioned baseline.
 * ``repro-sim provision`` — sweep machine counts for a design family and
   report the cost-optimal configuration for a target load.
 * ``repro-sim designs`` — list the built-in cluster designs with their cost
@@ -15,6 +20,9 @@ Examples::
 
     repro-sim trace --workload coding --rate 5 --duration 120 -o coding.csv
     repro-sim simulate --design Splitwise-HA --prompt 2 --token 4 --rate 8
+    repro-sim simulate --trace coding.csv --rate 12 --duration 60
+    repro-sim scenario --preset diurnal --seed 0
+    repro-sim scenario --preset burst-storm --scale 0.5 --json
     repro-sim provision --design Splitwise-HH --workload coding --rate 10
 """
 
@@ -23,6 +31,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from typing import Sequence
 
 from repro.core.cluster import simulate_design
@@ -30,6 +39,7 @@ from repro.core.designs import get_design_family
 from repro.core.provisioning import OptimizationGoal, Provisioner, estimate_pool_sizes
 from repro.models.llm import get_model
 from repro.workload.generator import generate_trace
+from repro.workload.scenarios import SCENARIO_PRESETS, get_scenario
 from repro.workload.trace import Trace
 
 _DESIGN_FAMILIES = (
@@ -61,10 +71,36 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--model", default="Llama2-70B", help="LLM to serve")
     simulate.add_argument("--trace", help="CSV trace to replay (generated if omitted)")
     simulate.add_argument("--workload", choices=("coding", "conversation"), default="conversation")
-    simulate.add_argument("--rate", type=float, default=2.0)
-    simulate.add_argument("--duration", type=float, default=60.0)
+    simulate.add_argument(
+        "--rate", type=float, default=None,
+        help="requests per second (default 2.0; rescales a replayed --trace)",
+    )
+    simulate.add_argument(
+        "--duration", type=float, default=None,
+        help="trace length in seconds (default 60.0; truncates a replayed --trace)",
+    )
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--json", action="store_true", help="print machine-readable JSON")
+
+    scenario = subparsers.add_parser(
+        "scenario", help="run a time-varying traffic preset with the pool autoscaler"
+    )
+    scenario.add_argument("--preset", choices=sorted(SCENARIO_PRESETS), default="diurnal")
+    scenario.add_argument("--model", default="Llama2-70B", help="LLM to serve")
+    scenario.add_argument("--seed", type=int, default=0)
+    scenario.add_argument(
+        "--scale", type=float, default=1.0,
+        help="shrink/grow the preset's cluster and load proportionally",
+    )
+    scenario.add_argument(
+        "--no-autoscaler", action="store_true",
+        help="skip the autoscaled run (static baseline only)",
+    )
+    scenario.add_argument(
+        "--interval", type=float, default=None, help="autoscaler tick interval in seconds"
+    )
+    scenario.add_argument("--timeline", action="store_true", help="print the re-purposing timeline")
+    scenario.add_argument("--json", action="store_true", help="print machine-readable JSON")
 
     provision = subparsers.add_parser("provision", help="search machine counts for a target load")
     provision.add_argument("--design", choices=_DESIGN_FAMILIES, default="Splitwise-HH")
@@ -99,10 +135,32 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     design = _build_design(args.design, args.prompt, args.token)
     model = get_model(args.model)
+    notes = []
     if args.trace:
         trace = Trace.from_csv(args.trace)
+        # Explicit --rate / --duration reshape the replayed trace instead of
+        # being silently ignored.
+        if args.rate is not None:
+            try:
+                trace = trace.scaled_to_rate(args.rate)
+            except ValueError as error:
+                print(f"error: cannot rescale replayed trace: {error}", file=sys.stderr)
+                return 1
+            notes.append(f"rescaled replayed trace to {args.rate:g} RPS")
+        if args.duration is not None:
+            trace = trace.truncated(args.duration)
+            notes.append(f"truncated replayed trace to {args.duration:g}s ({len(trace)} requests)")
+        if not len(trace):
+            print(
+                f"error: reshaped trace {args.trace} contains no requests "
+                "(is --duration shorter than the first arrival?)",
+                file=sys.stderr,
+            )
+            return 1
     else:
-        trace = generate_trace(args.workload, rate_rps=args.rate, duration_s=args.duration, seed=args.seed)
+        rate = args.rate if args.rate is not None else 2.0
+        duration = args.duration if args.duration is not None else 60.0
+        trace = generate_trace(args.workload, rate_rps=rate, duration_s=duration, seed=args.seed)
     result = simulate_design(design, trace, model=model)
     metrics = result.request_metrics()
     slo = result.slo_report(model=model)
@@ -124,6 +182,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         "power_kw": round(design.provisioned_power_kw, 2),
         "slo_satisfied": slo.satisfied,
     }
+    if notes:
+        summary["notes"] = notes
     if args.json:
         print(json.dumps(summary, indent=2))
     else:
@@ -131,6 +191,96 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         for key, value in summary.items():
             print(f"{key:<{width}}  {value}")
     return 0 if slo.satisfied else 2
+
+
+def _scenario_run_summary(result, slo) -> dict:
+    """One run's JSON summary for the ``scenario`` subcommand."""
+    metrics = result.request_metrics()
+    summary = {
+        "completion_rate": round(result.completion_rate, 4),
+        "throughput_rps": round(metrics.throughput_rps, 3),
+        "ttft_p90_ms": round(metrics.ttft.p90 * 1e3, 1),
+        "tbt_p90_ms": round(metrics.tbt.p90 * 1e3, 1),
+        "e2e_p90_s": round(metrics.e2e.p90, 2),
+        "slo_satisfied": slo.satisfied,
+        "slo_violations": len(slo.violations()),
+        "slo_samples": dict(slo.samples),
+        "machine_hours": round(result.machine_hours(), 3),
+        "pool_switches": result.scheduler.pool_switches,
+    }
+    if result.autoscaler is not None:
+        summary["repurposes"] = result.autoscaler.repurpose_count()
+        summary["autoscaler_actions"] = len(result.autoscaler.timeline)
+    return summary
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.experiments.scenarios import prepare_scenario_run
+
+    preset = get_scenario(args.preset)
+    model = get_model(args.model)
+    static_sim, trace, failures = prepare_scenario_run(
+        preset, seed=args.seed, scale=args.scale, autoscaled=False, model=model
+    )
+    static_result = static_sim.run(trace, failures=failures)
+    static_slo = static_result.slo_report(model=model)
+    payload = {
+        "preset": preset.name,
+        "description": preset.description,
+        "trace": trace.name,
+        "requests": len(trace),
+        "duration_s": round(preset.duration_s, 1),
+        "design": static_sim.design.label,
+        "static": _scenario_run_summary(static_result, static_slo),
+    }
+
+    exit_slo = static_slo
+    if not args.no_autoscaler:
+        auto_sim, trace, failures = prepare_scenario_run(
+            preset, seed=args.seed, scale=args.scale, autoscaled=True, model=model
+        )
+        if args.interval is not None:
+            auto_sim.autoscaler.config = replace(auto_sim.autoscaler.config, interval_s=args.interval)
+        auto_result = auto_sim.run(trace, failures=failures)
+        auto_slo = auto_result.slo_report(model=model)
+        payload["autoscaled"] = _scenario_run_summary(auto_result, auto_slo)
+        payload["machine_hours_saved"] = round(
+            payload["static"]["machine_hours"] - payload["autoscaled"]["machine_hours"], 3
+        )
+        if args.timeline or args.json:
+            payload["timeline"] = auto_result.autoscaler.timeline_as_dicts()
+        exit_slo = auto_slo
+
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"scenario {preset.name}: {preset.description}")
+        print(f"  trace: {len(trace)} requests over {preset.duration_s:g}s on {payload['design']}")
+        for label in ("static", "autoscaled"):
+            if label not in payload:
+                continue
+            run = payload[label]
+            print(
+                f"  {label:<10} slo={'PASS' if run['slo_satisfied'] else 'FAIL'} "
+                f"({run['slo_violations']} violations, tbt samples={run['slo_samples'].get('tbt', 0)}) "
+                f"completion={run['completion_rate']:.3f} machine-hours={run['machine_hours']:.3f}"
+            )
+        if "machine_hours_saved" in payload:
+            saved = payload["machine_hours_saved"]
+            static_hours = payload["static"]["machine_hours"]
+            fraction = saved / static_hours if static_hours else 0.0
+            print(
+                f"  machine-hours saved vs static: {saved:.3f} ({fraction:.1%}), "
+                f"repurposes={payload['autoscaled'].get('repurposes', 0)}, "
+                f"autoscaler actions={payload['autoscaled'].get('autoscaler_actions', 0)}"
+            )
+        if args.timeline and "timeline" in payload:
+            for event in payload["timeline"]:
+                print(
+                    f"    t={event['time_s']:>8.2f}s {event['action']:<9} {event['machine']:<10} "
+                    f"{event['from']}->{event['to']}  ({event['reason']})"
+                )
+    return 0 if exit_slo.satisfied else 2
 
 
 def _cmd_provision(args: argparse.Namespace) -> int:
@@ -174,6 +324,7 @@ def _cmd_designs(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "trace": _cmd_trace,
     "simulate": _cmd_simulate,
+    "scenario": _cmd_scenario,
     "provision": _cmd_provision,
     "designs": _cmd_designs,
 }

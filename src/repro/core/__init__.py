@@ -8,6 +8,9 @@ This package contains the paper's primary contribution:
   machine-level scheduler (MLS): pending queues, batching, preemption (§IV-B).
 * :mod:`repro.core.cluster_scheduler` — the cluster-level scheduler (CLS):
   JSQ routing and prompt/token/mixed pool management (§IV-A).
+* :mod:`repro.core.autoscaler` — the dynamic pool autoscaler: recurring
+  load-signal ticks that re-purpose machines between pools (with hysteresis
+  and drain-before-switch) and park idle machines under time-varying traffic.
 * :mod:`repro.core.cluster` — the end-to-end cluster simulation wiring
   machines, scheduler, transfers, and metrics together.
 * :mod:`repro.core.designs` — Baseline-A100/H100 and the four Splitwise
@@ -16,6 +19,7 @@ This package contains the paper's primary contribution:
   clusters for iso-power / iso-cost / iso-throughput targets (§IV-D, Fig. 12).
 """
 
+from repro.core.autoscaler import AutoscalerConfig, PoolAutoscaler, RepurposeEvent
 from repro.core.cluster import ClusterSimulation, SimulationResult, simulate_design
 from repro.core.cluster_scheduler import ClusterScheduler, MachinePool
 from repro.core.designs import (
@@ -39,6 +43,9 @@ from repro.core.provisioning import (
 )
 
 __all__ = [
+    "PoolAutoscaler",
+    "AutoscalerConfig",
+    "RepurposeEvent",
     "KVTransferModel",
     "TransferMode",
     "SimulatedMachine",

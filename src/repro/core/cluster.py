@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.batching.policies import make_policy
+from repro.core.autoscaler import AutoscalerConfig, PoolAutoscaler
 from repro.core.cluster_scheduler import ClusterScheduler
 from repro.core.designs import ClusterDesign
 from repro.core.kv_transfer import KVTransferModel
@@ -49,6 +50,9 @@ class SimulationResult:
         metrics: Per-machine iteration metrics.
         duration_s: Simulated time span (last event time).
         scheduler: The cluster scheduler (exposes pool statistics).
+        autoscaler: The pool autoscaler that drove the run (None for a
+            statically provisioned run); exposes the re-purposing timeline
+            and machine-hour accounting.
     """
 
     design: ClusterDesign
@@ -57,6 +61,7 @@ class SimulationResult:
     metrics: MetricsCollector
     duration_s: float
     scheduler: ClusterScheduler = field(repr=False)
+    autoscaler: PoolAutoscaler | None = field(default=None, repr=False)
 
     @property
     def completed_requests(self) -> list[Request]:
@@ -77,6 +82,7 @@ class SimulationResult:
         reference_model: PerformanceModel | None = None,
         policy: SloPolicy = DEFAULT_SLO,
         model: ModelSpec | None = None,
+        tbt_mode: str = "per-token",
     ) -> SloReport:
         """Evaluate the paper's Table VI SLO against an uncontended reference.
 
@@ -85,10 +91,12 @@ class SimulationResult:
                 model running on an uncontended DGX-A100 (the paper's choice).
             policy: SLO percentile limits.
             model: LLM used to build the default reference model.
+            tbt_mode: TBT percentile definition — ``"per-token"`` (pooled
+                per-token gaps, paper-faithful) or ``"per-request-mean"``.
         """
         if reference_model is None:
             reference_model = AnalyticalPerformanceModel(model or LLAMA2_70B, DGX_A100)
-        return evaluate_slo(self.requests, reference_model, policy)
+        return evaluate_slo(self.requests, reference_model, policy, tbt_mode=tbt_mode)
 
     def total_energy_wh(self) -> float:
         """Total GPU energy consumed by the cluster in watt-hours."""
@@ -103,6 +111,17 @@ class SimulationResult:
         """Merged batch-occupancy CDF of all machines with the given home role (Fig. 17)."""
         names = [m.name for m in self.scheduler.machines_by_home_role(role)]
         return self.metrics.group_occupancy(names)
+
+    def machine_hours(self) -> float:
+        """Machine-hours consumed over the simulated span.
+
+        A statically provisioned run pays for every machine the whole time;
+        an autoscaled run subtracts the intervals machines spent parked.
+        """
+        static_hours = self.design.num_machines * self.duration_s / 3600.0
+        if self.autoscaler is None:
+            return static_hours
+        return self.autoscaler.active_machine_hours(self.duration_s, self.design.num_machines)
 
 
 class ClusterSimulation:
@@ -123,6 +142,11 @@ class ClusterSimulation:
             every machine (bit-identical results; see
             :mod:`repro.core.machine`).  ``None`` keeps the machines' default
             (enabled unless ``REPRO_NO_FAST_FORWARD=1``).
+        autoscaler: Optional dynamic pool autoscaler: a
+            :class:`~repro.core.autoscaler.PoolAutoscaler`, an
+            :class:`~repro.core.autoscaler.AutoscalerConfig` (wrapped in a
+            fresh autoscaler), or ``True`` for the default configuration.
+            Requires a split design.
     """
 
     def __init__(
@@ -136,12 +160,20 @@ class ClusterSimulation:
         batching: str = "mixed",
         routing: str = "jsq",
         fast_forward: bool | None = None,
+        autoscaler: PoolAutoscaler | AutoscalerConfig | bool | None = None,
     ) -> None:
         self.design = design
         self.model = model
         self.batching = batching
         self.routing = routing
         self.fast_forward = fast_forward
+        if autoscaler is True:
+            autoscaler = PoolAutoscaler()
+        elif isinstance(autoscaler, AutoscalerConfig):
+            autoscaler = PoolAutoscaler(autoscaler)
+        elif autoscaler is False:
+            autoscaler = None
+        self.autoscaler: PoolAutoscaler | None = autoscaler
         self.engine = SimulationEngine()
         self.metrics = MetricsCollector()
         self.machines = self._build_machines(max_prompt_batch_tokens, max_batch_size)
@@ -237,6 +269,8 @@ class ClusterSimulation:
             The populated :class:`SimulationResult`.
         """
         requests = [Request(descriptor=descriptor) for descriptor in trace]
+        if self.autoscaler is not None:
+            self.autoscaler.attach(self.engine, self.scheduler)
         for failure_time, machine_name in failures:
             self.engine.schedule_at(
                 failure_time,
@@ -259,6 +293,22 @@ class ClusterSimulation:
         for machine in self.machines:
             machine.sync_fast_forward()
         duration = max(self.engine.now, trace.duration_s)
+        if self.autoscaler is not None and until is None:
+            # The trailing autoscaler tick that observes the drain fires up to
+            # one interval after the last real event; excluding that
+            # controller-only tail keeps the simulated window comparable with
+            # a static run of the same trace (machine-hour comparisons would
+            # otherwise charge the autoscaled run for idle clock it never
+            # worked).  Ticks never act after the last completion, so no
+            # timeline event falls outside the reported window.
+            last_work = max(
+                (r.completion_time for r in requests if r.completion_time is not None),
+                default=0.0,
+            )
+            last_failure = max((time_s for time_s, _ in failures), default=0.0)
+            duration = max(trace.duration_s, last_work, last_failure)
+        if self.autoscaler is not None:
+            self.autoscaler.finalize(duration)
         return SimulationResult(
             design=self.design,
             trace_name=trace.name,
@@ -266,6 +316,7 @@ class ClusterSimulation:
             metrics=self.metrics,
             duration_s=duration,
             scheduler=self.scheduler,
+            autoscaler=self.autoscaler,
         )
 
 

@@ -172,18 +172,25 @@ class ClusterScheduler:
         self.prompt_pool = MachinePool("prompt")
         self.token_pool = MachinePool("token")
         self.mixed_pool = MachinePool("mixed")
+        #: Machines withdrawn from routing by the autoscaler (still owned by
+        #: the scheduler: they appear in ``machines`` and can fail, but the
+        #: router never selects from here).
+        self.parked_pool = MachinePool("parked")
         #: request_id -> RoutingDecision; the index that lets withdrawal and
         #: outstanding-request lookup go straight to the two relevant machines
         #: instead of scanning every queue in the cluster.
         self._assignments: dict[int, RoutingDecision] = {}
         self._transfer_events: dict[int, Event] = {}
         self._machines_cache: list[SimulatedMachine] | None = None
-        self._machines_cache_versions: tuple[int, int, int] = (-1, -1, -1)
+        self._machines_cache_versions: tuple[int, int, int, int] = (-1, -1, -1, -1)
         self._transfer_models: dict[tuple[str, str], KVTransferModel] = {}
         self.completed_requests: list[Request] = []
         self.restarted_requests: list[Request] = []
         self.failed_machines: list[SimulatedMachine] = []
         self.pool_switches = 0
+        #: Invoked after a machine fails and leaves every pool (set by the
+        #: autoscaler so its park-interval accounting can observe failures).
+        self.on_machine_failed: Callable[[SimulatedMachine], None] | None = None
 
         for machine in machines:
             machine.on_prompt_complete = self._handle_prompt_complete
@@ -206,9 +213,19 @@ class ClusterScheduler:
         repeated reads between pool changes are O(1).  Treat the returned
         list as read-only.
         """
-        versions = (self.prompt_pool.version, self.token_pool.version, self.mixed_pool.version)
+        versions = (
+            self.prompt_pool.version,
+            self.token_pool.version,
+            self.mixed_pool.version,
+            self.parked_pool.version,
+        )
         if self._machines_cache is None or self._machines_cache_versions != versions:
-            self._machines_cache = list(self.prompt_pool) + list(self.token_pool) + list(self.mixed_pool)
+            self._machines_cache = (
+                list(self.prompt_pool)
+                + list(self.token_pool)
+                + list(self.mixed_pool)
+                + list(self.parked_pool)
+            )
             self._machines_cache_versions = versions
         return self._machines_cache
 
@@ -325,6 +342,90 @@ class ClusterScheduler:
         else:
             self.token_pool.add(machine)
 
+    # -- dynamic re-purposing (autoscaler hooks) ----------------------------------------------
+
+    def park_machine(self, machine: SimulatedMachine) -> None:
+        """Withdraw an idle machine from routing (autoscaler scale-down).
+
+        The machine keeps its home role and is moved to the parked pool; the
+        router never selects parked machines, so it accrues no further work.
+        Only fully drained machines can be parked — parking never strands a
+        request.
+
+        Raises:
+            ValueError: if the machine still holds or expects any work.
+        """
+        if machine.has_prompt_work() or machine.has_token_work() or machine.is_busy:
+            raise ValueError(f"machine {machine.name} still has work; only idle machines can be parked")
+        if machine in self.parked_pool:
+            return
+        self.prompt_pool.remove(machine)
+        self.token_pool.remove(machine)
+        self.mixed_pool.remove(machine)
+        machine.role = machine.home_role
+        self.parked_pool.add(machine)
+
+    def unpark_machine(self, machine: SimulatedMachine) -> None:
+        """Return a parked machine to its home pool (autoscaler scale-up)."""
+        if machine not in self.parked_pool:
+            return
+        self.parked_pool.remove(machine)
+        machine.role = machine.home_role
+        if not self.split or machine.home_role is MachineRole.MIXED:
+            self.mixed_pool.add(machine)
+        elif machine.home_role is MachineRole.PROMPT:
+            self.prompt_pool.add(machine)
+        else:
+            self.token_pool.add(machine)
+
+    def retarget_home(self, machine: SimulatedMachine, new_home: MachineRole) -> None:
+        """Re-purpose a machine to a new home pool with drain-before-switch.
+
+        The machine's home role changes immediately; placement reuses the
+        mixed-pool machinery: a machine still holding work that is foreign to
+        its *new* home is pulled into the mixed pool, where it keeps serving
+        that work until it drains, and :meth:`_restore_home_pool` then lands
+        it in the new home pool.  An idle machine switches pools immediately.
+
+        Raises:
+            ValueError: if ``new_home`` is the mixed pool (machines only ever
+                visit the mixed pool temporarily).
+        """
+        if new_home is MachineRole.MIXED:
+            raise ValueError("cannot re-target a machine's home to the mixed pool")
+        if machine.home_role is new_home:
+            return
+        # Any in-flight coalesced run was proven safe under the old home.
+        machine.interrupt_coalescing()
+        machine.home_role = new_home
+        if machine in self.parked_pool:
+            return  # takes effect when the machine is unparked
+        if machine.role is MachineRole.MIXED:
+            # Already draining in the mixed pool; it lands in the new home
+            # pool as soon as the (newly defined) foreign work is gone.
+            self._restore_home_pool(machine)
+            return
+        if machine.has_foreign_work():
+            self._move_to_mixed(machine)
+            return
+        self.prompt_pool.remove(machine)
+        self.token_pool.remove(machine)
+        machine.role = new_home
+        if new_home is MachineRole.PROMPT:
+            self.prompt_pool.add(machine)
+        else:
+            self.token_pool.add(machine)
+        self.pool_switches += 1
+
+    def count_home_machines(self, role: MachineRole) -> int:
+        """Routable (non-parked, non-failed) machines whose home pool is ``role``."""
+        return sum(
+            1
+            for pool in (self.prompt_pool, self.token_pool, self.mixed_pool)
+            for machine in pool
+            if machine.home_role is role
+        )
+
     # -- fault tolerance (§IV-E) ------------------------------------------------------------
 
     def fail_machine(self, machine: SimulatedMachine | str) -> list[Request]:
@@ -349,7 +450,10 @@ class ClusterScheduler:
         self.prompt_pool.remove(target)
         self.token_pool.remove(target)
         self.mixed_pool.remove(target)
+        self.parked_pool.remove(target)
         self.failed_machines.append(target)
+        if self.on_machine_failed is not None:
+            self.on_machine_failed(target)
 
         # Requests routed to the failed machine for a later phase must also restart.
         to_restart = {id(r): r for r in affected}
@@ -469,7 +573,12 @@ class ClusterScheduler:
 
     def pool_sizes(self) -> dict[str, int]:
         """Current number of machines in each pool."""
-        return {"prompt": len(self.prompt_pool), "token": len(self.token_pool), "mixed": len(self.mixed_pool)}
+        return {
+            "prompt": len(self.prompt_pool),
+            "token": len(self.token_pool),
+            "mixed": len(self.mixed_pool),
+            "parked": len(self.parked_pool),
+        }
 
     def machines_by_home_role(self, role: MachineRole) -> list[SimulatedMachine]:
         """All machines whose home pool is ``role`` regardless of current pool."""

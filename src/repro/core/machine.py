@@ -1061,6 +1061,19 @@ class SimulatedMachine:
         # leaves behind when the clock stops mid-iteration.
         self._rotation_interrupt()
 
+    def interrupt_coalescing(self) -> None:
+        """Fall back to exact per-iteration stepping before an external transition.
+
+        Cluster components that change scheduling-relevant machine state from
+        outside the queue transitions (e.g. the autoscaler re-targeting a
+        machine's home pool) must call this first: the in-flight coalesced
+        run's no-op guarantees were proven under the *old* state, so the
+        remaining run is converted back to per-iteration stepping at the
+        in-flight iteration's boundary.  A no-op when nothing is coalesced.
+        """
+        self._rotation_interrupt()
+        self._ff_interrupt()
+
     def notify_power_cap_change(self) -> None:
         """Invalidate memoized latency/energy tables after a power-cap change.
 

@@ -30,15 +30,27 @@ from typing import Iterable, Mapping
 class PerfScenario:
     """One self-benchmark configuration.
 
+    Two kinds of scenario share this record: stationary Poisson bursts
+    (``preset is None``: the trace is generated from ``workload`` /
+    ``rate_rps`` / ``num_requests``) and named time-varying presets
+    (``preset`` names a :mod:`repro.workload.scenarios` entry whose trace,
+    failures, and per-preset autoscaler configuration are reused at
+    ``preset_scale``).
+
     Attributes:
         name: Scenario label (keys the benchmark report).
         num_prompt: Prompt-pool machines in the Splitwise-HH cluster.
         num_token: Token-pool machines.
-        rate_rps: Arrival rate of the Poisson burst.
+        rate_rps: Arrival rate of the Poisson burst (mean rate, for preset
+            scenarios; informational there).
         num_requests: Approximate number of requests in the trace (the trace
-            duration is derived as ``num_requests / rate_rps``).
+            duration is derived as ``num_requests / rate_rps``; unused for
+            preset scenarios, whose presets fix their own duration).
         workload: Workload name for the token-size distributions.
         seed: Trace generation seed (scenarios are fully deterministic).
+        preset: Optional named scenario preset driving the trace.
+        preset_scale: Scale passed to the preset (cluster and load together).
+        autoscale: Run with the dynamic pool autoscaler attached.
     """
 
     name: str
@@ -48,6 +60,9 @@ class PerfScenario:
     num_requests: int
     workload: str = "conversation"
     seed: int = 0
+    preset: str | None = None
+    preset_scale: float = 1.0
+    autoscale: bool = False
 
     @property
     def num_machines(self) -> int:
@@ -62,11 +77,24 @@ class PerfScenario:
 
 #: The scaling ladder used by ``benchmarks/test_perf_scaling.py``: 4, 16 and
 #: 40 machines under a 12.5 requests/sec/machine burst (roughly 5x the
-#: sustainable rate, mirroring the paper's robustness bursts).
+#: sustainable rate, mirroring the paper's robustness bursts), plus a
+#: 20-machine day-scale diurnal scenario with the pool autoscaler active —
+#: the non-stationary regime where re-purposing and parking churn the pools.
 SCALING_SCENARIOS: tuple[PerfScenario, ...] = (
     PerfScenario(name="4-machine", num_prompt=2, num_token=2, rate_rps=50.0, num_requests=2_000, seed=11),
     PerfScenario(name="16-machine", num_prompt=10, num_token=6, rate_rps=200.0, num_requests=8_000, seed=12),
     PerfScenario(name="40-machine", num_prompt=25, num_token=15, rate_rps=500.0, num_requests=20_000, seed=13),
+    PerfScenario(
+        name="diurnal-autoscale",
+        num_prompt=12,
+        num_token=8,
+        rate_rps=12.0,
+        num_requests=0,
+        seed=14,
+        preset="diurnal",
+        preset_scale=4.0,
+        autoscale=True,
+    ),
 )
 
 
@@ -121,22 +149,36 @@ def run_perf_scenario(scenario: PerfScenario) -> PerfSample:
     # repro.metrics.collectors, so a top-level import would be circular.
     from repro.core.cluster import ClusterSimulation
     from repro.core.designs import splitwise_hh
+    from repro.experiments.scenarios import prepare_scenario_run
     from repro.workload.generator import generate_trace
+    from repro.workload.scenarios import get_scenario
 
-    trace = generate_trace(
-        scenario.workload,
-        rate_rps=scenario.rate_rps,
-        duration_s=scenario.duration_s,
-        seed=scenario.seed,
-    )
-    simulation = ClusterSimulation(splitwise_hh(scenario.num_prompt, scenario.num_token))
+    failures: tuple = ()
+    if scenario.preset is not None:
+        simulation, trace, failures = prepare_scenario_run(
+            get_scenario(scenario.preset),
+            seed=scenario.seed,
+            scale=scenario.preset_scale,
+            autoscaled=scenario.autoscale,
+        )
+    else:
+        trace = generate_trace(
+            scenario.workload,
+            rate_rps=scenario.rate_rps,
+            duration_s=scenario.duration_s,
+            seed=scenario.seed,
+        )
+        simulation = ClusterSimulation(splitwise_hh(scenario.num_prompt, scenario.num_token))
     start = time.perf_counter()
-    result = simulation.run(trace)
+    result = simulation.run(trace, failures=failures)
     wall_s = time.perf_counter() - start
     tokens = sum(r.generated_tokens for r in result.requests)
     return PerfSample(
         scenario=scenario.name,
-        machines=scenario.num_machines,
+        # Counted from the built cluster, not the dataclass fields: preset
+        # scenarios size their cluster from the preset, and the report must
+        # match reality.
+        machines=len(simulation.machines),
         requests=len(trace),
         completed=len(result.completed_requests),
         events=simulation.engine.events_processed,

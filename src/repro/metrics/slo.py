@@ -47,52 +47,88 @@ class SloReport:
     """Outcome of evaluating the SLO for one simulation run.
 
     Attributes:
-        slowdowns: Achieved slowdown at each ``(metric, percentile)``.
+        slowdowns: Achieved slowdown at each ``(metric, percentile)``.  A
+            metric with no samples reports ``nan`` at every percentile — an
+            unevaluable constraint is never treated as satisfied.
         limits: Allowed slowdown at each ``(metric, percentile)``.
+        samples: Number of slowdown samples behind each metric's percentiles
+            (guards against vacuous verdicts: a satisfied report with zero
+            samples somewhere is impossible by construction).
     """
 
     slowdowns: Mapping[tuple[str, float], float]
     limits: Mapping[tuple[str, float], float]
+    samples: Mapping[str, int] = field(default_factory=dict)
 
     @property
     def satisfied(self) -> bool:
-        """True when every percentile slowdown is within its limit."""
+        """True when every percentile slowdown is within its limit.
+
+        A ``nan`` slowdown (metric with no samples) fails its comparison, so
+        a report with a missing series is never satisfied.
+        """
         return all(self.slowdowns[key] <= self.limits[key] for key in self.limits)
 
+    def missing_series(self) -> list[str]:
+        """Metrics that produced no slowdown samples (reported as ``nan``)."""
+        missing = {metric for (metric, _), value in self.slowdowns.items() if np.isnan(value)}
+        return sorted(missing)
+
     def violations(self) -> dict[tuple[str, float], float]:
-        """The subset of (metric, percentile) keys that exceed their limit."""
+        """Every (metric, percentile) whose limit is exceeded or unevaluable."""
         return {
             key: self.slowdowns[key]
             for key in self.limits
-            if self.slowdowns[key] > self.limits[key]
+            if not self.slowdowns[key] <= self.limits[key]
         }
 
     def worst_margin(self) -> float:
-        """Largest ratio of achieved slowdown to allowed slowdown (<=1 means pass)."""
-        return max(self.slowdowns[key] / self.limits[key] for key in self.limits)
+        """Largest ratio of achieved slowdown to allowed slowdown (<=1 means pass).
+
+        ``nan`` when any metric could not be evaluated.
+        """
+        ratios = [self.slowdowns[key] / self.limits[key] for key in self.limits]
+        if any(np.isnan(ratio) for ratio in ratios):
+            return float("nan")
+        return max(ratios)
 
 
 def evaluate_slo(
     requests: Iterable[Request],
     reference_model: PerformanceModel,
     policy: SloPolicy = DEFAULT_SLO,
+    tbt_mode: str = "per-token",
 ) -> SloReport:
     """Evaluate the Table VI SLO over a set of completed requests.
 
-    Each request's achieved TTFT/TBT/E2E is divided by the latency the same
-    request would see on the reference machine with no contention (computed
-    from ``reference_model``), giving per-request slowdowns whose percentiles
-    are compared against the policy.
+    Each achieved TTFT/TBT/E2E is divided by the latency the same request
+    would see on the reference machine with no contention (computed from
+    ``reference_model``), giving slowdowns whose percentiles are compared
+    against the policy.
+
+    TBT percentiles follow the paper's Table VI and are taken over the
+    pooled *per-token* inter-token-gap distribution by default — a P99 over
+    per-request means would hide per-token stalls inside long requests.  Set
+    ``tbt_mode="per-request-mean"`` for the coarser legacy definition.
+
+    A metric with no samples (e.g. no request generated a second token, so
+    there are no TBT gaps) reports ``nan`` at its percentiles and the report
+    is never marked satisfied: an unevaluable SLO must not pass vacuously.
 
     Args:
         requests: Requests from a simulation (incomplete ones are ignored).
         reference_model: Performance model of the uncontended reference
             machine (the paper uses DGX-A100).
         policy: The SLO percentile limits.
+        tbt_mode: ``"per-token"`` (paper-faithful pooled distribution) or
+            ``"per-request-mean"``.
 
     Raises:
-        ValueError: if no completed requests are supplied.
+        ValueError: if no completed requests are supplied, or ``tbt_mode``
+            is unknown.
     """
+    if tbt_mode not in ("per-token", "per-request-mean"):
+        raise ValueError(f"tbt_mode must be 'per-token' or 'per-request-mean', got {tbt_mode!r}")
     completed = [r for r in requests if r.is_complete]
     if not completed:
         raise ValueError("no completed requests to evaluate against the SLO")
@@ -106,14 +142,20 @@ def evaluate_slo(
         ref_e2e = reference_model.e2e_latency(request.prompt_tokens, request.output_tokens)
         if request.ttft is not None and ref_ttft > 0:
             ttft_slowdowns.append(request.ttft / ref_ttft)
-        if request.mean_tbt is not None and ref_tbt > 0:
-            tbt_slowdowns.append(request.mean_tbt / ref_tbt)
+        if ref_tbt > 0:
+            if tbt_mode == "per-token":
+                tbt_slowdowns.extend(gap / ref_tbt for gap in request.token_intervals)
+            elif request.mean_tbt is not None:
+                tbt_slowdowns.append(request.mean_tbt / ref_tbt)
         if request.e2e_latency is not None and ref_e2e > 0:
             e2e_slowdowns.append(request.e2e_latency / ref_e2e)
 
-    series = {"ttft": ttft_slowdowns, "tbt": tbt_slowdowns or [0.0], "e2e": e2e_slowdowns}
+    series = {"ttft": ttft_slowdowns, "tbt": tbt_slowdowns, "e2e": e2e_slowdowns}
     slowdowns: dict[tuple[str, float], float] = {}
     for (metric, pct), _limit in policy.limits().items():
         values = series[metric]
-        slowdowns[(metric, pct)] = float(np.percentile(np.asarray(values), pct)) if values else 0.0
-    return SloReport(slowdowns=slowdowns, limits=policy.limits())
+        slowdowns[(metric, pct)] = (
+            float(np.percentile(np.asarray(values), pct)) if values else float("nan")
+        )
+    samples = {metric: len(values) for metric, values in series.items()}
+    return SloReport(slowdowns=slowdowns, limits=policy.limits(), samples=samples)

@@ -22,9 +22,29 @@ from repro.workload.distributions import (
     registered_workloads,
 )
 from repro.workload.generator import TraceGenerator, generate_trace
+from repro.workload.scenarios import (
+    SCENARIO_PRESETS,
+    MarkovModulatedArrival,
+    PiecewiseRateArrival,
+    Scenario,
+    SinusoidalDiurnalArrival,
+    concat_traces,
+    get_scenario,
+    mix_traces,
+    splice_traces,
+)
 from repro.workload.trace import RequestDescriptor, Trace
 
 __all__ = [
+    "PiecewiseRateArrival",
+    "SinusoidalDiurnalArrival",
+    "MarkovModulatedArrival",
+    "Scenario",
+    "SCENARIO_PRESETS",
+    "get_scenario",
+    "concat_traces",
+    "splice_traces",
+    "mix_traces",
     "TokenDistribution",
     "LogNormalTokenDistribution",
     "MixtureTokenDistribution",

@@ -24,6 +24,28 @@ class ArrivalProcess(ABC):
         """Arrival times within ``[0, duration_s)``, sorted ascending."""
 
 
+def homogeneous_poisson_times(
+    rng: np.random.Generator, rate_rps: float, duration_s: float
+) -> np.ndarray:
+    """Sorted homogeneous-Poisson arrival times in ``[0, duration_s)``.
+
+    The shared sampling kernel for every Poisson-derived process (stationary
+    and the piecewise/thinned/modulated processes in
+    :mod:`repro.workload.scenarios`): draw enough exponential gaps to cover
+    the window with margin, then top up in the unlikely case the draw fell
+    short.  Consumes no randomness when the window or rate is empty.
+    """
+    if rate_rps <= 0.0 or duration_s <= 0.0:
+        return np.empty(0, dtype=float)
+    expected = rate_rps * duration_s
+    gaps = rng.exponential(1.0 / rate_rps, size=max(16, int(expected * 1.3) + 16))
+    times = np.cumsum(gaps)
+    while times.size and times[-1] < duration_s:
+        extra = rng.exponential(1.0 / rate_rps, size=max(16, int(expected * 0.3) + 16))
+        times = np.concatenate([times, times[-1] + np.cumsum(extra)])
+    return times[times < duration_s]
+
+
 @dataclass(frozen=True)
 class PoissonArrivalProcess(ArrivalProcess):
     """Memoryless arrivals at an average of ``rate_rps`` requests per second."""
@@ -37,15 +59,7 @@ class PoissonArrivalProcess(ArrivalProcess):
     def arrival_times(self, rng: np.random.Generator, duration_s: float) -> np.ndarray:
         if duration_s < 0:
             raise ValueError(f"duration_s must be non-negative, got {duration_s}")
-        expected = self.rate_rps * duration_s
-        # Draw enough exponential gaps to cover the window with margin, then
-        # top up in the unlikely case the draw fell short.
-        gaps = rng.exponential(1.0 / self.rate_rps, size=max(16, int(expected * 1.3) + 16))
-        times = np.cumsum(gaps)
-        while times.size and times[-1] < duration_s:
-            extra = rng.exponential(1.0 / self.rate_rps, size=max(16, int(expected * 0.3) + 16))
-            times = np.concatenate([times, times[-1] + np.cumsum(extra)])
-        return times[times < duration_s]
+        return homogeneous_poisson_times(rng, self.rate_rps, duration_s)
 
 
 @dataclass(frozen=True)

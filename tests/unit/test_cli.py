@@ -53,6 +53,35 @@ class TestSimulateCommand:
         assert code in (0, 2)
         assert "trace" in out
 
+    def test_rate_and_duration_reshape_replayed_trace(self, tmp_path, capsys):
+        """Explicit --rate / --duration must apply to a replayed trace, not be
+        silently ignored."""
+        output = tmp_path / "trace.csv"
+        main(["trace", "--workload", "coding", "--rate", "2", "--duration", "30", "-o", str(output)])
+        capsys.readouterr()
+        full = len(Trace.from_csv(output))
+        code = main(["simulate", "--design", "Splitwise-HH", "--prompt", "1", "--token", "1",
+                     "--trace", str(output), "--rate", "4", "--duration", "5", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code in (0, 2)
+        assert payload["requests"] < full
+        # ~4 RPS over the 5s truncation window.
+        assert 5 <= payload["requests"] <= 40
+        assert any("rescaled" in note for note in payload["notes"])
+        assert any("truncated" in note for note in payload["notes"])
+
+    def test_replayed_trace_untouched_without_flags(self, tmp_path, capsys):
+        output = tmp_path / "trace.csv"
+        main(["trace", "--workload", "coding", "--rate", "2", "--duration", "15", "-o", str(output)])
+        capsys.readouterr()
+        full = len(Trace.from_csv(output))
+        code = main(["simulate", "--design", "Splitwise-HH", "--prompt", "1", "--token", "1",
+                     "--trace", str(output), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code in (0, 2)
+        assert payload["requests"] == full
+        assert "notes" not in payload
+
     def test_overloaded_cluster_returns_slo_exit_code(self, capsys):
         code = main([
             "simulate", "--design", "Baseline-H100", "--prompt", "1", "--token", "0",
@@ -60,6 +89,43 @@ class TestSimulateCommand:
         ])
         assert code == 2
         capsys.readouterr()
+
+
+class TestScenarioCommand:
+    def test_diurnal_preset_prints_slo_and_machine_hours(self, capsys):
+        code = main(["scenario", "--preset", "diurnal", "--scale", "0.5", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code in (0, 2)
+        assert "static" in out
+        assert "autoscaled" in out
+        assert "machine-hours saved" in out
+
+    def test_json_output_is_non_vacuous_and_deterministic(self, capsys):
+        payloads = []
+        for _ in range(2):
+            code = main(["scenario", "--preset", "diurnal", "--scale", "0.5", "--json"])
+            payloads.append(json.loads(capsys.readouterr().out))
+            assert code in (0, 2)
+        first, second = payloads
+        # Same seed => bit-identical results across two runs.
+        assert first == second
+        for label in ("static", "autoscaled"):
+            assert first[label]["slo_samples"]["tbt"] > 0
+            assert first[label]["slo_samples"]["ttft"] > 0
+        assert "machine_hours_saved" in first
+        assert isinstance(first["timeline"], list)
+
+    def test_no_autoscaler_skips_comparison(self, capsys):
+        code = main(["scenario", "--preset", "failure-under-load", "--scale", "0.5",
+                     "--no-autoscaler", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code in (0, 2)
+        assert "autoscaled" not in payload
+        assert "machine_hours_saved" not in payload
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "--preset", "lunar-eclipse"])
 
 
 class TestProvisionCommand:

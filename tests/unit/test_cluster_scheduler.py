@@ -73,11 +73,11 @@ class TestMachinePool:
 class TestPoolAssignment:
     def test_split_cluster_pools(self, split_cluster):
         _, scheduler, _ = split_cluster
-        assert scheduler.pool_sizes() == {"prompt": 2, "token": 1, "mixed": 0}
+        assert scheduler.pool_sizes() == {"prompt": 2, "token": 1, "mixed": 0, "parked": 0}
 
     def test_baseline_cluster_all_mixed(self, baseline_cluster):
         _, scheduler, _ = baseline_cluster
-        assert scheduler.pool_sizes() == {"prompt": 0, "token": 0, "mixed": 2}
+        assert scheduler.pool_sizes() == {"prompt": 0, "token": 0, "mixed": 2, "parked": 0}
 
     def test_machines_by_home_role(self, split_cluster):
         _, scheduler, _ = split_cluster
@@ -137,7 +137,7 @@ class TestMixedPoolOverflow:
         assert scheduler.pool_sizes()["mixed"] >= 1
         engine.run()
         # All requests complete; every machine is back in its home pool.
-        assert scheduler.pool_sizes() == {"prompt": 2, "token": 1, "mixed": 0}
+        assert scheduler.pool_sizes() == {"prompt": 2, "token": 1, "mixed": 0, "parked": 0}
         assert all(m.role is m.home_role for m in machines)
 
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.hardware.machine import DGX_A100
@@ -185,6 +186,60 @@ class TestSlo:
         lax = SloPolicy(ttft={50: 100.0}, tbt={50: 100.0}, e2e={50: 100.0})
         requests = [self._request_with_slowdown(make_request, reference, 4.0) for _ in range(3)]
         assert evaluate_slo(requests, reference, lax).satisfied
+
+    def test_missing_tbt_series_never_passes_vacuously(self, make_request):
+        """Single-output-token requests produce no TBT gaps: the report must
+        not claim the TBT SLO is met on zero evidence."""
+        reference = AnalyticalPerformanceModel(LLAMA2_70B, DGX_A100)
+        request = make_request(request_id=0, arrival=0.0, prompt=1000, output=1)
+        request.start_prompt(0.0, "m")
+        request.finish_prompt(reference.ttft(1000))  # completes: output == 1
+        report = evaluate_slo([request], reference)
+        assert not report.satisfied
+        assert report.missing_series() == ["tbt"]
+        assert report.samples["tbt"] == 0
+        assert all(np.isnan(report.slowdowns[("tbt", pct)]) for pct in (50.0, 90.0, 99.0))
+        assert ("tbt", 99.0) in report.violations()
+        assert np.isnan(report.worst_margin())
+
+    def test_samples_counted_per_metric(self, make_request):
+        reference = AnalyticalPerformanceModel(LLAMA2_70B, DGX_A100)
+        requests = [self._request_with_slowdown(make_request, reference, 1.0, output=10) for _ in range(4)]
+        report = evaluate_slo(requests, reference)
+        assert report.samples["ttft"] == 4
+        assert report.samples["e2e"] == 4
+        # Per-token pooling: 9 gaps per 10-token request.
+        assert report.samples["tbt"] == 4 * 9
+
+    def test_per_token_mode_catches_stalls_mean_mode_hides(self, make_request):
+        """A single long stall inside an otherwise-fast request must show up
+        in the paper-faithful per-token P99 but can hide in per-request means."""
+        reference = AnalyticalPerformanceModel(LLAMA2_70B, DGX_A100)
+        prompt, output = 1000, 101
+        ref_tbt = reference.tbt(1, prompt)
+        requests = []
+        for request_id in range(3):
+            request = make_request(request_id=request_id, arrival=0.0, prompt=prompt, output=output)
+            ttft = reference.ttft(prompt)
+            request.start_prompt(0.0, "m")
+            request.finish_prompt(ttft)
+            time = ttft
+            for i in range(1, output):
+                # 97 uncontended gaps and three 40x stalls (3% of tokens): the
+                # per-request mean stays ~2.2x, under the 5.0 P99 limit.
+                time += ref_tbt * (40.0 if i in (25, 50, 75) else 1.0)
+                request.generate_token(time)
+            requests.append(request)
+        per_token = evaluate_slo(requests, reference, tbt_mode="per-token")
+        per_mean = evaluate_slo(requests, reference, tbt_mode="per-request-mean")
+        assert ("tbt", 99.0) in per_token.violations()
+        assert ("tbt", 99.0) not in per_mean.violations()
+
+    def test_unknown_tbt_mode_rejected(self, make_request):
+        reference = AnalyticalPerformanceModel(LLAMA2_70B, DGX_A100)
+        requests = [self._request_with_slowdown(make_request, reference, 1.0)]
+        with pytest.raises(ValueError, match="tbt_mode"):
+            evaluate_slo(requests, reference, tbt_mode="median")
 
 
 class TestCoalescedRecording:
