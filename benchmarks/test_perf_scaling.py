@@ -52,6 +52,9 @@ EXPECTED_SIM_TIME = {
     # span ends at the last completion (trailing controller-only ticks are
     # excluded so machine-hour windows stay comparable with static runs).
     "diurnal-autoscale": "254.5188606131304",
+    # Two mixed-tenant clusters plus one standby behind the slo-feedback
+    # fleet router and the cloud-burst provisioner.
+    "fleet-burst": "250.29238581678956",
 }
 
 #: Regression floor for the headline scenario: the O(1)-accounting simulator
@@ -76,6 +79,10 @@ EVENTS_PER_S_FLOOR = {
     # below the recording host's ~134k logical events/s so the gate only
     # trips on a genuine regression, not on a slow CI runner.
     "diurnal-autoscale": 20_000.0,
+    # New in the fleet PR (no seed measurement exists): the recording host
+    # sustains ~100-140k logical events/s through the fleet router and burst
+    # provisioner; same ~6x safety margin as diurnal-autoscale.
+    "fleet-burst": 17_000.0,
 }
 
 _REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"

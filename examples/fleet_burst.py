@@ -1,0 +1,70 @@
+"""A multi-cluster fleet with per-tenant SLOs and cloud-burst provisioning.
+
+Replays the ``mixed-tenant`` scenario preset (conversation + coding tenants
+with anti-phase diurnal peaks) through a fleet of Splitwise-HH clusters
+twice — every cluster statically active, then with only two active and one
+standby rented elastically by the burst provisioner — and prints the
+per-tenant SLO verdicts, the machine-hour comparison, and the provisioning
+timeline.
+
+Run with::
+
+    python examples/fleet_burst.py
+"""
+
+from __future__ import annotations
+
+from repro import get_scenario, splitwise_hh
+from repro.fleet import FleetProvisionerConfig, FleetSimulation
+
+CLUSTERS = 2
+STANDBYS = 1
+
+
+def main() -> None:
+    preset = get_scenario("mixed-tenant")
+    trace = preset.build_trace(seed=0, scale=float(CLUSTERS))
+    design = splitwise_hh(*preset.machine_counts())
+    print(f"Fleet scenario {preset.name}: {preset.description}")
+    print(
+        f"Trace: {len(trace)} requests over {preset.duration_s:g}s, "
+        f"tenants: {', '.join(trace.tenants())}\n"
+    )
+
+    print(f"{'run':<9}{'tenant SLOs':>28}{'completion':>12}{'machine-hours':>15}{'cost ($)':>10}")
+    results = {}
+    runs = (
+        ("static", FleetSimulation(design, num_clusters=CLUSTERS + STANDBYS, router="slo-feedback")),
+        (
+            "burst",
+            FleetSimulation(
+                design,
+                num_clusters=CLUSTERS,
+                burst_clusters=STANDBYS,
+                router="slo-feedback",
+                provisioner=FleetProvisionerConfig(),
+            ),
+        ),
+    )
+    for label, fleet in runs:
+        result = fleet.run(trace)
+        results[label] = result
+        report = result.tenant_slo_report()
+        verdicts = ", ".join(
+            f"{tenant}={'PASS' if tenant_report.satisfied else 'FAIL'}"
+            for tenant, tenant_report in sorted(report.tenants.items())
+        )
+        print(
+            f"{label:<9}{verdicts:>28}{result.completion_rate:>12.3f}"
+            f"{result.machine_hours():>15.3f}{result.cost():>10.0f}"
+        )
+
+    saved = results["static"].machine_hours() - results["burst"].machine_hours()
+    print(f"\nMachine-hours saved by bursting vs static: {saved:.3f}")
+    print("\nProvisioning timeline:")
+    for event in results["burst"].provisioner.timeline:
+        print(f"  t={event.time_s:>8.2f}s {event.action:<10} {event.cluster:<10} ({event.reason})")
+
+
+if __name__ == "__main__":
+    main()

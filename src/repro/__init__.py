@@ -46,6 +46,13 @@ from repro.core.provisioning import (
     ProvisioningResult,
     find_max_throughput,
 )
+from repro.fleet import (
+    FleetProvisioner,
+    FleetProvisionerConfig,
+    FleetResult,
+    FleetRouter,
+    FleetSimulation,
+)
 from repro.hardware import DGX_A100, DGX_H100, DGX_H100_CAPPED, GPU_A100, GPU_H100, GpuSpec, MachineSpec
 from repro.metrics.slo import DEFAULT_SLO, SloPolicy, SloReport
 from repro.metrics.summary import LatencySummary, RequestMetrics
@@ -143,6 +150,12 @@ __all__ = [
     "ProvisioningResult",
     "OptimizationGoal",
     "find_max_throughput",
+    # fleet
+    "FleetSimulation",
+    "FleetResult",
+    "FleetRouter",
+    "FleetProvisioner",
+    "FleetProvisionerConfig",
     # metrics
     "LatencySummary",
     "RequestMetrics",

@@ -11,6 +11,10 @@ Five subcommands cover the common workflows without writing Python:
   burst-storm, failure-under-load, mixed-tenant) with the dynamic pool
   autoscaler and compare SLO attainment and machine-hours against the
   statically provisioned baseline.
+* ``repro-sim fleet`` — run a preset across a multi-cluster fleet behind the
+  tenant-aware fleet router, with cloud-burst provisioning, and report
+  per-tenant SLO satisfaction plus a static-vs-burst machine-hours
+  comparison.
 * ``repro-sim provision`` — sweep machine counts for a design family and
   report the cost-optimal configuration for a target load.
 * ``repro-sim designs`` — list the built-in cluster designs with their cost
@@ -23,6 +27,8 @@ Examples::
     repro-sim simulate --trace coding.csv --rate 12 --duration 60
     repro-sim scenario --preset diurnal --seed 0
     repro-sim scenario --preset burst-storm --scale 0.5 --json
+    repro-sim fleet --preset mixed-tenant --clusters 2
+    repro-sim fleet --preset diurnal --clusters 3 --policy jsq --timeline
     repro-sim provision --design Splitwise-HH --workload coding --rate 10
 """
 
@@ -37,6 +43,7 @@ from typing import Sequence
 from repro.core.cluster import simulate_design
 from repro.core.designs import get_design_family
 from repro.core.provisioning import OptimizationGoal, Provisioner, estimate_pool_sizes
+from repro.fleet.router import ROUTER_POLICIES
 from repro.models.llm import get_model
 from repro.workload.generator import generate_trace
 from repro.workload.scenarios import SCENARIO_PRESETS, get_scenario
@@ -101,6 +108,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario.add_argument("--timeline", action="store_true", help="print the re-purposing timeline")
     scenario.add_argument("--json", action="store_true", help="print machine-readable JSON")
+
+    fleet = subparsers.add_parser(
+        "fleet", help="run a preset across a multi-cluster fleet with cloud bursting"
+    )
+    fleet.add_argument("--preset", choices=sorted(SCENARIO_PRESETS), default="mixed-tenant")
+    fleet.add_argument("--clusters", type=int, default=2, help="initially active clusters")
+    fleet.add_argument(
+        "--burst-clusters", type=int, default=1,
+        help="standby clusters the provisioner may burst into",
+    )
+    fleet.add_argument(
+        "--policy", choices=ROUTER_POLICIES, default="slo-feedback", help="fleet routing policy"
+    )
+    fleet.add_argument("--model", default="Llama2-70B", help="LLM to serve")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--scale", type=float, default=1.0,
+        help="shrink/grow each cluster and its per-cluster load proportionally",
+    )
+    fleet.add_argument(
+        "--no-burst", action="store_true",
+        help="skip the burst run (static whole-fleet baseline only)",
+    )
+    fleet.add_argument("--timeline", action="store_true", help="print the provisioning timeline")
+    fleet.add_argument("--json", action="store_true", help="print machine-readable JSON")
 
     provision = subparsers.add_parser("provision", help="search machine counts for a target load")
     provision.add_argument("--design", choices=_DESIGN_FAMILIES, default="Splitwise-HH")
@@ -283,6 +315,91 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0 if exit_slo.satisfied else 2
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.experiments.fleet_sweep import fleet_run_summary, prepare_fleet_run
+
+    preset = get_scenario(args.preset)
+    model = get_model(args.model)
+    static_fleet, trace, failures = prepare_fleet_run(
+        preset, clusters=args.clusters, burst_clusters=args.burst_clusters, seed=args.seed,
+        scale=args.scale, policy=args.policy, burst=False, model=model,
+    )
+    static_result = static_fleet.run(trace, failures=failures)
+    static_summary = fleet_run_summary(static_result)
+    payload = {
+        "preset": preset.name,
+        "description": preset.description,
+        "trace": trace.name,
+        "requests": len(trace),
+        "tenants": list(trace.tenants()),
+        "design": static_fleet.clusters[0].design.label,
+        "clusters": args.clusters,
+        "burst_clusters": args.burst_clusters,
+        "policy": args.policy,
+        "static": static_summary,
+    }
+
+    exit_report = static_summary["tenant_slo"]
+    if not args.no_burst:
+        burst_fleet, trace, failures = prepare_fleet_run(
+            preset, clusters=args.clusters, burst_clusters=args.burst_clusters, seed=args.seed,
+            scale=args.scale, policy=args.policy, burst=True, model=model,
+        )
+        burst_result = burst_fleet.run(trace, failures=failures)
+        burst_summary = fleet_run_summary(burst_result)
+        payload["burst"] = burst_summary
+        payload["machine_hours_saved"] = round(
+            static_summary["machine_hours"] - burst_summary["machine_hours"], 3
+        )
+        if args.timeline or args.json:
+            payload["timeline"] = burst_result.provisioner.timeline_as_dicts()
+        exit_report = burst_summary["tenant_slo"]
+
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"fleet {preset.name}: {preset.description}")
+        print(
+            f"  trace: {len(trace)} requests over {preset.duration_s:g}s, "
+            f"tenants: {', '.join(payload['tenants'])}"
+        )
+        print(
+            f"  fleet: {args.clusters} active + {args.burst_clusters} standby x "
+            f"{payload['design']} ({args.policy} routing)"
+        )
+        for label in ("static", "burst"):
+            if label not in payload:
+                continue
+            run = payload[label]
+            slo = run["tenant_slo"]
+            tenant_bits = ", ".join(
+                f"{tenant}={'PASS' if entry['satisfied'] else 'FAIL'}"
+                for tenant, entry in sorted(slo["tenants"].items())
+            )
+            print(
+                f"  {label:<7} per-tenant SLO: {tenant_bits} "
+                f"(fleet {'PASS' if slo['fleet']['satisfied'] else 'FAIL'}) "
+                f"completion={run['completion_rate']:.3f} "
+                f"machine-hours={run['machine_hours']:.3f} cost=${run['cost']:.0f}"
+            )
+        if "machine_hours_saved" in payload:
+            saved = payload["machine_hours_saved"]
+            static_hours = payload["static"]["machine_hours"]
+            fraction = saved / static_hours if static_hours else 0.0
+            print(
+                f"  machine-hours saved vs static: {saved:.3f} ({fraction:.1%}), "
+                f"bursts={payload['burst'].get('bursts', 0)}, "
+                f"provisioner actions={payload['burst'].get('provisioner_actions', 0)}"
+            )
+        if args.timeline and "timeline" in payload:
+            for event in payload["timeline"]:
+                print(
+                    f"    t={event['time_s']:>8.2f}s {event['action']:<10} "
+                    f"{event['cluster']:<10} ({event['reason']})"
+                )
+    return 0 if exit_report["satisfied"] else 2
+
+
 def _cmd_provision(args: argparse.Namespace) -> int:
     estimate_prompt, estimate_token = estimate_pool_sizes(args.design, rate_rps=args.rate, workload=args.workload)
     provisioner = Provisioner(workload=args.workload, trace_duration_s=args.duration, seed=args.seed)
@@ -325,6 +442,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "simulate": _cmd_simulate,
     "scenario": _cmd_scenario,
+    "fleet": _cmd_fleet,
     "provision": _cmd_provision,
     "designs": _cmd_designs,
 }

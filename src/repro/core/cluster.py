@@ -26,7 +26,14 @@ from repro.core.machine import MachineRole, SimulatedMachine
 from repro.hardware.interconnect import infiniband_for
 from repro.hardware.machine import DGX_A100
 from repro.metrics.collectors import BatchOccupancyTracker, MetricsCollector
-from repro.metrics.slo import DEFAULT_SLO, SloPolicy, SloReport, evaluate_slo
+from repro.metrics.slo import (
+    DEFAULT_SLO,
+    SloPolicy,
+    SloReport,
+    TenantSloReport,
+    evaluate_slo,
+    evaluate_slo_by_tenant,
+)
 from repro.metrics.summary import RequestMetrics, summarize_requests
 from repro.models.llm import LLAMA2_70B, ModelSpec
 from repro.models.performance import AnalyticalPerformanceModel, PerformanceModel
@@ -98,6 +105,30 @@ class SimulationResult:
             reference_model = AnalyticalPerformanceModel(model or LLAMA2_70B, DGX_A100)
         return evaluate_slo(self.requests, reference_model, policy, tbt_mode=tbt_mode)
 
+    def tenant_slo_report(
+        self,
+        reference_model: PerformanceModel | None = None,
+        policies: dict[str, SloPolicy] | None = None,
+        default_policy: SloPolicy = DEFAULT_SLO,
+        model: ModelSpec | None = None,
+        tbt_mode: str = "per-token",
+    ) -> TenantSloReport:
+        """Per-tenant SLO verdicts plus the fleet-level roll-up.
+
+        Args:
+            reference_model: Reference performance model; defaults to the
+                model running on an uncontended DGX-A100.
+            policies: Optional per-tenant :class:`SloPolicy` overrides.
+            default_policy: Policy for tenants without an explicit entry.
+            model: LLM used to build the default reference model.
+            tbt_mode: See :meth:`slo_report`.
+        """
+        if reference_model is None:
+            reference_model = AnalyticalPerformanceModel(model or LLAMA2_70B, DGX_A100)
+        return evaluate_slo_by_tenant(
+            self.requests, reference_model, policies, default_policy, tbt_mode=tbt_mode
+        )
+
     def total_energy_wh(self) -> float:
         """Total GPU energy consumed by the cluster in watt-hours."""
         return self.metrics.total_energy_wh()
@@ -147,6 +178,13 @@ class ClusterSimulation:
             :class:`~repro.core.autoscaler.AutoscalerConfig` (wrapped in a
             fresh autoscaler), or ``True`` for the default configuration.
             Requires a split design.
+        engine: Optional externally owned simulation engine.  A fleet
+            simulation passes one shared engine to every member cluster so
+            all clusters advance on a single timeline; standalone clusters
+            keep building their own.
+        name: Optional cluster name.  When given, machine names are prefixed
+            (``"{name}/prompt-0"``) so machines from different clusters of
+            one fleet never collide in logs, failure injections, or metrics.
     """
 
     def __init__(
@@ -161,12 +199,15 @@ class ClusterSimulation:
         routing: str = "jsq",
         fast_forward: bool | None = None,
         autoscaler: PoolAutoscaler | AutoscalerConfig | bool | None = None,
+        engine: SimulationEngine | None = None,
+        name: str = "",
     ) -> None:
         self.design = design
         self.model = model
         self.batching = batching
         self.routing = routing
         self.fast_forward = fast_forward
+        self.name = name
         if autoscaler is True:
             autoscaler = PoolAutoscaler()
         elif isinstance(autoscaler, AutoscalerConfig):
@@ -174,7 +215,7 @@ class ClusterSimulation:
         elif autoscaler is False:
             autoscaler = None
         self.autoscaler: PoolAutoscaler | None = autoscaler
-        self.engine = SimulationEngine()
+        self.engine = engine if engine is not None else SimulationEngine()
         self.metrics = MetricsCollector()
         self.machines = self._build_machines(max_prompt_batch_tokens, max_batch_size)
         scheduler_kwargs = {}
@@ -194,6 +235,7 @@ class ClusterSimulation:
     def _build_machines(self, max_prompt_batch_tokens: int, max_batch_size: int) -> list[SimulatedMachine]:
         machines: list[SimulatedMachine] = []
         design = self.design
+        prefix = f"{self.name}/" if self.name else ""
         if design.split:
             prompt_link = infiniband_for(
                 design.prompt_machine.interconnect_gbps, design.token_machine.interconnect_gbps
@@ -202,7 +244,7 @@ class ClusterSimulation:
             for index in range(design.num_prompt):
                 machines.append(
                     SimulatedMachine(
-                        name=f"prompt-{index}",
+                        name=f"{prefix}prompt-{index}",
                         spec=design.prompt_machine,
                         model=self.model,
                         engine=self.engine,
@@ -218,7 +260,7 @@ class ClusterSimulation:
             for index in range(design.num_token):
                 machines.append(
                     SimulatedMachine(
-                        name=f"token-{index}",
+                        name=f"{prefix}token-{index}",
                         spec=design.token_machine,
                         model=self.model,
                         engine=self.engine,
@@ -234,7 +276,7 @@ class ClusterSimulation:
             for index in range(design.num_prompt):
                 machines.append(
                     SimulatedMachine(
-                        name=f"machine-{index}",
+                        name=f"{prefix}machine-{index}",
                         spec=design.prompt_machine,
                         model=self.model,
                         engine=self.engine,
@@ -269,15 +311,7 @@ class ClusterSimulation:
             The populated :class:`SimulationResult`.
         """
         requests = [Request(descriptor=descriptor) for descriptor in trace]
-        if self.autoscaler is not None:
-            self.autoscaler.attach(self.engine, self.scheduler)
-        for failure_time, machine_name in failures:
-            self.engine.schedule_at(
-                failure_time,
-                lambda name=machine_name: self.scheduler.fail_machine(name),
-                priority=1,
-                tag=f"failure:{machine_name}",
-            )
+        self.prepare(failures)
         for request in requests:
             self.engine.schedule_at(
                 request.arrival_time,
@@ -289,7 +323,8 @@ class ClusterSimulation:
         self.engine.run(until=until)
         # A horizon-limited run can stop mid-macro-event: materialize the
         # coalesced iterations the clock has already passed so partial results
-        # match per-iteration stepping (a no-op after a full drain).
+        # match per-iteration stepping (a no-op after a full drain).  finish()
+        # syncs again for fleet callers; the second pass is a no-op here.
         for machine in self.machines:
             machine.sync_fast_forward()
         duration = max(self.engine.now, trace.duration_s)
@@ -307,14 +342,48 @@ class ClusterSimulation:
             )
             last_failure = max((time_s for time_s, _ in failures), default=0.0)
             duration = max(trace.duration_s, last_work, last_failure)
+        return self.finish(requests, trace.name, duration)
+
+    # -- fleet lifecycle hooks ----------------------------------------------------------
+    #
+    # A fleet simulation owns the arrival schedule and the engine loop itself;
+    # it drives each member cluster through prepare() before the run and
+    # finish() after, instead of calling run().
+
+    def prepare(self, failures: Sequence[tuple[float, str]] = ()) -> None:
+        """Arm the cluster for a run on its (possibly shared) engine.
+
+        Attaches the autoscaler's control loop and schedules any failure
+        injections.  Called by :meth:`run`, or by a fleet simulation before
+        it starts scheduling arrivals.
+        """
         if self.autoscaler is not None:
-            self.autoscaler.finalize(duration)
+            self.autoscaler.attach(self.engine, self.scheduler)
+        for failure_time, machine_name in failures:
+            self.engine.schedule_at(
+                failure_time,
+                lambda name=machine_name: self.scheduler.fail_machine(name),
+                priority=1,
+                tag=f"failure:{machine_name}",
+            )
+
+    def finish(self, requests: list[Request], trace_name: str, duration_s: float) -> SimulationResult:
+        """Close out a run and assemble this cluster's :class:`SimulationResult`.
+
+        Materializes any still-coalesced fast-forward state (a horizon-limited
+        run can stop mid-macro-event; a no-op after a full drain), finalizes
+        the autoscaler's machine-hour intervals, and packages the result.
+        """
+        for machine in self.machines:
+            machine.sync_fast_forward()
+        if self.autoscaler is not None:
+            self.autoscaler.finalize(duration_s)
         return SimulationResult(
             design=self.design,
-            trace_name=trace.name,
+            trace_name=trace_name,
             requests=requests,
             metrics=self.metrics,
-            duration_s=duration,
+            duration_s=duration_s,
             scheduler=self.scheduler,
             autoscaler=self.autoscaler,
         )

@@ -27,6 +27,7 @@ from repro.experiments.cluster_eval import (
 )
 from repro.experiments.design_space import fig12_design_space, iso_budget_summary, iso_throughput_summary
 from repro.experiments.headline import headline_claims
+from repro.experiments.fleet_sweep import fleet_sweep, prepare_fleet_run
 from repro.experiments.kv_transfer import fig14_transfer_latency, fig15_transfer_overhead
 from repro.experiments.scenarios import scenario_sweep
 
@@ -52,4 +53,6 @@ __all__ = [
     "iso_throughput_summary",
     "headline_claims",
     "scenario_sweep",
+    "fleet_sweep",
+    "prepare_fleet_run",
 ]

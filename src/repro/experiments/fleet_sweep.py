@@ -1,0 +1,158 @@
+"""Fleet sweep: multi-cluster routing policies and cloud-burst provisioning.
+
+Beyond the single-cluster scenario sweep, this experiment replays a scenario
+preset across a *fleet* of phase-split clusters twice:
+
+* **static** — every cluster (including the would-be standbys) active for
+  the whole window: the provision-for-peak baseline;
+* **burst** — only the initial clusters active, with the
+  :class:`~repro.fleet.provisioner.FleetProvisioner` renting the standbys
+  elastically (warm pools, cold starts, drain-then-retire).
+
+Both runs serve the identical trace through the same tenant-aware router
+policy and report per-tenant SLO attainment plus fleet machine-hours, so the
+sweep quantifies what elasticity costs (tail latency during cold starts) and
+buys (machine-hours) at fleet scale.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.designs import splitwise_hh
+from repro.fleet.fleet import FleetResult, FleetSimulation
+from repro.fleet.provisioner import FleetProvisionerConfig
+from repro.fleet.router import ROUTER_POLICIES
+from repro.models.llm import LLAMA2_70B, ModelSpec
+from repro.workload.scenarios import SCENARIO_PRESETS, Scenario, get_scenario
+from repro.workload.trace import Trace
+
+
+def prepare_fleet_run(
+    preset: Scenario,
+    clusters: int = 2,
+    burst_clusters: int = 1,
+    seed: int = 0,
+    scale: float = 1.0,
+    policy: str = "slo-feedback",
+    burst: bool = True,
+    model: ModelSpec = LLAMA2_70B,
+    provisioner_config: FleetProvisionerConfig | None = None,
+) -> tuple[FleetSimulation, Trace, tuple[tuple[float, str], ...]]:
+    """Build one fleet run: the simulation, its trace, and its failures.
+
+    The single place that maps a scenario preset onto a concrete fleet — the
+    CLI, the sweep, and the perf benchmark all go through here so fleet
+    semantics cannot diverge between surfaces.
+
+    The preset's per-cluster sizing is kept (``machine_counts(scale)``) and
+    its offered load is multiplied by the number of *initially active*
+    clusters, so per-cluster pressure matches the single-cluster scenario.
+    A static fleet (``burst=False``) activates every cluster including the
+    standbys — the provision-for-peak baseline the burst run is compared
+    against.  Preset failure injections land on the first cluster's
+    machines.
+
+    Args:
+        preset: The scenario preset to replay.
+        clusters: Initially active clusters.
+        burst_clusters: Standby clusters (active from the start when
+            ``burst=False``).
+        seed: Trace-generation seed.
+        scale: Per-cluster scale (cluster size and per-cluster load together).
+        policy: Fleet router policy (see
+            :data:`~repro.fleet.router.ROUTER_POLICIES`).
+        burst: Attach the burst provisioner (otherwise fully static).
+        model: LLM served by every cluster.
+        provisioner_config: Burst-provisioner overrides (defaults used when
+            omitted).
+    """
+    if clusters < 1:
+        raise ValueError(f"clusters must be >= 1, got {clusters}")
+    trace = preset.build_trace(seed=seed, scale=scale * clusters)
+    failures = tuple(
+        (time_s, f"cluster-0/{name}") for time_s, name in preset.failures(scale=scale)
+    )
+    num_prompt, num_token = preset.machine_counts(scale)
+    design = splitwise_hh(num_prompt, num_token)
+    if burst:
+        fleet = FleetSimulation(
+            design,
+            num_clusters=clusters,
+            burst_clusters=burst_clusters,
+            model=model,
+            router=policy,
+            provisioner=provisioner_config or FleetProvisionerConfig(),
+        )
+    else:
+        fleet = FleetSimulation(
+            design,
+            num_clusters=clusters + burst_clusters,
+            model=model,
+            router=policy,
+        )
+    return fleet, trace, failures
+
+
+def fleet_run_summary(result: FleetResult) -> dict:
+    """One fleet run's JSON-friendly summary (shared by the sweep and CLI).
+
+    The SLO reference model comes from the result itself (the model its
+    fleet served).
+    """
+    report = result.tenant_slo_report()
+    summary = {
+        "completion_rate": round(result.completion_rate, 4),
+        "requests_by_cluster": result.requests_by_cluster(),
+        "tenant_slo": report.as_dict(),
+        "machine_hours": round(result.machine_hours(), 3),
+        "static_machine_hours": round(result.static_machine_hours(), 3),
+        "cost": round(result.cost(), 2),
+        "duration_s": round(result.duration_s, 2),
+    }
+    if result.provisioner is not None:
+        summary["bursts"] = result.provisioner.burst_count()
+        summary["provisioner_actions"] = len(result.provisioner.timeline)
+    return summary
+
+
+def fleet_sweep(
+    presets: Sequence[str] | None = None,
+    policies: Sequence[str] | None = None,
+    clusters: int = 2,
+    burst_clusters: int = 1,
+    scale: float = 1.0,
+    seed: int = 0,
+    model: ModelSpec = LLAMA2_70B,
+) -> dict[str, dict[str, Mapping]]:
+    """Replay every preset through static and burst fleets per router policy.
+
+    Returns:
+        ``{preset: {policy: {"static": {...}, "burst": {...},
+        "machine_hours_saved": float}}}``.
+    """
+    chosen_presets = presets or sorted(SCENARIO_PRESETS)
+    chosen_policies = policies or list(ROUTER_POLICIES)
+    results: dict[str, dict] = {}
+    for name in chosen_presets:
+        preset = get_scenario(name)
+        results[name] = {}
+        for policy in chosen_policies:
+            static_fleet, trace, failures = prepare_fleet_run(
+                preset, clusters, burst_clusters, seed=seed, scale=scale, policy=policy,
+                burst=False, model=model,
+            )
+            static_summary = fleet_run_summary(static_fleet.run(trace, failures=failures))
+            burst_fleet, trace, failures = prepare_fleet_run(
+                preset, clusters, burst_clusters, seed=seed, scale=scale, policy=policy,
+                burst=True, model=model,
+            )
+            burst_summary = fleet_run_summary(burst_fleet.run(trace, failures=failures))
+            results[name][policy] = {
+                "static": static_summary,
+                "burst": burst_summary,
+                "machine_hours_saved": round(
+                    static_summary["machine_hours"] - burst_summary["machine_hours"], 3
+                ),
+            }
+    return results

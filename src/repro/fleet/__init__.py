@@ -1,0 +1,33 @@
+"""The fleet layer: multi-cluster routing, per-tenant SLOs, cloud bursting.
+
+One layer above :mod:`repro.core`: several complete
+:class:`~repro.core.cluster.ClusterSimulation`\\ s advance on a single shared
+discrete-event engine behind a global, tenant-aware
+:class:`~repro.fleet.router.FleetRouter`, while an optional
+:class:`~repro.fleet.provisioner.FleetProvisioner` rents and retires whole
+clusters elastically (warm pools, cold starts, drain-then-retire) with
+machine-hour/cost accounting against static provisioning.
+"""
+
+from repro.fleet.fleet import FleetCluster, FleetResult, FleetSimulation
+from repro.fleet.provisioner import (
+    ClusterState,
+    FleetProvisionEvent,
+    FleetProvisioner,
+    FleetProvisionerConfig,
+)
+from repro.fleet.router import DEFAULT_SLO_WINDOW, ROUTER_POLICIES, ClusterTraffic, FleetRouter
+
+__all__ = [
+    "FleetSimulation",
+    "FleetResult",
+    "FleetCluster",
+    "FleetRouter",
+    "ClusterTraffic",
+    "ROUTER_POLICIES",
+    "DEFAULT_SLO_WINDOW",
+    "FleetProvisioner",
+    "FleetProvisionerConfig",
+    "FleetProvisionEvent",
+    "ClusterState",
+]

@@ -1,0 +1,442 @@
+"""Fleet simulation: several phase-split clusters behind one global router.
+
+The paper sizes and operates a *single* Splitwise cluster.  A production
+service runs fleets of such clusters: a global front-end routes each request
+to one cluster, tenants carry distinct SLOs, and capacity is rented
+elastically.  :class:`FleetSimulation` models exactly that, inside a single
+deterministic :class:`~repro.simulation.engine.SimulationEngine`:
+
+* every member cluster is a full :class:`~repro.core.cluster.ClusterSimulation`
+  (machines, cluster scheduler, KV transfers, optional pool autoscaler),
+  advancing on the shared engine's timeline;
+* a :class:`~repro.fleet.router.FleetRouter` assigns each arriving request
+  to a cluster under a pluggable, tenant-aware policy;
+* an optional :class:`~repro.fleet.provisioner.FleetProvisioner` cloud-bursts
+  standby clusters under pressure and drains-then-retires them when idle,
+  with machine-hour/cost accounting against static provisioning;
+* the result rolls SLO attainment up **per tenant**
+  (:func:`~repro.metrics.slo.evaluate_slo_by_tenant`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.autoscaler import AutoscalerConfig
+from repro.core.cluster import ClusterSimulation, SimulationResult
+from repro.core.designs import ClusterDesign
+from repro.fleet.provisioner import ClusterState, FleetProvisioner, FleetProvisionerConfig
+from repro.fleet.router import FleetRouter
+from repro.hardware.machine import DGX_A100
+from repro.metrics.slo import DEFAULT_SLO, SloPolicy, TenantSloReport, evaluate_slo_by_tenant
+from repro.models.llm import LLAMA2_70B, ModelSpec
+from repro.models.performance import AnalyticalPerformanceModel, PerformanceModel
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.request import Request
+from repro.workload.trace import Trace
+
+#: Arrival events fire after iteration completions so freed capacity is
+#: visible to the router at the same timestamp (matches the cluster layer).
+_ARRIVAL_PRIORITY = 2
+
+
+def _overlap_seconds(start: float, end: float, windows: Sequence[tuple[float, float]]) -> float:
+    """Seconds of ``[start, end)`` covered by the (disjoint) ``windows``."""
+    return sum(
+        max(0.0, min(end, w_end) - max(start, w_start)) for w_start, w_end in windows
+    )
+
+
+@dataclass
+class FleetCluster:
+    """One member cluster of a fleet.
+
+    Attributes:
+        name: Fleet-unique cluster name (prefixes its machine names).
+        simulation: The full cluster simulation advancing on the shared
+            engine.
+        state: Provisioning lifecycle state (always ``ACTIVE`` without a
+            provisioner).
+        routable: Whether the router may send new requests here.
+        requests: Every request routed to this cluster, in routing order.
+    """
+
+    name: str
+    simulation: ClusterSimulation
+    state: ClusterState = ClusterState.ACTIVE
+    routable: bool = True
+    requests: list[Request] = field(default_factory=list, repr=False)
+
+    @property
+    def scheduler(self):
+        """The cluster's cluster-level scheduler."""
+        return self.simulation.scheduler
+
+    @property
+    def design(self) -> ClusterDesign:
+        """The cluster's design."""
+        return self.simulation.design
+
+    @property
+    def num_machines(self) -> int:
+        """Machines in the cluster (router weight, billing unit)."""
+        return self.simulation.design.num_machines
+
+
+@dataclass
+class FleetResult:
+    """Everything a fleet simulation produced.
+
+    Attributes:
+        trace_name: Name of the input trace.
+        requests: All submitted requests, in trace order.
+        clusters: The member cluster handles (state as of the end of the run).
+        cluster_results: Per-cluster :class:`SimulationResult`, keyed by
+            cluster name (each holds only the requests routed there).
+        duration_s: Simulated window.
+        router: The fleet router (routing statistics per cluster/tenant).
+        provisioner: The burst provisioner (``None`` for a static fleet).
+        model: The LLM served (builds the default SLO reference).
+        tenant_policies: Per-tenant SLO policies used by default in
+            :meth:`tenant_slo_report`.
+    """
+
+    trace_name: str
+    requests: list[Request]
+    clusters: list[FleetCluster]
+    cluster_results: dict[str, SimulationResult]
+    duration_s: float
+    router: FleetRouter = field(repr=False)
+    provisioner: FleetProvisioner | None = field(default=None, repr=False)
+    model: ModelSpec = field(default=LLAMA2_70B, repr=False)
+    tenant_policies: Mapping[str, SloPolicy] | None = field(default=None, repr=False)
+
+    @property
+    def completed_requests(self) -> list[Request]:
+        """Requests that generated all their output tokens."""
+        return [r for r in self.requests if r.is_complete]
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of submitted requests that completed."""
+        return len(self.completed_requests) / len(self.requests) if self.requests else 0.0
+
+    @property
+    def total_machines(self) -> int:
+        """Machines across every member cluster (active or standby)."""
+        return sum(cluster.num_machines for cluster in self.clusters)
+
+    def tenant_slo_report(
+        self,
+        reference_model: PerformanceModel | None = None,
+        policies: Mapping[str, SloPolicy] | None = None,
+        default_policy: SloPolicy = DEFAULT_SLO,
+        tbt_mode: str = "per-token",
+    ) -> TenantSloReport:
+        """Per-tenant SLO verdicts plus the fleet-level roll-up."""
+        if reference_model is None:
+            reference_model = AnalyticalPerformanceModel(self.model, DGX_A100)
+        return evaluate_slo_by_tenant(
+            self.requests,
+            reference_model,
+            policies if policies is not None else self.tenant_policies,
+            default_policy,
+            tbt_mode=tbt_mode,
+        )
+
+    def machine_hours(self) -> float:
+        """Machine-hours the fleet actually consumed over the window.
+
+        With a burst provisioner, standby/retired intervals are billed at
+        their state fraction; any per-cluster pool autoscaler's park
+        intervals are subtracted on top, intersected per machine with the
+        cluster's fully billed (serving) windows — a machine parked while
+        its cluster was an unbilled standby was never billed in the first
+        place, and that "saving" must not discount the fleet twice.  A
+        static fleet pays for every cluster the whole window (minus
+        per-cluster parking).
+        """
+        if self.provisioner is not None:
+            hours = self.provisioner.billed_machine_hours()
+            for name, result in self.cluster_results.items():
+                if result.autoscaler is not None:
+                    windows = self.provisioner.fully_billed_windows(name)
+                    hours -= sum(
+                        _overlap_seconds(start, end, windows)
+                        for _machine, start, end in result.autoscaler.park_intervals()
+                    ) / 3600.0
+            return hours
+        return sum(result.machine_hours() for result in self.cluster_results.values())
+
+    def static_machine_hours(self) -> float:
+        """Machine-hours of statically provisioning every cluster all window."""
+        return self.total_machines * self.duration_s / 3600.0
+
+    def machine_hours_saved(self) -> float:
+        """Machine-hours released versus static whole-fleet provisioning."""
+        return self.static_machine_hours() - self.machine_hours()
+
+    @staticmethod
+    def _machine_rates(result: SimulationResult) -> dict[str, float]:
+        """Per-machine $/hour by machine name (prompt and token rates differ)."""
+        machines = list(result.scheduler.machines) + list(result.scheduler.failed_machines)
+        return {machine.name: machine.spec.cost_per_hour for machine in machines}
+
+    def cost(self) -> float:
+        """Dollar cost of the consumed machine-hours.
+
+        Parked machines are credited at *their own* hourly rate (a parked
+        H100 prompt machine is worth more than a parked A100 token machine),
+        and — like :meth:`machine_hours` — only for park time that fell
+        inside the cluster's fully billed windows.
+        """
+        if self.provisioner is not None:
+            total = self.provisioner.billed_cost()
+            for name, result in self.cluster_results.items():
+                if result.autoscaler is None:
+                    continue
+                rates = self._machine_rates(result)
+                windows = self.provisioner.fully_billed_windows(name)
+                for machine, start, end in result.autoscaler.park_intervals():
+                    total -= rates[machine] * _overlap_seconds(start, end, windows) / 3600.0
+            return total
+        total = 0.0
+        for result in self.cluster_results.values():
+            total += result.design.cost_per_hour * self.duration_s / 3600.0
+            if result.autoscaler is not None:
+                rates = self._machine_rates(result)
+                for machine, seconds in result.autoscaler.parked_seconds_by_machine().items():
+                    total -= rates[machine] * seconds / 3600.0
+        return total
+
+    def static_cost(self) -> float:
+        """Dollar cost of statically provisioning every cluster all window."""
+        return sum(
+            cluster.design.cost_per_hour * self.duration_s / 3600.0 for cluster in self.clusters
+        )
+
+    def requests_by_cluster(self) -> dict[str, int]:
+        """Requests routed to each cluster."""
+        return {cluster.name: len(cluster.requests) for cluster in self.clusters}
+
+
+class FleetSimulation:
+    """Builds and runs a multi-cluster fleet on one shared engine.
+
+    Args:
+        design: Design of every member cluster (homogeneous fleets; build
+            the cluster list yourself for heterogeneous ones).
+        num_clusters: Clusters that start active.
+        burst_clusters: Additional standby clusters the provisioner may
+            burst into (requires ``provisioner``); the first
+            ``warm_pool_target`` start warm, the rest cold.
+        model: The LLM served by every cluster.
+        router: Router policy name or a pre-built :class:`FleetRouter`.
+        provisioner: Burst provisioner — a :class:`FleetProvisioner`, a
+            :class:`FleetProvisionerConfig`, or ``True`` for defaults.
+        autoscaler: Per-cluster pool autoscaler config (each cluster gets
+            its own instance; ``True`` for defaults).
+        tenant_policies: Per-tenant SLO policies threaded into the result.
+        **cluster_kwargs: Forwarded to every member
+            :class:`ClusterSimulation` (batching, routing, thresholds,
+            ``fast_forward``, ...).
+    """
+
+    def __init__(
+        self,
+        design: ClusterDesign,
+        num_clusters: int,
+        burst_clusters: int = 0,
+        model: ModelSpec = LLAMA2_70B,
+        router: FleetRouter | str = "least-outstanding",
+        provisioner: FleetProvisioner | FleetProvisionerConfig | bool | None = None,
+        autoscaler: AutoscalerConfig | bool | None = None,
+        tenant_policies: Mapping[str, SloPolicy] | None = None,
+        **cluster_kwargs,
+    ) -> None:
+        if num_clusters < 1:
+            raise ValueError(f"num_clusters must be >= 1, got {num_clusters}")
+        if burst_clusters < 0:
+            raise ValueError(f"burst_clusters must be >= 0, got {burst_clusters}")
+        if provisioner is True:
+            provisioner = FleetProvisioner()
+        elif isinstance(provisioner, FleetProvisionerConfig):
+            provisioner = FleetProvisioner(provisioner)
+        elif provisioner is False:
+            provisioner = None
+        if burst_clusters and provisioner is None:
+            raise ValueError("burst_clusters require a provisioner to activate them")
+        self.model = model
+        self.provisioner: FleetProvisioner | None = provisioner
+        self.router = FleetRouter(router) if isinstance(router, str) else router
+        self.tenant_policies = tenant_policies
+        self.engine = SimulationEngine()
+        self.clusters: list[FleetCluster] = []
+        warm_target = provisioner.config.warm_pool_target if provisioner is not None else 0
+        for index in range(num_clusters + burst_clusters):
+            name = f"cluster-{index}"
+            simulation = ClusterSimulation(
+                design,
+                model=model,
+                engine=self.engine,
+                name=name,
+                autoscaler=autoscaler,
+                **cluster_kwargs,
+            )
+            if index < num_clusters:
+                state = ClusterState.ACTIVE
+            elif index < num_clusters + warm_target:
+                state = ClusterState.WARM
+            else:
+                state = ClusterState.COLD
+            self.clusters.append(
+                FleetCluster(
+                    name=name,
+                    simulation=simulation,
+                    state=state,
+                    routable=state is ClusterState.ACTIVE,
+                )
+            )
+        self.router.attach(self.clusters)
+        self._expected = 0
+        self._completed = 0
+
+    @property
+    def machines(self):
+        """Every machine across every member cluster."""
+        return [machine for cluster in self.clusters for machine in cluster.simulation.machines]
+
+    # -- internal wiring ---------------------------------------------------------------
+
+    def _wire_completion_hooks(self) -> None:
+        for cluster in self.clusters:
+            cluster.scheduler.on_request_complete = (
+                lambda request, name=cluster.name: self._on_complete(name, request)
+            )
+
+    def _on_complete(self, cluster_name: str, request: Request) -> None:
+        self.router.note_completed(cluster_name, request)
+        self._completed += 1
+        if self._completed >= self._expected:
+            # Every request is done: stop all recurring controllers.  Two or
+            # more of them (per-cluster autoscalers, the fleet provisioner)
+            # would otherwise keep each other's "queue non-empty" checks
+            # true forever.  Controller ticks never act after the last
+            # completion, so stopping here is behavior-neutral.
+            self._stop_controllers()
+
+    def _stop_controllers(self) -> None:
+        if self.provisioner is not None:
+            # A draining cluster whose final request is the fleet's last
+            # completion must stop billing now, not at a tick that will
+            # never fire.
+            self.provisioner.retire_drained()
+            self.provisioner.stop()
+        for cluster in self.clusters:
+            if cluster.simulation.autoscaler is not None:
+                cluster.simulation.autoscaler.stop()
+
+    def _submit(self, request: Request) -> None:
+        cluster = self.router.route(request)
+        cluster.requests.append(request)
+        cluster.scheduler.submit(request)
+
+    # -- running -----------------------------------------------------------------------
+
+    def run(
+        self,
+        trace: Trace,
+        drain: bool = True,
+        horizon_s: float | None = None,
+        failures: Sequence[tuple[float, str]] = (),
+    ) -> FleetResult:
+        """Replay ``trace`` through the fleet.
+
+        Args:
+            trace: The request trace (tenant tags drive per-tenant SLOs and
+                tenant-aware routing).
+            drain: Keep simulating until every request completes.
+            horizon_s: Optional hard simulated-time limit.
+            failures: ``(time_s, machine_name)`` failure injections; machine
+                names carry their cluster prefix (``"cluster-0/prompt-1"``).
+
+        Returns:
+            The populated :class:`FleetResult`.
+
+        Raises:
+            ValueError: if a failure names a machine in no member cluster.
+        """
+        requests = [Request(descriptor=descriptor) for descriptor in trace]
+        # Validate inputs before arming anything: a bad failure name must not
+        # leave the shared engine holding scheduled events and attached
+        # control loops that cannot be re-attached.
+        known_prefixes = tuple(f"{c.name}/" for c in self.clusters)
+        for _, name in failures:
+            if not name.startswith(known_prefixes):
+                raise ValueError(
+                    f"failure names machine {name!r} outside every cluster "
+                    f"(expected a '<cluster>/' prefix)"
+                )
+        self._expected = len(requests)
+        self._completed = 0
+        self._wire_completion_hooks()
+        for cluster in self.clusters:
+            prefix = f"{cluster.name}/"
+            cluster.simulation.prepare(
+                [(t, name) for t, name in failures if name.startswith(prefix)]
+            )
+        if self.provisioner is not None:
+            self.provisioner.attach(self)
+        if not requests:
+            # Nothing will ever complete, so the completion-driven controller
+            # stop below can never fire; with two or more recurring
+            # controllers the run would otherwise never drain.
+            self._stop_controllers()
+        for request in requests:
+            self.engine.schedule_at(
+                request.arrival_time,
+                lambda req=request: self._submit(req),
+                priority=_ARRIVAL_PRIORITY,
+                tag=f"fleet-arrival:{request.request_id}",
+            )
+        until = horizon_s if horizon_s is not None else (None if drain else trace.duration_s)
+        self.engine.run(until=until)
+
+        duration = max(self.engine.now, trace.duration_s)
+        has_controllers = self.provisioner is not None or any(
+            c.simulation.autoscaler is not None for c in self.clusters
+        )
+        if has_controllers and until is None:
+            # Exclude the controller-only tail (same reasoning as the
+            # cluster layer): the window ends at the last real work, keeping
+            # machine-hour comparisons against static fleets honest.
+            last_work = max(
+                (r.completion_time for r in requests if r.completion_time is not None),
+                default=0.0,
+            )
+            last_failure = max((time_s for time_s, _ in failures), default=0.0)
+            last_provision = (
+                max((e.time_s for e in self.provisioner.timeline), default=0.0)
+                if self.provisioner is not None
+                else 0.0
+            )
+            duration = max(trace.duration_s, last_work, last_failure, last_provision)
+
+        cluster_results = {
+            cluster.name: cluster.simulation.finish(cluster.requests, trace.name, duration)
+            for cluster in self.clusters
+        }
+        if self.provisioner is not None:
+            self.provisioner.finalize(duration)
+        return FleetResult(
+            trace_name=trace.name,
+            requests=requests,
+            clusters=self.clusters,
+            cluster_results=cluster_results,
+            duration_s=duration,
+            router=self.router,
+            provisioner=self.provisioner,
+            model=self.model,
+            tenant_policies=self.tenant_policies,
+        )

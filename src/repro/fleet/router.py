@@ -1,0 +1,287 @@
+"""Fleet-level request routing: the global front-end over many clusters.
+
+A deployment serving millions of users runs *fleets* of phase-split clusters
+behind one global router.  :class:`FleetRouter` is that front-end inside the
+simulator: every arriving request is assigned to exactly one member cluster,
+whose own cluster-level scheduler (§IV-A) then routes it to machines.  Four
+policies are provided:
+
+* ``"weighted-rr"`` — smooth weighted round-robin (the classic nginx
+  algorithm), weights proportional to cluster machine counts.  Oblivious to
+  load; the baseline the informed policies are compared against.
+* ``"least-outstanding"`` — route to the cluster with the fewest in-flight
+  requests.  O(1) signals maintained by submit/complete callbacks.
+* ``"jsq"`` — queue-probe Join-the-Shortest-Queue: probe every cluster's
+  machines for total pending tokens and pick the smallest backlog.  The most
+  informed instantaneous signal, at O(machines) probe cost per arrival.
+* ``"slo-feedback"`` — least-outstanding scaled by each cluster's *rolling
+  P99 TTFT and TBT* over a sliding window of recent completions: clusters
+  whose tail latency degrades (slow machines, draining, recovering from
+  failures) receive proportionally less traffic until their tail recovers.
+
+Routing is tenant-aware: the router tracks per-tenant traffic and honors
+optional tenant→cluster pins (e.g. a tenant contractually confined to one
+region's cluster).  All policies are deterministic — ties break on cluster
+name — so fleet simulations stay bit-reproducible under a seed and under
+decode fast-forwarding on/off.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.core.cluster_scheduler import total_queue_load
+from repro.simulation.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fleet imports router)
+    from repro.fleet.fleet import FleetCluster
+
+#: Router policies, in the order they are documented above.
+ROUTER_POLICIES = ("weighted-rr", "least-outstanding", "jsq", "slo-feedback")
+
+#: Completions remembered per cluster for the slo-feedback rolling window.
+DEFAULT_SLO_WINDOW = 128
+
+
+def _p99(values) -> float:
+    """P99 by the nearest-rank method over a small sample window."""
+    ordered = sorted(values)
+    rank = -(-99 * len(ordered) // 100) - 1  # ceil(0.99 * n) as a 0-based index
+    return ordered[rank]
+
+
+@dataclass
+class ClusterTraffic:
+    """Per-cluster routing state maintained by the router.
+
+    Attributes:
+        window: Completions remembered in the rolling latency windows.
+        submitted: Requests routed to the cluster so far.
+        completed: Requests the cluster finished.
+        by_tenant: Requests routed, grouped by tenant tag.
+        ttft_window: Recent TTFT samples (seconds) for slo-feedback.
+        tbt_window: Recent mean-TBT samples (seconds) for slo-feedback.
+    """
+
+    window: int = DEFAULT_SLO_WINDOW
+    submitted: int = 0
+    completed: int = 0
+    by_tenant: dict[str, int] = field(default_factory=dict)
+    ttft_window: deque = field(init=False, repr=False)
+    tbt_window: deque = field(init=False, repr=False)
+    _p99_cache: tuple[float, float] | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.ttft_window = deque(maxlen=self.window)
+        self.tbt_window = deque(maxlen=self.window)
+
+    @property
+    def outstanding(self) -> int:
+        """Requests routed to the cluster that have not completed."""
+        return self.submitted - self.completed
+
+    def note_submitted(self, request: Request) -> None:
+        self.submitted += 1
+        self.by_tenant[request.tenant] = self.by_tenant.get(request.tenant, 0) + 1
+
+    def note_completed(self, request: Request) -> None:
+        self.completed += 1
+        if request.ttft is not None:
+            self.ttft_window.append(request.ttft)
+            self._p99_cache = None
+        mean_tbt = request.mean_tbt
+        if mean_tbt is not None:
+            self.tbt_window.append(mean_tbt)
+            self._p99_cache = None
+
+    def rolling_p99(self) -> tuple[float, float]:
+        """``(p99_ttft_s, p99_tbt_s)`` over the windows (0.0 when no samples).
+
+        Cached between completions so back-to-back arrivals don't re-sort an
+        unchanged window.
+        """
+        if self._p99_cache is None:
+            ttft = _p99(self.ttft_window) if self.ttft_window else 0.0
+            tbt = _p99(self.tbt_window) if self.tbt_window else 0.0
+            self._p99_cache = (ttft, tbt)
+        return self._p99_cache
+
+
+class FleetRouter:
+    """Routes arriving requests to clusters under a pluggable policy.
+
+    Args:
+        policy: One of :data:`ROUTER_POLICIES`.
+        tenant_pins: Optional ``{tenant: cluster_name}`` constraints; a
+            pinned tenant's requests only ever go to that cluster (it must
+            stay routable, or routing raises).
+        slo_window: Completions remembered per cluster for the rolling
+            P99 windows of the ``"slo-feedback"`` policy.
+
+    Raises:
+        ValueError: for an unknown policy.
+    """
+
+    def __init__(
+        self,
+        policy: str = "least-outstanding",
+        tenant_pins: Mapping[str, str] | None = None,
+        slo_window: int = DEFAULT_SLO_WINDOW,
+    ) -> None:
+        if policy not in ROUTER_POLICIES:
+            raise ValueError(f"policy must be one of {ROUTER_POLICIES}, got {policy!r}")
+        if slo_window < 1:
+            raise ValueError(f"slo_window must be >= 1, got {slo_window}")
+        self.policy = policy
+        self.tenant_pins = dict(tenant_pins or {})
+        self.slo_window = slo_window
+        self._clusters: list["FleetCluster"] = []
+        self.traffic: dict[str, ClusterTraffic] = {}
+        #: Smooth weighted-RR state: cluster name -> current credit.
+        self._wrr_credit: dict[str, float] = {}
+        #: Fleet-wide best rolling P99s, refreshed once per slo-feedback
+        #: routing decision (state instead of a closure so the per-arrival
+        #: probe allocates nothing — same rationale as the precomputed JSQ
+        #: key functions in the cluster scheduler).
+        self._fleet_best: tuple[float, float] = (0.0, 0.0)
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def attach(self, clusters: list["FleetCluster"]) -> None:
+        """Register the fleet's member clusters (done by the fleet simulation)."""
+        self._clusters = list(clusters)
+        for cluster in self._clusters:
+            self.traffic[cluster.name] = ClusterTraffic(window=self.slo_window)
+            self._wrr_credit[cluster.name] = 0.0
+        for tenant, name in self.tenant_pins.items():
+            if name not in self.traffic:
+                raise ValueError(f"tenant {tenant!r} pinned to unknown cluster {name!r}")
+
+    # -- routing -----------------------------------------------------------------------
+
+    def route(self, request: Request) -> "FleetCluster":
+        """Pick the cluster that will serve ``request`` and record the decision.
+
+        Raises:
+            RuntimeError: when no routable cluster exists (or a pinned
+                tenant's cluster is not routable).
+        """
+        pinned = self.tenant_pins.get(request.tenant)
+        if pinned is not None:
+            for cluster in self._clusters:
+                if cluster.name == pinned and cluster.routable:
+                    self.traffic[cluster.name].note_submitted(request)
+                    return cluster
+            raise RuntimeError(
+                f"tenant {request.tenant!r} is pinned to cluster {pinned!r}, which is not routable"
+            )
+        candidates = [c for c in self._clusters if c.routable]
+        if not candidates:
+            raise RuntimeError("fleet has no routable cluster")
+        if self.policy == "weighted-rr":
+            choice = self._pick_weighted_rr(candidates)
+        elif self.policy == "jsq":
+            choice = self._pick_min(candidates, self._probe_pending_tokens)
+        elif self.policy == "slo-feedback":
+            # The fleet-wide best tail is invariant within one routing
+            # decision: computing it once keeps the probe O(clusters).
+            self._fleet_best = self._fleet_best_p99()
+            choice = self._pick_min(candidates, self._slo_feedback_score)
+        else:  # least-outstanding
+            choice = self._pick_min(candidates, self._outstanding_score)
+        self.traffic[choice.name].note_submitted(request)
+        return choice
+
+    def note_completed(self, cluster_name: str, request: Request) -> None:
+        """Record a completion (wired to each cluster scheduler's hook)."""
+        self.traffic[cluster_name].note_completed(request)
+
+    # -- policy internals --------------------------------------------------------------
+
+    def _pick_min(self, candidates, score) -> "FleetCluster":
+        best = None
+        best_score = None
+        for cluster in candidates:
+            cluster_score = score(cluster)
+            if best_score is None or cluster_score < best_score or (
+                cluster_score == best_score and cluster.name < best.name
+            ):
+                best = cluster
+                best_score = cluster_score
+        return best
+
+    def _pick_weighted_rr(self, candidates) -> "FleetCluster":
+        """Smooth weighted round-robin over machine-count weights."""
+        total = 0.0
+        best = None
+        for cluster in candidates:
+            weight = float(cluster.num_machines)
+            total += weight
+            credit = self._wrr_credit[cluster.name] + weight
+            self._wrr_credit[cluster.name] = credit
+            if best is None or credit > self._wrr_credit[best.name] or (
+                credit == self._wrr_credit[best.name] and cluster.name < best.name
+            ):
+                best = cluster
+        self._wrr_credit[best.name] -= total
+        return best
+
+    @staticmethod
+    def _probe_pending_tokens(cluster: "FleetCluster") -> float:
+        """Queue-probe: total pending tokens across the cluster's machines."""
+        return float(sum(total_queue_load(m) for m in cluster.scheduler.machines))
+
+    def _outstanding_score(self, cluster: "FleetCluster") -> float:
+        """In-flight requests (least-outstanding key)."""
+        return float(self.traffic[cluster.name].outstanding)
+
+    def _slo_feedback_score(self, cluster: "FleetCluster") -> float:
+        """Outstanding load scaled by rolling tail-latency degradation.
+
+        The degradation factor compares the cluster's rolling P99 TTFT/TBT
+        against the healthiest routable cluster (``self._fleet_best``,
+        refreshed once per routing decision); a cluster 2x worse on its tail
+        receives half the traffic share at equal queue depth.  Clusters with
+        no samples yet are treated as healthy.
+        """
+        best_ttft, best_tbt = self._fleet_best
+        ttft, tbt = self.traffic[cluster.name].rolling_p99()
+        degradation = 1.0
+        if best_ttft > 0 and ttft > 0:
+            degradation = max(degradation, ttft / best_ttft)
+        if best_tbt > 0 and tbt > 0:
+            degradation = max(degradation, tbt / best_tbt)
+        return (self.traffic[cluster.name].outstanding + 1.0) * degradation
+
+    def _fleet_best_p99(self) -> tuple[float, float]:
+        """Smallest non-zero rolling P99 TTFT/TBT across routable clusters."""
+        best_ttft = 0.0
+        best_tbt = 0.0
+        for cluster in self._clusters:
+            if not cluster.routable:
+                continue
+            ttft, tbt = self.traffic[cluster.name].rolling_p99()
+            if ttft > 0 and (best_ttft == 0 or ttft < best_ttft):
+                best_ttft = ttft
+            if tbt > 0 and (best_tbt == 0 or tbt < best_tbt):
+                best_tbt = tbt
+        return best_ttft, best_tbt
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-friendly routing statistics (per cluster and per tenant)."""
+        return {
+            "policy": self.policy,
+            "clusters": {
+                name: {
+                    "submitted": traffic.submitted,
+                    "completed": traffic.completed,
+                    "outstanding": traffic.outstanding,
+                    "by_tenant": dict(sorted(traffic.by_tenant.items())),
+                }
+                for name, traffic in sorted(self.traffic.items())
+            },
+        }

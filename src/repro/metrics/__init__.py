@@ -16,7 +16,15 @@ from repro.metrics.perf import (
     run_perf_scenario,
     write_bench_report,
 )
-from repro.metrics.slo import DEFAULT_SLO, SloPolicy, SloReport
+from repro.metrics.slo import (
+    DEFAULT_SLO,
+    SloPolicy,
+    SloReport,
+    TenantSloReport,
+    empty_slo_report,
+    evaluate_slo,
+    evaluate_slo_by_tenant,
+)
 from repro.metrics.summary import LatencySummary, RequestMetrics, percentile, summarize_requests
 
 __all__ = [
@@ -28,7 +36,11 @@ __all__ = [
     "summarize_requests",
     "SloPolicy",
     "SloReport",
+    "TenantSloReport",
     "DEFAULT_SLO",
+    "evaluate_slo",
+    "evaluate_slo_by_tenant",
+    "empty_slo_report",
     "PerfScenario",
     "PerfSample",
     "SCALING_SCENARIOS",

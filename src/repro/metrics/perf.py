@@ -51,6 +51,11 @@ class PerfScenario:
         preset: Optional named scenario preset driving the trace.
         preset_scale: Scale passed to the preset (cluster and load together).
         autoscale: Run with the dynamic pool autoscaler attached.
+        fleet_clusters: When positive, run the preset through a *fleet* of
+            this many active clusters (plus ``fleet_burst_clusters``
+            standbys under the burst provisioner) instead of one cluster.
+        fleet_burst_clusters: Standby clusters of the fleet scenario.
+        fleet_policy: Fleet router policy for the fleet scenario.
     """
 
     name: str
@@ -63,6 +68,9 @@ class PerfScenario:
     preset: str | None = None
     preset_scale: float = 1.0
     autoscale: bool = False
+    fleet_clusters: int = 0
+    fleet_burst_clusters: int = 0
+    fleet_policy: str = "slo-feedback"
 
     @property
     def num_machines(self) -> int:
@@ -94,6 +102,21 @@ SCALING_SCENARIOS: tuple[PerfScenario, ...] = (
         preset="diurnal",
         preset_scale=4.0,
         autoscale=True,
+    ),
+    # Fleet regime: two active mixed-tenant clusters plus one standby behind
+    # the slo-feedback router and the cloud-burst provisioner — the layer
+    # where per-arrival routing probes and rolling-P99 windows live.
+    PerfScenario(
+        name="fleet-burst",
+        num_prompt=6,
+        num_token=4,
+        rate_rps=14.0,
+        num_requests=0,
+        seed=15,
+        preset="mixed-tenant",
+        preset_scale=2.0,
+        fleet_clusters=2,
+        fleet_burst_clusters=1,
     ),
 )
 
@@ -149,12 +172,23 @@ def run_perf_scenario(scenario: PerfScenario) -> PerfSample:
     # repro.metrics.collectors, so a top-level import would be circular.
     from repro.core.cluster import ClusterSimulation
     from repro.core.designs import splitwise_hh
+    from repro.experiments.fleet_sweep import prepare_fleet_run
     from repro.experiments.scenarios import prepare_scenario_run
     from repro.workload.generator import generate_trace
     from repro.workload.scenarios import get_scenario
 
     failures: tuple = ()
-    if scenario.preset is not None:
+    if scenario.fleet_clusters > 0:
+        simulation, trace, failures = prepare_fleet_run(
+            get_scenario(scenario.preset),
+            clusters=scenario.fleet_clusters,
+            burst_clusters=scenario.fleet_burst_clusters,
+            seed=scenario.seed,
+            scale=scenario.preset_scale,
+            policy=scenario.fleet_policy,
+            burst=scenario.fleet_burst_clusters > 0,
+        )
+    elif scenario.preset is not None:
         simulation, trace, failures = prepare_scenario_run(
             get_scenario(scenario.preset),
             seed=scenario.seed,

@@ -5,6 +5,13 @@ on a DGX-A100 with no contention: e.g. the P50 TTFT across all requests must
 be within 2x of the uncontended TTFT, P90 within 3x, P99 within 6x, and
 similarly for TBT and E2E.  All nine constraints must hold for a cluster
 configuration to be considered as meeting its SLO at a given load.
+
+For fleets serving several tenants, :func:`evaluate_slo_by_tenant` evaluates
+the same machinery *per tenant* — each tenant may carry its own
+:class:`SloPolicy` — and rolls the verdicts up into a fleet-level
+:class:`TenantSloReport`.  A tenant that submitted requests but completed
+none reports ``nan`` slowdowns (never a vacuous pass), mirroring the
+empty-series semantics of the single-cluster evaluator.
 """
 
 from __future__ import annotations
@@ -93,6 +100,73 @@ class SloReport:
         return max(ratios)
 
 
+@dataclass(frozen=True)
+class TenantSloReport:
+    """Per-tenant SLO verdicts plus the fleet-level roll-up.
+
+    Attributes:
+        tenants: Each tenant's :class:`SloReport` (keyed by tenant tag).
+            Every tenant that *submitted* a request appears here — a tenant
+            with no completions gets an all-``nan`` report, which can never
+            be satisfied.
+        fleet: Roll-up report over every request regardless of tenant,
+            evaluated against ``fleet_policy``.
+    """
+
+    tenants: Mapping[str, SloReport]
+    fleet: SloReport
+
+    @property
+    def satisfied(self) -> bool:
+        """True when every tenant's SLO holds (and at least one tenant exists)."""
+        return bool(self.tenants) and all(report.satisfied for report in self.tenants.values())
+
+    def unsatisfied_tenants(self) -> list[str]:
+        """Tenants whose SLO is violated or unevaluable, sorted."""
+        return sorted(t for t, report in self.tenants.items() if not report.satisfied)
+
+    def samples_by_tenant(self) -> dict[str, dict[str, int]]:
+        """Per-tenant sample counts behind each metric (vacuousness guard)."""
+        return {tenant: dict(report.samples) for tenant, report in self.tenants.items()}
+
+    def as_dict(self) -> dict:
+        """JSON-friendly summary (used by the fleet CLI and CI smoke jobs)."""
+        return {
+            "satisfied": self.satisfied,
+            "unsatisfied_tenants": self.unsatisfied_tenants(),
+            "tenants": {
+                tenant: {
+                    "satisfied": report.satisfied,
+                    "violations": len(report.violations()),
+                    "samples": dict(report.samples),
+                    "missing_series": report.missing_series(),
+                }
+                for tenant, report in self.tenants.items()
+            },
+            "fleet": {
+                "satisfied": self.fleet.satisfied,
+                "violations": len(self.fleet.violations()),
+                "samples": dict(self.fleet.samples),
+            },
+        }
+
+
+def empty_slo_report(policy: SloPolicy = DEFAULT_SLO) -> SloReport:
+    """An all-``nan`` report for a request set with no completions.
+
+    Used by the per-tenant evaluator for tenants that submitted requests but
+    completed none: the report carries zero samples everywhere, every
+    percentile is ``nan``, and :attr:`SloReport.satisfied` is ``False`` — an
+    unevaluable SLO never passes.
+    """
+    limits = policy.limits()
+    return SloReport(
+        slowdowns={key: float("nan") for key in limits},
+        limits=limits,
+        samples={"ttft": 0, "tbt": 0, "e2e": 0},
+    )
+
+
 def evaluate_slo(
     requests: Iterable[Request],
     reference_model: PerformanceModel,
@@ -159,3 +233,52 @@ def evaluate_slo(
         )
     samples = {metric: len(values) for metric, values in series.items()}
     return SloReport(slowdowns=slowdowns, limits=policy.limits(), samples=samples)
+
+
+def evaluate_slo_by_tenant(
+    requests: Iterable[Request],
+    reference_model: PerformanceModel,
+    policies: Mapping[str, SloPolicy] | None = None,
+    default_policy: SloPolicy = DEFAULT_SLO,
+    fleet_policy: SloPolicy | None = None,
+    tbt_mode: str = "per-token",
+) -> TenantSloReport:
+    """Evaluate the SLO separately for every tenant, plus a fleet roll-up.
+
+    Requests are grouped by their ``tenant`` tag; each group is evaluated
+    against that tenant's policy (``policies[tenant]``, falling back to
+    ``default_policy``).  Tenants appear in the report whenever they
+    *submitted* at least one request: a tenant whose requests all failed to
+    complete gets the all-``nan`` :func:`empty_slo_report`, so a dropped
+    tenant can never make the fleet look compliant.
+
+    Args:
+        requests: Requests from a simulation (any mix of tenants).
+        reference_model: Uncontended reference machine model.
+        policies: Optional per-tenant SLO overrides.
+        default_policy: Policy for tenants without an explicit entry.
+        fleet_policy: Policy for the roll-up over all requests (defaults to
+            ``default_policy``).
+        tbt_mode: See :func:`evaluate_slo`.
+    """
+    policies = policies or {}
+    all_requests = list(requests)
+    by_tenant: dict[str, list[Request]] = {}
+    for request in all_requests:
+        by_tenant.setdefault(request.tenant, []).append(request)
+
+    reports: dict[str, SloReport] = {}
+    for tenant in sorted(by_tenant):
+        policy = policies.get(tenant, default_policy)
+        group = by_tenant[tenant]
+        if any(r.is_complete for r in group):
+            reports[tenant] = evaluate_slo(group, reference_model, policy, tbt_mode=tbt_mode)
+        else:
+            reports[tenant] = empty_slo_report(policy)
+
+    roll_up_policy = fleet_policy or default_policy
+    if any(r.is_complete for r in all_requests):
+        fleet = evaluate_slo(all_requests, reference_model, roll_up_policy, tbt_mode=tbt_mode)
+    else:
+        fleet = empty_slo_report(roll_up_policy)
+    return TenantSloReport(tenants=reports, fleet=fleet)

@@ -50,6 +50,8 @@ class Request:
     Attributes:
         descriptor: The immutable trace record (sizes and arrival time).
         request_id: Trace-level request id (copied from the descriptor).
+        tenant: Tenant tag (copied from the descriptor; groups per-tenant
+            SLO accounting and drives tenant-aware fleet routing).
         arrival_time: Arrival time in seconds from trace start.
         prompt_tokens: Number of prompt (input) tokens.
         output_tokens: Number of output tokens the request must generate.
@@ -74,6 +76,7 @@ class Request:
     __slots__ = (
         "descriptor",
         "request_id",
+        "tenant",
         "arrival_time",
         "prompt_tokens",
         "output_tokens",
@@ -95,6 +98,7 @@ class Request:
     def __init__(self, descriptor: RequestDescriptor, phase: RequestPhase = RequestPhase.QUEUED) -> None:
         self.descriptor = descriptor
         self.request_id = descriptor.request_id
+        self.tenant = descriptor.tenant
         self.arrival_time = descriptor.arrival_time_s
         self.prompt_tokens = descriptor.prompt_tokens
         self.output_tokens = descriptor.output_tokens

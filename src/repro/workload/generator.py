@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.workload.arrival import ArrivalProcess, PoissonArrivalProcess
 from repro.workload.distributions import WorkloadSpec, get_workload
-from repro.workload.trace import RequestDescriptor, Trace
+from repro.workload.trace import DEFAULT_TENANT, RequestDescriptor, Trace
 
 
 @dataclass(frozen=True)
@@ -24,11 +24,15 @@ class TraceGenerator:
         workload: Token-size distributions to draw request shapes from.
         arrival: Arrival process controlling request timing.
         seed: Seed for the pseudo-random generator (deterministic traces).
+        tenant: Tenant tag stamped on every generated request (multi-tenant
+            traces are built by generating one trace per tenant and composing
+            them; see :func:`repro.workload.scenarios.mix_traces`).
     """
 
     workload: WorkloadSpec
     arrival: ArrivalProcess
     seed: int = 0
+    tenant: str = DEFAULT_TENANT
 
     def generate(self, duration_s: float) -> Trace:
         """Generate a trace covering ``duration_s`` seconds."""
@@ -45,6 +49,7 @@ class TraceGenerator:
                 arrival_time_s=float(arrivals[i]),
                 prompt_tokens=int(prompts[i]),
                 output_tokens=int(outputs[i]),
+                tenant=self.tenant,
             )
             for i in range(count)
         )
@@ -55,6 +60,8 @@ class TraceGenerator:
             "duration_s": duration_s,
             "seed": self.seed,
         }
+        if self.tenant != DEFAULT_TENANT:
+            metadata["tenant"] = self.tenant
         return Trace(requests=requests, name=name, metadata=metadata)
 
 

@@ -1,20 +1,30 @@
 """Request traces: the input the cluster simulator consumes.
 
 A trace is an ordered list of :class:`RequestDescriptor` records —
-``(request id, arrival time, prompt tokens, output tokens)`` — exactly the
-information the public Azure LLM inference trace exposes.  Traces can be
-generated synthetically (:mod:`repro.workload.generator`), loaded from CSV
-files in the Azure Public Dataset column layout, rescaled to different
-request rates, and truncated to shorter windows.
+``(request id, arrival time, prompt tokens, output tokens, tenant)`` — the
+information the public Azure LLM inference trace exposes plus a tenant tag
+for multi-tenant fleets.  Traces can be generated synthetically
+(:mod:`repro.workload.generator`), loaded from CSV files in the Azure Public
+Dataset column layout, rescaled to different request rates, truncated to
+shorter windows, and re-tagged to a tenant.
+
+Tenant assignment lives here (and in the generator) rather than in any one
+scenario preset: every trace transformation — rescaling, truncation,
+composition (:mod:`repro.workload.scenarios`), serialization — preserves the
+tenant tag, so replayed and composed traces keep their per-tenant identity
+all the way into the fleet's per-tenant SLO report.
 """
 
 from __future__ import annotations
 
 import csv
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
+
+#: Tenant tag for requests that were never explicitly assigned one.
+DEFAULT_TENANT = "default"
 
 
 @dataclass(frozen=True)
@@ -27,12 +37,15 @@ class RequestDescriptor:
         prompt_tokens: Number of input (prompt) tokens.
         output_tokens: Number of tokens the model must generate (>= 1; the
             first one is produced by the prompt phase).
+        tenant: Tenant the request belongs to (per-tenant SLO accounting and
+            tenant-aware fleet routing group by this tag).
     """
 
     request_id: int
     arrival_time_s: float
     prompt_tokens: int
     output_tokens: int
+    tenant: str = DEFAULT_TENANT
 
     def __post_init__(self) -> None:
         if self.arrival_time_s < 0:
@@ -41,6 +54,8 @@ class RequestDescriptor:
             raise ValueError(f"prompt_tokens must be >= 1, got {self.prompt_tokens}")
         if self.output_tokens < 1:
             raise ValueError(f"output_tokens must be >= 1, got {self.output_tokens}")
+        if not self.tenant:
+            raise ValueError("tenant must be a non-empty string")
 
     @property
     def total_tokens(self) -> int:
@@ -130,15 +145,25 @@ class Trace:
             raise ValueError("cannot rescale an empty or instantaneous trace")
         factor = current / target_rps
         requests = tuple(
-            RequestDescriptor(
-                request_id=r.request_id,
-                arrival_time_s=r.arrival_time_s * factor,
-                prompt_tokens=r.prompt_tokens,
-                output_tokens=r.output_tokens,
-            )
-            for r in self.requests
+            replace(r, arrival_time_s=r.arrival_time_s * factor) for r in self.requests
         )
         return Trace(requests=requests, name=self.name, metadata={**self.metadata, "scaled_to_rps": target_rps})
+
+    def with_tenant(self, tenant: str) -> "Trace":
+        """Return a copy with every request assigned to ``tenant``.
+
+        This is the one sanctioned way to (re-)tag a trace: presets tag their
+        component traces before composing them, and replayed CSV traces can
+        be tagged before joining a multi-tenant mix.
+        """
+        if not tenant:
+            raise ValueError("tenant must be a non-empty string")
+        requests = tuple(replace(r, tenant=tenant) for r in self.requests)
+        return Trace(requests=requests, name=self.name, metadata={**self.metadata, "tenant": tenant})
+
+    def tenants(self) -> tuple[str, ...]:
+        """Distinct tenant tags present in the trace, sorted."""
+        return tuple(sorted({r.tenant for r in self.requests}))
 
     # -- statistics ---------------------------------------------------------------
 
@@ -152,21 +177,33 @@ class Trace:
 
     # -- serialization -------------------------------------------------------------
 
-    _CSV_COLUMNS: Sequence[str] = ("request_id", "arrival_time_s", "prompt_tokens", "output_tokens")
+    _CSV_COLUMNS: Sequence[str] = (
+        "request_id",
+        "arrival_time_s",
+        "prompt_tokens",
+        "output_tokens",
+        "tenant",
+    )
 
     def to_csv(self, path: str | Path) -> Path:
-        """Write the trace as CSV (Azure Public Dataset column layout)."""
+        """Write the trace as CSV (Azure Public Dataset column layout plus tenant)."""
         path = Path(path)
         with path.open("w", newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow(self._CSV_COLUMNS)
             for r in self.requests:
-                writer.writerow([r.request_id, f"{r.arrival_time_s:.6f}", r.prompt_tokens, r.output_tokens])
+                writer.writerow(
+                    [r.request_id, f"{r.arrival_time_s:.6f}", r.prompt_tokens, r.output_tokens, r.tenant]
+                )
         return path
 
     @classmethod
     def from_csv(cls, path: str | Path, name: str | None = None) -> "Trace":
-        """Load a trace from a CSV produced by :meth:`to_csv`."""
+        """Load a trace from a CSV produced by :meth:`to_csv`.
+
+        CSVs written before the tenant column existed (or raw Azure-layout
+        files) load with every request on the default tenant.
+        """
         path = Path(path)
         requests = []
         with path.open(newline="") as handle:
@@ -178,6 +215,7 @@ class Trace:
                         arrival_time_s=float(row["arrival_time_s"]),
                         prompt_tokens=int(row["prompt_tokens"]),
                         output_tokens=int(row["output_tokens"]),
+                        tenant=row.get("tenant") or DEFAULT_TENANT,
                     )
                 )
         return cls(requests=tuple(requests), name=name or path.stem)
@@ -194,6 +232,7 @@ class Trace:
                     "arrival_time_s": r.arrival_time_s,
                     "prompt_tokens": r.prompt_tokens,
                     "output_tokens": r.output_tokens,
+                    "tenant": r.tenant,
                 }
                 for r in self.requests
             ],
@@ -211,6 +250,7 @@ class Trace:
                 arrival_time_s=r["arrival_time_s"],
                 prompt_tokens=r["prompt_tokens"],
                 output_tokens=r["output_tokens"],
+                tenant=r.get("tenant", DEFAULT_TENANT),
             )
             for r in payload["requests"]
         )

@@ -61,13 +61,20 @@ def tiny_trace() -> Trace:
 def make_request():
     """Factory for standalone Request objects."""
 
-    def _make(request_id: int = 0, arrival: float = 0.0, prompt: int = 128, output: int = 4) -> Request:
+    def _make(
+        request_id: int = 0,
+        arrival: float = 0.0,
+        prompt: int = 128,
+        output: int = 4,
+        tenant: str = "default",
+    ) -> Request:
         return Request(
             descriptor=RequestDescriptor(
                 request_id=request_id,
                 arrival_time_s=arrival,
                 prompt_tokens=prompt,
                 output_tokens=output,
+                tenant=tenant,
             )
         )
 

@@ -166,3 +166,30 @@ class TestClusterExperiments:
             assert optimal["feasible"]
             feasible_costs = [v["cost_per_hour"] for v in results["grid"].values() if v["feasible"]]
             assert optimal["cost_per_hour"] == min(feasible_costs)
+
+
+class TestFleetSweep:
+    def test_sweep_compares_static_and_burst_per_policy(self):
+        from repro.experiments.fleet_sweep import fleet_sweep
+
+        results = fleet_sweep(
+            presets=("mixed-tenant",),
+            policies=("least-outstanding",),
+            clusters=2,
+            burst_clusters=1,
+            scale=0.5,
+        )
+        entry = results["mixed-tenant"]["least-outstanding"]
+        for label in ("static", "burst"):
+            run = entry[label]
+            assert run["completion_rate"] == 1.0
+            tenants = run["tenant_slo"]["tenants"]
+            assert sorted(tenants) == ["coding", "conversation"]
+            for tenant_entry in tenants.values():
+                assert tenant_entry["samples"]["ttft"] > 0
+        assert entry["machine_hours_saved"] == pytest.approx(
+            entry["static"]["machine_hours"] - entry["burst"]["machine_hours"], abs=1e-3
+        )
+        # The burst fleet's own provision-for-peak bound (same clusters, its
+        # own window) must exceed what bursting actually consumed.
+        assert entry["burst"]["static_machine_hours"] >= entry["burst"]["machine_hours"]

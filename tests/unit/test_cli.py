@@ -128,6 +128,47 @@ class TestScenarioCommand:
             build_parser().parse_args(["scenario", "--preset", "lunar-eclipse"])
 
 
+class TestFleetCommand:
+    def test_mixed_tenant_reports_per_tenant_slo_and_hours(self, capsys):
+        code = main(["fleet", "--preset", "mixed-tenant", "--clusters", "2", "--scale", "0.5"])
+        out = capsys.readouterr().out
+        assert code in (0, 2)
+        assert "per-tenant SLO" in out
+        assert "coding=" in out and "conversation=" in out
+        assert "machine-hours saved vs static" in out
+
+    def test_json_output_is_non_vacuous_and_deterministic(self, capsys):
+        payloads = []
+        for _ in range(2):
+            code = main(["fleet", "--preset", "mixed-tenant", "--clusters", "2",
+                         "--scale", "0.5", "--json"])
+            payloads.append(json.loads(capsys.readouterr().out))
+            assert code in (0, 2)
+        first, second = payloads
+        assert first == second  # same seed => bit-identical
+        assert sorted(first["tenants"]) == ["coding", "conversation"]
+        for label in ("static", "burst"):
+            tenants = first[label]["tenant_slo"]["tenants"]
+            assert sorted(tenants) == ["coding", "conversation"]
+            for entry in tenants.values():
+                assert entry["samples"]["ttft"] > 0
+                assert entry["samples"]["tbt"] > 0
+        assert "machine_hours_saved" in first
+        assert isinstance(first["timeline"], list)
+
+    def test_no_burst_skips_comparison(self, capsys):
+        code = main(["fleet", "--preset", "diurnal", "--clusters", "2", "--scale", "0.5",
+                     "--no-burst", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code in (0, 2)
+        assert "burst" not in payload
+        assert "machine_hours_saved" not in payload
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--policy", "fastest-first"])
+
+
 class TestProvisionCommand:
     def test_reports_optimum_for_feasible_load(self, capsys):
         code = main([

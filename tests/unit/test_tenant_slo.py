@@ -1,0 +1,123 @@
+"""Unit tests for per-tenant SLO grouping and the fleet roll-up report."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.machine import DGX_A100
+from repro.metrics.slo import (
+    DEFAULT_SLO,
+    SloPolicy,
+    empty_slo_report,
+    evaluate_slo_by_tenant,
+)
+from repro.models.llm import LLAMA2_70B
+from repro.models.performance import AnalyticalPerformanceModel
+
+
+@pytest.fixture
+def reference():
+    return AnalyticalPerformanceModel(LLAMA2_70B, DGX_A100)
+
+
+def _complete_uncontended(request, reference, slowdown=1.0):
+    """Drive a request through its lifecycle at ``slowdown`` x the reference."""
+    ttft = reference.ttft(request.prompt_tokens) * slowdown
+    tbt = reference.tbt(1, request.prompt_tokens) * slowdown
+    request.start_prompt(request.arrival_time, "m")
+    request.finish_prompt(request.arrival_time + ttft)
+    for i in range(1, request.output_tokens):
+        request.generate_token(request.arrival_time + ttft + i * tbt)
+    return request
+
+
+class TestEvaluateSloByTenant:
+    def test_groups_by_tenant(self, make_request, reference):
+        requests = [
+            _complete_uncontended(
+                make_request(request_id=i, tenant="gold" if i % 2 else "bronze"), reference
+            )
+            for i in range(8)
+        ]
+        report = evaluate_slo_by_tenant(requests, reference)
+        assert sorted(report.tenants) == ["bronze", "gold"]
+        assert report.satisfied
+        assert report.fleet.satisfied
+        assert report.unsatisfied_tenants() == []
+        for samples in report.samples_by_tenant().values():
+            assert samples["ttft"] == 4 and samples["e2e"] == 4
+
+    def test_one_slow_tenant_fails_alone(self, make_request, reference):
+        fast = [
+            _complete_uncontended(make_request(request_id=i, tenant="fast"), reference)
+            for i in range(4)
+        ]
+        slow = [
+            _complete_uncontended(
+                make_request(request_id=10 + i, tenant="slow"), reference, slowdown=50.0
+            )
+            for i in range(4)
+        ]
+        report = evaluate_slo_by_tenant(fast + slow, reference)
+        assert not report.satisfied
+        assert report.unsatisfied_tenants() == ["slow"]
+        assert report.tenants["fast"].satisfied
+
+    def test_per_tenant_policies_override_default(self, make_request, reference):
+        requests = [
+            _complete_uncontended(
+                make_request(request_id=i, tenant="lenient"), reference, slowdown=8.0
+            )
+            for i in range(4)
+        ]
+        strict = evaluate_slo_by_tenant(requests, reference)
+        assert not strict.satisfied
+        lenient_policy = SloPolicy(
+            ttft={50: 100.0}, tbt={50: 100.0}, e2e={50: 100.0}
+        )
+        lenient = evaluate_slo_by_tenant(requests, reference, policies={"lenient": lenient_policy})
+        assert lenient.tenants["lenient"].satisfied
+
+    def test_empty_tenant_series_is_nan_and_never_satisfied(self, make_request, reference):
+        completed = [
+            _complete_uncontended(make_request(request_id=0, tenant="served"), reference)
+        ]
+        # The starved tenant submitted but completed nothing.
+        starved = make_request(request_id=1, tenant="starved")
+        report = evaluate_slo_by_tenant(completed + [starved], reference)
+        assert not report.satisfied
+        assert report.unsatisfied_tenants() == ["starved"]
+        starved_report = report.tenants["starved"]
+        assert all(np.isnan(v) for v in starved_report.slowdowns.values())
+        assert starved_report.samples == {"ttft": 0, "tbt": 0, "e2e": 0}
+        assert starved_report.missing_series() == ["e2e", "tbt", "ttft"]
+
+    def test_no_requests_at_all_not_satisfied(self, reference):
+        report = evaluate_slo_by_tenant([], reference)
+        assert not report.satisfied
+        assert report.tenants == {}
+        assert not report.fleet.satisfied
+
+    def test_as_dict_is_json_ready(self, make_request, reference):
+        import json
+
+        requests = [
+            _complete_uncontended(make_request(request_id=i, tenant="t"), reference)
+            for i in range(3)
+        ]
+        payload = evaluate_slo_by_tenant(requests, reference).as_dict()
+        json.dumps(payload)  # must not raise
+        assert payload["satisfied"] is True
+        assert payload["tenants"]["t"]["samples"]["ttft"] == 3
+
+
+class TestEmptySloReport:
+    def test_all_nan_and_unsatisfied(self):
+        report = empty_slo_report(DEFAULT_SLO)
+        assert not report.satisfied
+        assert all(np.isnan(v) for v in report.slowdowns.values())
+        assert report.missing_series() == ["e2e", "tbt", "ttft"]
+        assert np.isnan(report.worst_margin())
+        # Every limit is reported as a violation (unevaluable != passing).
+        assert set(report.violations()) == set(report.limits)
