@@ -24,6 +24,24 @@ each iteration costs O(batch) instead of O(pool):
   batch's context total — the input to the latency model — is accumulated
   from O(selected levels) cached sums plus the split remainder.
 
+**Run service caches** (``track_runs``, used with the columnar token log —
+see :mod:`repro.metrics.token_log`): each run additionally carries
+
+* ``min_remaining`` — a conservative lower bound on any live member's
+  outstanding output tokens.  The stepper decrements it once per service and
+  walks the members for exact completions only at the boundaries where the
+  earliest member can actually finish, so the per-member completion check
+  disappears from the steady-state loop.  The bound never overestimates:
+  services decrement it in lockstep with every member's true remaining,
+  admissions lower it, and chops inherit it (removing members can only make
+  it conservative).
+* ``context`` — the run's total *effective* KV context, maintained
+  incrementally (bulk-added per service, shed by completions and chops).
+  Extraction then walks only the **smaller side** of a chop: the slice's
+  context is summed directly when the slice is smaller, or derived by
+  subtracting the walked remainder from the cached total when it is not —
+  and a chop consuming a whole run costs O(1).
+
 The forest reproduces the flat view's order *exactly*: effective boosts are
 ``stored + offset`` (integer-valued, as produced by +1.0 aging steps), and
 :meth:`RotationForest.flatten` materializes the identical
@@ -40,6 +58,10 @@ from typing import TYPE_CHECKING, Iterable
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.simulation.request import Request
 
+#: ``min_remaining`` sentinel for runs whose bound is not constraining
+#: (never triggers a completion walk).
+NO_COMPLETION_BOUND = 1 << 60
+
 
 def _member_key(request: "Request") -> tuple[float, int]:
     """Within-level order: FCFS by arrival, request id as the total tie-break."""
@@ -50,14 +72,18 @@ class RotationRun:
     """A ``(arrival, id)``-sorted segment of live members within one level.
 
     ``members[start:]`` are the live entries; extraction consumes from the
-    head by advancing ``start`` instead of slicing.
+    head by advancing ``start`` instead of slicing.  ``min_remaining`` and
+    ``context`` are the run service caches (meaningful only under
+    ``track_runs``; see the module docstring).
     """
 
-    __slots__ = ("members", "start")
+    __slots__ = ("members", "start", "min_remaining", "context")
 
     def __init__(self, members: list, start: int = 0) -> None:
         self.members = members
         self.start = start
+        self.min_remaining = NO_COMPLETION_BOUND
+        self.context = 0
 
     def __len__(self) -> int:
         return len(self.members) - self.start
@@ -89,82 +115,102 @@ class RotationLevel:
         self.context = context
 
 
-class SelectedSegment:
-    """One run's contribution to an iteration's batch."""
-
-    __slots__ = ("level", "run", "members")
-
-    def __init__(self, level: RotationLevel | None, run: RotationRun | None, members: list) -> None:
-        self.level = level  # None for the split extraction (not yet levelled)
-        self.run = run  # None for the split extraction
-        self.members = members
-
-
 class Selection:
     """The batch for one rotation iteration plus the data aging needs."""
 
-    __slots__ = ("segments", "count", "context", "whole_levels", "split_level", "extracted", "extracted_context")
+    __slots__ = (
+        "segments",
+        "count",
+        "context",
+        "whole_levels",
+        "split_level",
+        "split_bound",
+        "extracted",
+        "extracted_context",
+    )
 
     def __init__(self) -> None:
-        self.segments: list[SelectedSegment] = []
+        #: One ``(level, run, members)`` triple per contributing run;
+        #: ``level``/``run`` are ``None`` for the split extraction (its
+        #: members are not levelled until the aging commit).
+        self.segments: list[tuple] = []
         self.count = 0
         self.context = 0
         self.whole_levels: list[RotationLevel] = []
         self.split_level: RotationLevel | None = None
+        #: Completion bound carried by the split extraction (min over the
+        #: bounds of the runs it consumed from; ``track_runs`` only).
+        self.split_bound = NO_COMPLETION_BOUND
         self.extracted: list = []
         self.extracted_context = 0
 
     def requests(self) -> list:
         """The batch in priority order (matches the flat view's selection)."""
         flat: list = []
-        for segment in self.segments:
-            flat.extend(segment.members)
+        for _, _, members in self.segments:
+            flat.extend(members)
         return flat
 
 
 class RotationForest:
     """Priority-ordered token pool with O(batch) selection and O(1) aging."""
 
-    __slots__ = ("levels", "offset")
+    __slots__ = ("levels", "offset", "track_runs")
 
     #: A level with more sibling runs than this is consolidated into one run
     #: on its next split, bounding k-way heap width (amortized rare).
     MAX_SIBLING_RUNS = 32
 
-    def __init__(self) -> None:
+    def __init__(self, track_runs: bool = False) -> None:
         self.levels: list[RotationLevel] = []  # stored DESC == effective DESC
         self.offset = 0
+        #: Maintain per-run completion bounds and context caches (columnar
+        #: recording); the legacy per-member stepper leaves them untouched.
+        self.track_runs = track_runs
 
     # -- construction ---------------------------------------------------------------
 
     @classmethod
-    def from_ordered_view(cls, view: Iterable) -> "RotationForest | None":
+    def from_ordered_view(cls, view: Iterable, track_runs: bool = False) -> "RotationForest | None":
         """Build a forest from a ``(-boost, arrival, id)``-ordered pool view.
 
         Returns ``None`` if any boost is not integer-valued (aging only ever
         adds 1.0, so non-integer boosts mean an external writer is involved
-        and the flat representation must be kept).
+        and the flat representation must be kept).  Members are settled at
+        entry (the machine exits any previous rotation through a settling
+        flatten), so plain attribute reads are exact here.
         """
-        forest = cls()
+        forest = cls(track_runs)
         levels = forest.levels
         current_boost: float | None = None
         members: list = []
         context = 0
+        min_remaining = NO_COMPLETION_BOUND
         for request in view:
             boost = request.priority_boost
             if boost != current_boost:
                 if not float(boost).is_integer():
                     return None
                 if members:
-                    levels.append(RotationLevel(int(current_boost), [RotationRun(members)], len(members), context))
+                    levels.append(forest._new_level(int(current_boost), members, context, min_remaining))
                 current_boost = boost
                 members = []
                 context = 0
+                min_remaining = NO_COMPLETION_BOUND
             members.append(request)
             context += request.prompt_tokens + request.generated_tokens
+            remaining = request.output_tokens - request.generated_tokens
+            if remaining < min_remaining:
+                min_remaining = remaining
         if members:
-            levels.append(RotationLevel(int(current_boost), [RotationRun(members)], len(members), context))
+            levels.append(forest._new_level(int(current_boost), members, context, min_remaining))
         return forest
+
+    def _new_level(self, stored: int, members: list, context: int, min_remaining: int) -> RotationLevel:
+        run = RotationRun(members)
+        run.context = context
+        run.min_remaining = min_remaining
+        return RotationLevel(stored, [run], len(members), context)
 
     # -- selection ------------------------------------------------------------------
 
@@ -180,17 +226,18 @@ class RotationForest:
                 break
             if level.size <= need:
                 for run in level.runs:
-                    segments.append(SelectedSegment(level, run, run.live()))
+                    segments.append((level, run, run.live()))
                 selection.whole_levels.append(level)
                 selection.count += level.size
                 selection.context += level.context
                 need -= level.size
             else:
-                extracted, context = self._extract(level, need)
+                extracted, context, bound = self._extract(level, need)
                 selection.split_level = level
+                selection.split_bound = bound
                 selection.extracted = extracted
                 selection.extracted_context = context
-                segments.append(SelectedSegment(None, None, extracted))
+                segments.append((None, None, extracted))
                 selection.count += need
                 selection.context += context
                 need = 0
@@ -201,7 +248,7 @@ class RotationForest:
             return None
         return selection
 
-    def _extract(self, level: RotationLevel, count: int) -> tuple[list, int]:
+    def _extract(self, level: RotationLevel, count: int) -> tuple[list, int, int]:
         """Consume the ``count`` smallest ``(arrival, id)`` members of ``level``.
 
         Multi-run levels use a galloping k-way merge: instead of moving one
@@ -210,66 +257,143 @@ class RotationForest:
         bisection), so the cost is one heap operation per *run switch*, not
         per member — sibling runs hold mostly disjoint arrival bands, so
         switches are rare.
+
+        With run tracking, only the smaller side of each cut is walked for
+        context (the larger side's total is derived from the run's cache), a
+        whole-run consumption costs O(1), and the returned bound is the
+        minimum completion bound over the runs the extraction touched.
         """
         runs = level.runs
+        track = self.track_runs
         if len(runs) == 1:
             run = runs[0]
             start = run.start
             stop = start + count
-            extracted = run.members[start:stop]
+            members = run.members
+            extracted = members[start:stop]
+            bound = run.min_remaining
+            if not track:
+                context = 0
+                for request in extracted:
+                    context += request.prompt_tokens + request.generated_tokens
+            elif stop == len(members):
+                # Whole live run consumed: O(1).
+                context = run.context
+                run.context = 0
+            elif count <= len(members) - stop:
+                # The slice is the smaller side: sum it directly.  The
+                # inlined reads are the canonical columnar-deferral formula
+                # (generated == _svc_base + len(_svc_indices) while a
+                # request's index column is open — see
+                # repro.simulation.request); this walk is the hottest
+                # per-member work left in the rotation.
+                context = 0
+                for request in extracted:
+                    if request._svc_block is None:
+                        context += request.prompt_tokens + request.generated_tokens
+                    else:
+                        context += request.prompt_tokens + request._svc_base + len(request._svc_indices)
+                run.context -= context
+            else:
+                # The remainder is smaller: walk it and subtract.
+                remainder_context = 0
+                for request in members[stop:]:
+                    if request._svc_block is None:
+                        remainder_context += request.prompt_tokens + request.generated_tokens
+                    else:
+                        remainder_context += request.prompt_tokens + request._svc_base + len(request._svc_indices)
+                context = run.context - remainder_context
+                run.context = remainder_context
             run.start = stop
-        else:
-            if len(runs) > self.MAX_SIBLING_RUNS:
-                self._consolidate(level)
-                runs = level.runs
-            if len(runs) == 1:
-                return self._extract(level, count)
-            heap = []
-            for index, run in enumerate(runs):
-                if len(run):
-                    head = run.members[run.start]
-                    heap.append((head.arrival_time, head.request_id, index))
-            heapq.heapify(heap)
-            extracted: list = []
-            extend = extracted.extend
-            taken = 0
-            while taken < count:
-                index = heap[0][2]
-                run = runs[index]
-                members = run.members
-                start = run.start
-                room = start + (count - taken)
-                heap_size = len(heap)
-                if heap_size == 1:
-                    stop = min(len(members), room)
-                else:
-                    # Second-smallest head is the smaller root child; consume
-                    # this run up to it in one slice.
-                    limit = heap[1] if heap_size < 3 or heap[1] < heap[2] else heap[2]
-                    stop = bisect_left(
-                        members,
-                        (limit[0], limit[1]),
-                        start + 1,
-                        min(len(members), room),
-                        key=_member_key,
-                    )
-                extend(members[start:stop])
-                taken += stop - start
-                run.start = stop
-                if stop == len(members):
-                    heapq.heappop(heap)
-                    if not heap:
-                        break
-                else:
-                    head = members[stop]
-                    heapq.heapreplace(heap, (head.arrival_time, head.request_id, index))
+            level.size -= count
+            level.context -= context
+            if not len(run):
+                level.runs = []
+            return extracted, context, bound
+        if len(runs) > self.MAX_SIBLING_RUNS:
+            self._consolidate(level)
+            runs = level.runs
+        if len(runs) == 1:
+            return self._extract(level, count)
+        heap = []
+        for index, run in enumerate(runs):
+            if len(run):
+                head = run.members[run.start]
+                heap.append((head.arrival_time, head.request_id, index))
+        heapq.heapify(heap)
+        extracted: list = []
+        extend = extracted.extend
+        taken = 0
         context = 0
-        for request in extracted:
-            context += request.prompt_tokens + request.generated_tokens
+        bound = NO_COMPLETION_BOUND
+        while taken < count:
+            index = heap[0][2]
+            run = runs[index]
+            members = run.members
+            start = run.start
+            room = start + (count - taken)
+            heap_size = len(heap)
+            if heap_size == 1:
+                stop = min(len(members), room)
+            else:
+                # Second-smallest head is the smaller root child; consume
+                # this run up to it in one slice.
+                limit = heap[1] if heap_size < 3 or heap[1] < heap[2] else heap[2]
+                stop = bisect_left(
+                    members,
+                    (limit[0], limit[1]),
+                    start + 1,
+                    min(len(members), room),
+                    key=_member_key,
+                )
+            if track:
+                if run.min_remaining < bound:
+                    bound = run.min_remaining
+                if stop == len(members):
+                    # Whole rest of the run: O(1) from the cache.
+                    slice_context = run.context
+                    run.context = 0
+                elif stop - start <= len(members) - stop:
+                    # The consumed slice is the smaller side: sum it directly.
+                    slice_context = 0
+                    for request in members[start:stop]:
+                        if request._svc_block is None:
+                            slice_context += request.prompt_tokens + request.generated_tokens
+                        else:
+                            slice_context += (
+                                request.prompt_tokens + request._svc_base + len(request._svc_indices)
+                            )
+                    run.context -= slice_context
+                else:
+                    # The run's remainder is smaller: walk it and subtract.
+                    remainder_context = 0
+                    for request in members[stop:]:
+                        if request._svc_block is None:
+                            remainder_context += request.prompt_tokens + request.generated_tokens
+                        else:
+                            remainder_context += (
+                                request.prompt_tokens + request._svc_base + len(request._svc_indices)
+                            )
+                    slice_context = run.context - remainder_context
+                    run.context = remainder_context
+                context += slice_context
+            extend(members[start:stop])
+            taken += stop - start
+            run.start = stop
+            if stop == len(members):
+                heapq.heappop(heap)
+                if not heap:
+                    break
+            else:
+                head = members[stop]
+                heapq.heapreplace(heap, (head.arrival_time, head.request_id, index))
+        if not track:
+            for request in extracted:
+                context += request.prompt_tokens + request.generated_tokens
         level.size -= count
         level.context -= context
         level.runs = [run for run in level.runs if len(run)]
-        return extracted, context
+        return extracted, context, bound
 
     def _unextract(self, selection: Selection) -> None:
         """Undo a split extraction after an aborted (over-budget) selection."""
@@ -277,10 +401,11 @@ class RotationForest:
         if level is None or not selection.extracted:
             return
         extracted = selection.extracted
-        context = 0
-        for request in extracted:
-            context += request.prompt_tokens + request.generated_tokens
-        level.runs.insert(0, RotationRun(extracted))
+        context = selection.extracted_context
+        restored = RotationRun(extracted)
+        restored.context = context
+        restored.min_remaining = selection.split_bound
+        level.runs.insert(0, restored)
         level.size += len(extracted)
         level.context += context
         self._consolidate(level)
@@ -290,45 +415,90 @@ class RotationForest:
         if len(level.runs) <= 1:
             return
         merged = list(heapq.merge(*(run.live() for run in level.runs), key=_member_key))
-        level.runs = [RotationRun(merged)]
+        run = RotationRun(merged)
+        if self.track_runs:
+            context = 0
+            min_remaining = NO_COMPLETION_BOUND
+            for source in level.runs:
+                context += source.context
+                if source.min_remaining < min_remaining:
+                    min_remaining = source.min_remaining
+            run.context = context
+            run.min_remaining = min_remaining
+        level.runs = [run]
 
     # -- aging ----------------------------------------------------------------------
 
-    def commit_aging(self, selection: Selection, survivors: list, survivors_context: int) -> None:
+    def commit_aging(
+        self,
+        selection: Selection,
+        survivors: list,
+        survivors_context: int,
+        survivors_bound: int = NO_COMPLETION_BOUND,
+    ) -> None:
         """Apply one aging pass: everyone not selected gains +1 boost.
 
         Implemented relatively: the forest offset rises by one while the
         wholly-selected levels and the split extraction (its ``survivors``,
         i.e. extracted members that did not complete this iteration, whose
-        post-service context total the caller tracks) step down one stored
-        level, keeping their effective boost unchanged.
+        post-service context total — and, under run tracking, completion
+        bound — the caller tracks) step down one stored level, keeping their
+        effective boost unchanged.
         """
         self.offset += 1
+        dirty = False
+        previous_stored = None
         for level in selection.whole_levels:
             level.stored -= 1
-        split = selection.split_level
-        levels = self.levels
-        if split is not None and survivors:
-            new_level = RotationLevel(split.stored - 1, [RotationRun(survivors)], len(survivors), survivors_context)
-            index = levels.index(split)
-            levels.insert(index + 1, new_level)
-        # Drop emptied levels and merge stored-level collisions (a selected
-        # level can land on the one below it).  The scan is O(levels); the
-        # rebuild runs only when something actually changed.
-        previous_stored = None
-        dirty = False
-        for level in levels:
             if level.size <= 0 or level.stored == previous_stored:
                 dirty = True
-                break
             previous_stored = level.stored
-        if dirty:
+        split = selection.split_level
+        levels = self.levels
+        if split is not None:
+            if split.size <= 0 or split.stored == previous_stored:
+                dirty = True
+            if survivors:
+                run = RotationRun(survivors)
+                run.context = survivors_context
+                run.min_remaining = survivors_bound
+                index = levels.index(split)
+                below = levels[index + 1] if index + 1 < len(levels) else None
+                if below is not None and below.stored == split.stored - 1 and below.size > 0:
+                    # The survivor level collides with its neighbour almost
+                    # every iteration; merge in place (same content the full
+                    # normalize pass would produce) instead of rebuilding the
+                    # whole level list.
+                    below.runs.insert(0, run)
+                    below.size += len(survivors)
+                    below.context += survivors_context
+                else:
+                    new_level = RotationLevel(
+                        split.stored - 1, [run], len(survivors), survivors_context
+                    )
+                    levels.insert(index + 1, new_level)
+        # Wholly-selected levels may step onto the level below them, and
+        # completions can empty a serviced level; both need the full merge
+        # pass.  The common survivor collision was handled above, so the
+        # rebuild only runs when the cheap per-selected checks saw a change.
+        if dirty or (selection.whole_levels and self._selected_prefix_collides(selection)):
             self._normalize()
 
+    def _selected_prefix_collides(self, selection: Selection) -> bool:
+        """Whether a stepped-down selected level now collides with a neighbour."""
+        last = selection.whole_levels[-1]
+        levels = self.levels
+        try:
+            index = levels.index(last)
+        except ValueError:  # pragma: no cover - defensive; selection is current
+            return True
+        return index + 1 < len(levels) and levels[index + 1].stored == last.stored
+
     def _normalize(self) -> None:
-        levels = [level for level in self.levels if level.size > 0]
         merged: list[RotationLevel] = []
-        for level in levels:
+        for level in self.levels:
+            if level.size <= 0:
+                continue
             if merged and merged[-1].stored == level.stored:
                 previous = merged[-1]
                 previous.runs.extend(level.runs)
@@ -341,10 +511,16 @@ class RotationForest:
     # -- membership -----------------------------------------------------------------
 
     def insert(self, request) -> None:
-        """Add a newly admitted member at its current (integer) boost."""
+        """Add a newly admitted member at its current (integer) boost.
+
+        The newcomer is settled (it was just admitted), so plain attribute
+        reads are exact.
+        """
         effective = int(request.priority_boost)
         stored = effective - self.offset
         context = request.prompt_tokens + request.generated_tokens
+        remaining = request.output_tokens - request.generated_tokens
+        track = self.track_runs
         levels = self.levels
         for index, level in enumerate(levels):
             if level.stored == stored:
@@ -352,15 +528,21 @@ class RotationForest:
                 tail = last.members[-1] if len(last) else None
                 if tail is not None and _member_key(tail) < _member_key(request):
                     last.members.append(request)
+                    target = last
                 else:
-                    level.runs.append(RotationRun([request]))
+                    target = RotationRun([request])
+                    level.runs.append(target)
+                if track:
+                    target.context += context
+                    if remaining < target.min_remaining:
+                        target.min_remaining = remaining
                 level.size += 1
                 level.context += context
                 return
             if level.stored < stored:
-                levels.insert(index, RotationLevel(stored, [RotationRun([request])], 1, context))
+                levels.insert(index, self._new_level(stored, [request], context, remaining))
                 return
-        levels.append(RotationLevel(stored, [RotationRun([request])], 1, context))
+        levels.append(self._new_level(stored, [request], context, remaining))
 
     def note_serviced(self, selection: Selection, completed_per_segment: list) -> None:
         """Update level size/context caches after one service pass.
@@ -368,20 +550,20 @@ class RotationForest:
         Every surviving serviced member's context grew by one token; completed
         members (passed per selected segment, pre-service contexts included)
         leave their level entirely.  The split extraction is not levelled yet
-        — its survivors are accounted by :meth:`commit_aging`.
+        — its survivors are accounted by :meth:`commit_aging`.  Run-level
+        caches are maintained by the stepper itself (it walks the segments
+        anyway).
         """
-        for segment, completed in zip(selection.segments, completed_per_segment):
-            level = segment.level
+        for (level, run, members), completed in zip(selection.segments, completed_per_segment):
             if level is None:
                 continue
-            survivors = len(segment.members)
+            survivors = len(members)
             if completed:
                 removed_context = 0
                 for request, pre_context in completed:
                     removed_context += pre_context
                 level.size -= len(completed)
                 level.context -= removed_context
-                run = segment.run
                 done = {id(request) for request, _ in completed}
                 run.members = [r for r in run.live() if id(r) not in done]
                 run.start = 0
@@ -396,7 +578,9 @@ class RotationForest:
         Pure with respect to the forest structure (safe to call between any
         two iterations, and — with ``inflight`` — mid-iteration: the
         in-flight selection's consumed split extraction is spliced back in at
-        its level's head, where those members sort).
+        its level's head, where those members sort).  Columnar callers settle
+        deferred member state themselves (see
+        ``SimulatedMachine._materialize_rotation``).
         """
         flat: list = []
         offset = self.offset

@@ -199,6 +199,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     summary = {
         "design": design.label,
         "model": model.name,
+        "seed": args.seed,
+        "workload": None if args.trace else args.workload,
         "trace": trace.name,
         "requests": len(trace),
         "completion_rate": round(result.completion_rate, 4),
@@ -259,6 +261,12 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     payload = {
         "preset": preset.name,
         "description": preset.description,
+        # Provenance: everything needed to reproduce the run from the
+        # artifact alone.
+        "seed": args.seed,
+        "scale": args.scale,
+        "model": model.name,
+        "routing": static_sim.routing,
         "trace": trace.name,
         "requests": len(trace),
         "duration_s": round(preset.duration_s, 1),
@@ -329,6 +337,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     payload = {
         "preset": preset.name,
         "description": preset.description,
+        # Provenance: everything needed to reproduce the run from the
+        # artifact alone.
+        "seed": args.seed,
+        "scale": args.scale,
+        "model": model.name,
         "trace": trace.name,
         "requests": len(trace),
         "tenants": list(trace.tenants()),

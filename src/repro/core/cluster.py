@@ -198,6 +198,7 @@ class ClusterSimulation:
         batching: str = "mixed",
         routing: str = "jsq",
         fast_forward: bool | None = None,
+        legacy_token_log: bool | None = None,
         autoscaler: PoolAutoscaler | AutoscalerConfig | bool | None = None,
         engine: SimulationEngine | None = None,
         name: str = "",
@@ -207,6 +208,7 @@ class ClusterSimulation:
         self.batching = batching
         self.routing = routing
         self.fast_forward = fast_forward
+        self.legacy_token_log = legacy_token_log
         self.name = name
         if autoscaler is True:
             autoscaler = PoolAutoscaler()
@@ -255,6 +257,7 @@ class ClusterSimulation:
                         max_prompt_batch_tokens=max_prompt_batch_tokens,
                         max_batch_size=max_batch_size,
                         fast_forward=self.fast_forward,
+                        legacy_token_log=self.legacy_token_log,
                     )
                 )
             for index in range(design.num_token):
@@ -270,6 +273,7 @@ class ClusterSimulation:
                         max_prompt_batch_tokens=max_prompt_batch_tokens,
                         max_batch_size=max_batch_size,
                         fast_forward=self.fast_forward,
+                        legacy_token_log=self.legacy_token_log,
                     )
                 )
         else:
@@ -286,6 +290,7 @@ class ClusterSimulation:
                         max_prompt_batch_tokens=max_prompt_batch_tokens,
                         max_batch_size=max_batch_size,
                         fast_forward=self.fast_forward,
+                        legacy_token_log=self.legacy_token_log,
                     )
                 )
         return machines

@@ -53,18 +53,34 @@ DEFAULT_MEMORY_HEADROOM_FRACTION = 0.05
 
 
 def prompt_queue_load(machine: SimulatedMachine) -> int:
-    """Pending prompt tokens (JSQ key for prompt routing)."""
-    return machine.pending_prompt_tokens
+    """Pending prompt tokens (JSQ key for prompt routing).
+
+    Open-coded mirror of ``SimulatedMachine.pending_prompt_tokens`` — the
+    probe runs per machine per arrival, and skipping the property layer
+    measurably trims the routing hot path.
+    """
+    if machine.debug_accounting:
+        machine.verify_accounting()
+    return machine._queued_prompt_tokens + machine._running_prompt_tokens
 
 
 def decode_queue_load(machine: SimulatedMachine) -> int:
-    """Pending decode tokens (JSQ key for token routing)."""
-    return machine.pending_decode_tokens
+    """Pending decode tokens (JSQ key for token routing).
+
+    Open-coded mirror of ``SimulatedMachine.pending_decode_tokens``
+    (including the fast-forward sync that keeps lazily committed macro-events
+    observable), one call layer shallower.
+    """
+    if machine._ff_boundaries is not None:
+        machine._ff_sync()
+    if machine.debug_accounting:
+        machine.verify_accounting()
+    return machine._pool_decode_tokens + machine._expected_decode_tokens
 
 
 def total_queue_load(machine: SimulatedMachine) -> int:
     """Total pending tokens (JSQ key for unsplit routing and donor picks)."""
-    return machine.pending_prompt_tokens + machine.pending_decode_tokens
+    return prompt_queue_load(machine) + decode_queue_load(machine)
 
 
 @dataclass
@@ -116,12 +132,53 @@ class MachinePool:
 
         Open-coded rather than ``min(..., key=...)``: JSQ probes run this for
         every routed request, and skipping the per-machine key-tuple
-        allocation measurably trims the routing hot path.
+        allocation measurably trims the routing hot path.  The two standard
+        probes dispatch to fully inlined loops (no per-machine call at all).
         """
+        if load is prompt_queue_load:
+            return self.least_prompt_loaded()
+        if load is decode_queue_load:
+            return self.least_decode_loaded()
         best: SimulatedMachine | None = None
         best_load: float | None = None
         for machine in self.machines:
             machine_load = load(machine)
+            if (
+                best_load is None
+                or machine_load < best_load
+                or (machine_load == best_load and machine.name < best.name)
+            ):
+                best = machine
+                best_load = machine_load
+        return best
+
+    def least_prompt_loaded(self) -> SimulatedMachine | None:
+        """:meth:`least_loaded` with :func:`prompt_queue_load` fully inlined."""
+        best: SimulatedMachine | None = None
+        best_load: int | None = None
+        for machine in self.machines:
+            if machine.debug_accounting:
+                machine.verify_accounting()
+            machine_load = machine._queued_prompt_tokens + machine._running_prompt_tokens
+            if (
+                best_load is None
+                or machine_load < best_load
+                or (machine_load == best_load and machine.name < best.name)
+            ):
+                best = machine
+                best_load = machine_load
+        return best
+
+    def least_decode_loaded(self) -> SimulatedMachine | None:
+        """:meth:`least_loaded` with :func:`decode_queue_load` fully inlined."""
+        best: SimulatedMachine | None = None
+        best_load: int | None = None
+        for machine in self.machines:
+            if machine._ff_boundaries is not None:
+                machine._ff_sync()
+            if machine.debug_accounting:
+                machine.verify_accounting()
+            machine_load = machine._pool_decode_tokens + machine._expected_decode_tokens
             if (
                 best_load is None
                 or machine_load < best_load

@@ -65,10 +65,11 @@ from repro.batching.policies import (
     PriorityOrderedView,
     priority_key,
 )
-from repro.batching.rotation import RotationForest
+from repro.batching.rotation import NO_COMPLETION_BOUND as _NO_COMPLETION_BOUND, RotationForest
 from repro.core.kv_transfer import KVTransferModel
 from repro.hardware.machine import MachineSpec
 from repro.metrics.collectors import MetricsCollector
+from repro.metrics.token_log import legacy_token_log_enabled
 from repro.models.llm import ModelSpec
 from repro.models.memory import MemoryModel
 from repro.models.performance import AnalyticalPerformanceModel, PerformanceModel
@@ -133,6 +134,11 @@ class SimulatedMachine:
             *wall-clock-accurate* per-iteration timing should disable it:
             coalesced iterations fire the hook once per iteration but in a
             burst at commit time.
+        legacy_token_log: Record token timestamps row-by-row (one append per
+            token per request) instead of columnar run segments.  Results
+            are bit-identical either way; the flag is a one-release escape
+            hatch (see ``docs/telemetry.md``).  Defaults to the
+            ``REPRO_LEGACY_TOKEN_LOG=1`` environment flag.
     """
 
     def __init__(
@@ -150,6 +156,7 @@ class SimulatedMachine:
         max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
         debug_accounting: bool | None = None,
         fast_forward: bool | None = None,
+        legacy_token_log: bool | None = None,
     ) -> None:
         self.name = name
         self.spec = spec
@@ -163,6 +170,18 @@ class SimulatedMachine:
         self.memory = MemoryModel(model, spec)
         self.metrics = metrics or MetricsCollector()
         self.kv_transfer = kv_transfer
+        # Columnar token telemetry (see repro.metrics.token_log): the machine
+        # appends iteration-boundary timestamps to its own timeline block and
+        # requests reference them as segments; the legacy flag falls back to
+        # one array append per token per request.
+        if legacy_token_log is None:
+            legacy_token_log = legacy_token_log_enabled()
+        self.legacy_token_log = legacy_token_log
+        self.token_log = self.metrics.token_log
+        self._timeline = self.token_log.timeline(name)
+        # The machine only ever records into its own stats row; holding the
+        # row skips the per-iteration name lookup in the collector.
+        self._stats = self.metrics.machine_stats(name)
         self.constraints = BatchConstraints(
             max_prompt_tokens=max_prompt_batch_tokens,
             max_batch_size=max_batch_size,
@@ -494,8 +513,13 @@ class SimulatedMachine:
         if self._rot_forest is not None:
             # The flat view is dormant while the rotation forest owns the
             # ordering; rebuild it (and the float boosts) for the cross-check,
-            # splicing the in-flight selection's extraction back in.
+            # splicing the in-flight selection's extraction back in.  Deferred
+            # columnar state is settled so the recounts read exact values
+            # (the rotation re-anchors the members on its next service).
             self._token_ready = PriorityOrderedView(self._rot_forest.flatten(self._rot_selection[0]))
+            if not self.legacy_token_log:
+                for request in self._token_ready:
+                    request._flush_service_indices()
         recounts = {
             "_queued_prompt_tokens": sum(r.prompt_tokens for r in self.pending_prompts),
             "_running_prompt_tokens": self._running_plan.prompt_tokens if self._running_plan else 0,
@@ -602,8 +626,11 @@ class SimulatedMachine:
             for request in plan.prompt_requests:
                 queued_by_id.pop(request.request_id, None)
 
-        prompt_latency = self.performance.prompt_latency(prompt_tokens) if prompt_tokens else 0.0
-        prompt_latency *= self._transfer_interference(plan)
+        if prompt_tokens:
+            prompt_latency = self.performance.prompt_latency(prompt_tokens)
+            prompt_latency *= self._transfer_interference(plan)
+        else:
+            prompt_latency = 0.0
         token_latency = (
             self.performance.token_latency(token_requests, context_tokens) if token_requests else 0.0
         )
@@ -675,6 +702,11 @@ class SimulatedMachine:
         for duration in durations:
             time += duration
             append(time)
+        if not self.legacy_token_log:
+            # The boundary series doubles as the run's shared timestamp
+            # block: every pool member will reference slices of it instead
+            # of copying the floats at commit time.
+            self.token_log.note_run_block(boundaries)
 
         self._ff_plan = plan
         self._ff_durations = durations
@@ -737,14 +769,35 @@ class SimulatedMachine:
         completion) and nothing can age (the whole pool is in the batch), so
         the completion/aging arms of the per-iteration loop are provably dead
         here.
+
+        Columnar recording makes the commit O(members): each member's tail
+        segment grows to cover ``boundaries[start:stop)`` by reference —
+        consecutive commits of one run extend the same segment — instead of
+        copying ``stop - start`` floats per member.
         """
         plan = self._ff_plan
         count = stop - start
-        times = self._ff_boundaries[start:stop]
-        for request in plan.token_requests:
-            request.generated_tokens += count
-            request.token_times.extend(times)
-            request.phase = _TOKEN_RUNNING
+        boundaries = self._ff_boundaries
+        if self.legacy_token_log:
+            times = boundaries[start:stop]
+            for request in plan.token_requests:
+                request.generated_tokens += count
+                request._token_times.extend(times)
+                request.phase = _TOKEN_RUNNING
+        else:
+            for request in plan.token_requests:
+                if request._tail_block is boundaries and request._tail_start + request._tail_count == start:
+                    request._tail_count += count
+                else:
+                    # Settle any deferred rotation state before touching the
+                    # generated count, then open (or re-home) the tail.
+                    request._flush_service_indices()
+                    request._close_tail()
+                    request._tail_block = boundaries
+                    request._tail_start = start
+                    request._tail_count = count
+                request.generated_tokens += count
+                request.phase = _TOKEN_RUNNING
         generated = count * len(plan.token_requests)
         self._pool_decode_tokens -= generated
         self._kv_tokens += generated
@@ -820,7 +873,9 @@ class SimulatedMachine:
         the pool carries non-integer boosts (external writer) or the very
         first iteration can't be composed (a KV-budget skip would be needed).
         """
-        forest = RotationForest.from_ordered_view(self._token_ready)
+        forest = RotationForest.from_ordered_view(
+            self._token_ready, track_runs=not self.legacy_token_log
+        )
         if forest is None:
             return False
         self._rot_forest = forest
@@ -880,18 +935,32 @@ class SimulatedMachine:
             self._queued_prompt_tokens -= prompt_tokens
             self._running_prompt_tokens = prompt_tokens
         token_requests = selection.count
+        # The plan's token list is materialized lazily: the stepper services
+        # the selection's segments directly, and every reader of a rotation
+        # plan's ``token_requests`` (interrupts, failures) goes through
+        # ``_rotation_interrupt``, which rebuilds the list from the
+        # flattened view anyway.
         plan = BatchPlan(
             prompt_requests=prompts,
-            token_requests=selection.requests(),
+            token_requests=[],
             prompt_tokens=prompt_tokens,
             context_tokens=selection.context,
         )
         self._running_plan = plan
 
-        prompt_latency = self.performance.prompt_latency(prompt_tokens) if prompt_tokens else 0.0
-        prompt_latency *= self._transfer_interference(plan)
+        if prompt_tokens:
+            prompt_latency = self.performance.prompt_latency(prompt_tokens)
+            prompt_latency *= self._transfer_interference(plan)
+        else:
+            prompt_latency = 0.0
+        # The rotating batch's (count, context) key is transient (context
+        # grows every iteration), so the memo table would only churn; the
+        # uncached path computes the same value operation-for-operation
+        # without touching it.
         token_latency = (
-            self.performance.token_latency(token_requests, selection.context) if token_requests else 0.0
+            self.performance.token_latency_uncached(token_requests, selection.context)
+            if token_requests
+            else 0.0
         )
         duration = prompt_latency + token_latency
 
@@ -901,12 +970,8 @@ class SimulatedMachine:
         if token_requests:
             energy_wh += self.power.token_energy_wh(token_requests, token_latency)
 
-        self.metrics.record_iteration(
-            self.name,
-            duration,
-            plan.active_tokens,
-            energy_wh,
-            prompt_tokens,
+        self._stats.add_iteration(
+            duration, prompt_tokens + token_requests, energy_wh, prompt_tokens,
             prompt_count + token_requests,
         )
 
@@ -950,39 +1015,141 @@ class SimulatedMachine:
         completed_extracted_context = 0
         completed_per_segment = []
         split_level = selection.split_level
-        for segment in selection.segments:
-            level = segment.level
-            completed = None
-            members = segment.members
-            for request in members:
-                generated = request.generated_tokens + 1
-                request.generated_tokens = generated
-                request.token_times.append(now)
-                if generated < request.output_tokens:
-                    request.phase = _TOKEN_RUNNING
-                else:
-                    request.phase = _COMPLETED
-                    request.completion_time = now
-                    request.priority_boost = float(
+        split_completed = False
+        if self.legacy_token_log:
+            # Legacy row recording: one timestamp append and one phase write
+            # per serviced member per iteration.
+            for level, _run, members in selection.segments:
+                completed = None
+                for request in members:
+                    generated = request.generated_tokens + 1
+                    request.generated_tokens = generated
+                    request._token_times.append(now)
+                    if generated < request.output_tokens:
+                        request.phase = _TOKEN_RUNNING
+                    else:
+                        request.phase = _COMPLETED
+                        request.completion_time = now
+                        request.priority_boost = float(
+                            (level.stored if level is not None else split_level.stored) + offset
+                        )
+                        if completed is None:
+                            completed = []
+                        pre_context = request.prompt_tokens + generated - 1
+                        completed.append((request, pre_context))
+                        if level is None:
+                            completed_extracted_context += pre_context
+                            split_completed = True
+                        del pool_by_id[request.request_id]
+                        kv_delta -= request.prompt_tokens + generated
+                        if on_request_complete is not None:
+                            on_request_complete(request, self)
+                serviced += len(members)
+                completed_per_segment.append(completed)
+        else:
+            # Columnar recording with deferred member state: the boundary
+            # timestamp is appended once to the machine's timeline block and
+            # each serviced member appends the boundary's *position* to its
+            # own packed index column — the steady-state loop is that one
+            # C-level integer append.  ``generated_tokens``/``phase`` catch
+            # up lazily (the true count is derivable from the column), and
+            # completions are settled exactly at the boundaries where a
+            # run's conservative min-remaining bound says the earliest
+            # member can finish.
+            timeline = self._timeline
+            if selection.count:
+                timeline.append(now)
+                index = len(timeline) - 1
+            split_bound = selection.split_bound
+            del completed_per_segment  # columnar folds the level-cache pass in
+            for level, run, members in selection.segments:
+                count = len(members)
+                serviced += count
+                if run is not None:
+                    # Every live member's effective context grew by one.
+                    run.context += count
+                for request in members:
+                    if request._svc_block is timeline:
+                        request._svc_indices.append(index)
+                    else:
+                        # Mode/machine switch: seal the other open run first
+                        # so segments stay chronological, then re-anchor the
+                        # derived-count invariant.
+                        request._flush_service_indices()
+                        request._close_tail()
+                        indices = request._svc_indices
+                        if indices is None:
+                            indices = request._svc_indices = array("q")
+                        request._svc_block = timeline
+                        request._svc_base = request.generated_tokens - len(indices)
+                        indices.append(index)
+                completed = None
+                bound = (run.min_remaining if run is not None else split_bound) - 1
+                if bound <= 0:
+                    # The earliest member may finish at this boundary: settle
+                    # completions exactly and re-derive the bound.  (Bounds
+                    # are conservative — chops inherit them — so the walk may
+                    # find nothing and simply tighten.)
+                    boost = float(
                         (level.stored if level is not None else split_level.stored) + offset
                     )
-                    if completed is None:
-                        completed = []
-                    pre_context = request.prompt_tokens + generated - 1
-                    completed.append((request, pre_context))
-                    if level is None:
-                        completed_extracted_context += pre_context
-                    del pool_by_id[request.request_id]
-                    kv_delta -= request.prompt_tokens + generated
-                    if on_request_complete is not None:
-                        on_request_complete(request, self)
-            serviced += len(members)
-            completed_per_segment.append(completed)
+                    bound = _NO_COMPLETION_BOUND
+                    for request in members:
+                        remaining = (
+                            request.output_tokens
+                            - request._svc_base
+                            - len(request._svc_indices)
+                        )
+                        if remaining == 0:
+                            request.generated_tokens = generated = request.output_tokens
+                            request.phase = _COMPLETED
+                            request.completion_time = now
+                            request.priority_boost = boost
+                            if completed is None:
+                                completed = []
+                            pre_context = request.prompt_tokens + generated - 1
+                            completed.append((request, pre_context))
+                            if level is None:
+                                completed_extracted_context += pre_context
+                                split_completed = True
+                            else:
+                                run.context -= pre_context + 1
+                            del pool_by_id[request.request_id]
+                            kv_delta -= request.prompt_tokens + generated
+                            if on_request_complete is not None:
+                                on_request_complete(request, self)
+                        elif remaining < bound:
+                            if remaining < 0:  # pragma: no cover - defensive
+                                raise RuntimeError(
+                                    f"request {request.request_id} already complete"
+                                )
+                            bound = remaining
+                if run is not None:
+                    run.min_remaining = bound
+                else:
+                    split_bound = bound
+                # Level-cache maintenance folded from note_serviced: every
+                # serviced survivor's context grew by one; completers leave
+                # their level entirely (split members are not levelled).
+                if level is not None:
+                    survivors_here = count
+                    if completed is not None:
+                        removed_context = 0
+                        for _request, pre_context in completed:
+                            removed_context += pre_context
+                        level.size -= len(completed)
+                        level.context -= removed_context
+                        done = {id(_request) for _request, _ in completed}
+                        run.members = [r for r in run.live() if id(r) not in done]
+                        run.start = 0
+                        survivors_here -= len(completed)
+                    level.context += survivors_here
         self._pool_decode_tokens -= serviced
         self._kv_tokens += serviced + kv_delta
-        forest.note_serviced(selection, completed_per_segment)
+        if self.legacy_token_log:
+            forest.note_serviced(selection, completed_per_segment)
         if split_level is not None:
-            if completed_per_segment and completed_per_segment[-1]:
+            if split_completed:
                 survivors = [r for r in selection.extracted if r.phase is not _COMPLETED]
             else:
                 survivors = selection.extracted
@@ -990,10 +1157,12 @@ class SimulatedMachine:
             # re-walking it: pre-service total, minus completed members'
             # pre-service contexts, plus one generated token per survivor.
             survivors_context = selection.extracted_context - completed_extracted_context + len(survivors)
+            survivors_bound = selection.split_bound if self.legacy_token_log else split_bound
         else:
             survivors = []
             survivors_context = 0
-        forest.commit_aging(selection, survivors, survivors_context)
+            survivors_bound = _NO_COMPLETION_BOUND
+        forest.commit_aging(selection, survivors, survivors_context, survivors_bound)
         if self.on_iteration_complete is not None:
             self.on_iteration_complete(self)
         if len(pool_by_id) <= self.constraints.max_batch_size:
@@ -1011,12 +1180,21 @@ class SimulatedMachine:
         self._start_iteration()
 
     def _materialize_rotation(self, inflight) -> None:
-        """Flatten the forest back into the flat priority view (+ float boosts)."""
+        """Flatten the forest back into the flat priority view (+ float boosts).
+
+        Columnar members settle their deferred state on the way out: every
+        consumer of the flat view (policies, fast-forward planning, restart
+        withdrawals) reads ``generated_tokens`` directly.
+        """
         forest = self._rot_forest
         self._rot_forest = None
         self._rot_selection = None
         self._rot_event = None
-        self._token_ready = PriorityOrderedView(forest.flatten(inflight))
+        flat = forest.flatten(inflight)
+        if not self.legacy_token_log:
+            for request in flat:
+                request._flush_service_indices()
+        self._token_ready = PriorityOrderedView(flat)
 
     def _rotation_interrupt(self) -> None:
         """Fall back to per-iteration stepping before a pool transition.
@@ -1175,27 +1353,70 @@ class SimulatedMachine:
         withdrawn = self._withdrawn_ids
         generated_count = 0
         kv_delta = 0
-        for request in plan.token_requests:
-            if withdrawn and request.request_id in withdrawn:
-                continue
-            # Token bookkeeping inlined from Request.generate_token: this loop
-            # runs once per generated token across the whole cluster.
-            if request.phase is _COMPLETED:
-                raise RuntimeError(f"request {request.request_id} already complete")
-            generated = request.generated_tokens + 1
-            request.generated_tokens = generated
-            request.token_times.append(now)
-            generated_count += 1
-            if generated < request.output_tokens:
-                request.phase = _TOKEN_RUNNING
-            else:
-                request.phase = _COMPLETED
-                request.completion_time = now
-                del pool_by_id[request.request_id]
-                self._remove_ready(request)
-                kv_delta -= request.prompt_tokens + generated
-                if on_request_complete is not None:
-                    on_request_complete(request, self)
+        token_requests = plan.token_requests
+        if token_requests and not self.legacy_token_log:
+            # Columnar recording: the boundary timestamp is appended once to
+            # the machine's timeline block; each serviced request extends (or
+            # opens) a tail segment referencing it — consecutive services on
+            # this machine coalesce into one segment.
+            timeline = self._timeline
+            # Appended lazily on the first recorded member: a plan whose
+            # token requests were all withdrawn mid-iteration must not leave
+            # an orphan boundary in the timeline block.
+            index = -1
+            for request in token_requests:
+                if withdrawn and request.request_id in withdrawn:
+                    continue
+                if request.phase is _COMPLETED:
+                    raise RuntimeError(f"request {request.request_id} already complete")
+                if index < 0:
+                    timeline.append(now)
+                    index = len(timeline) - 1
+                if request._tail_block is timeline and request._tail_start + request._tail_count == index:
+                    request._tail_count += 1
+                else:
+                    # Settle any deferred rotation state before reading the
+                    # generated count, then open a fresh tail.
+                    request._flush_service_indices()
+                    request._close_tail()
+                    request._tail_block = timeline
+                    request._tail_start = index
+                    request._tail_count = 1
+                generated = request.generated_tokens + 1
+                request.generated_tokens = generated
+                generated_count += 1
+                if generated < request.output_tokens:
+                    request.phase = _TOKEN_RUNNING
+                else:
+                    request.phase = _COMPLETED
+                    request.completion_time = now
+                    del pool_by_id[request.request_id]
+                    self._remove_ready(request)
+                    kv_delta -= request.prompt_tokens + generated
+                    if on_request_complete is not None:
+                        on_request_complete(request, self)
+        else:
+            for request in token_requests:
+                if withdrawn and request.request_id in withdrawn:
+                    continue
+                # Token bookkeeping inlined from Request.generate_token: this
+                # loop runs once per generated token across the whole cluster.
+                if request.phase is _COMPLETED:
+                    raise RuntimeError(f"request {request.request_id} already complete")
+                generated = request.generated_tokens + 1
+                request.generated_tokens = generated
+                request._token_times.append(now)
+                generated_count += 1
+                if generated < request.output_tokens:
+                    request.phase = _TOKEN_RUNNING
+                else:
+                    request.phase = _COMPLETED
+                    request.completion_time = now
+                    del pool_by_id[request.request_id]
+                    self._remove_ready(request)
+                    kv_delta -= request.prompt_tokens + generated
+                    if on_request_complete is not None:
+                        on_request_complete(request, self)
         if generated_count:
             self._pool_decode_tokens -= generated_count
             self._kv_tokens += generated_count + kv_delta

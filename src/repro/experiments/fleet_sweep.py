@@ -38,6 +38,7 @@ def prepare_fleet_run(
     burst: bool = True,
     model: ModelSpec = LLAMA2_70B,
     provisioner_config: FleetProvisionerConfig | None = None,
+    **cluster_kwargs,
 ) -> tuple[FleetSimulation, Trace, tuple[tuple[float, str], ...]]:
     """Build one fleet run: the simulation, its trace, and its failures.
 
@@ -66,6 +67,9 @@ def prepare_fleet_run(
         model: LLM served by every cluster.
         provisioner_config: Burst-provisioner overrides (defaults used when
             omitted).
+        **cluster_kwargs: Forwarded to every member
+            :class:`~repro.core.cluster.ClusterSimulation` (``fast_forward``,
+            ``legacy_token_log``, batching/routing overrides, ...).
     """
     if clusters < 1:
         raise ValueError(f"clusters must be >= 1, got {clusters}")
@@ -83,6 +87,7 @@ def prepare_fleet_run(
             model=model,
             router=policy,
             provisioner=provisioner_config or FleetProvisionerConfig(),
+            **cluster_kwargs,
         )
     else:
         fleet = FleetSimulation(
@@ -90,6 +95,7 @@ def prepare_fleet_run(
             num_clusters=clusters + burst_clusters,
             model=model,
             router=policy,
+            **cluster_kwargs,
         )
     return fleet, trace, failures
 

@@ -28,6 +28,7 @@ def prepare_scenario_run(
     scale: float = 1.0,
     autoscaled: bool = True,
     model: ModelSpec = LLAMA2_70B,
+    **cluster_kwargs,
 ) -> tuple[ClusterSimulation, Trace, tuple[tuple[float, str], ...]]:
     """Build one preset run: the simulation, its trace, and its failures.
 
@@ -45,7 +46,7 @@ def prepare_scenario_run(
         AutoscalerConfig(**dict(preset.autoscaler_overrides or {})) if autoscaled else None
     )
     simulation = ClusterSimulation(
-        splitwise_hh(num_prompt, num_token), model=model, autoscaler=autoscaler
+        splitwise_hh(num_prompt, num_token), model=model, autoscaler=autoscaler, **cluster_kwargs
     )
     return simulation, trace, failures
 

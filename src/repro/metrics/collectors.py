@@ -19,6 +19,8 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.metrics.token_log import TokenLog
+
 
 class BatchOccupancyTracker:
     """Accumulates time spent at each active-batched-token count.
@@ -80,17 +82,18 @@ class BatchOccupancyTracker:
         """Cumulative distribution of time vs active tokens.
 
         Returns ``(active_tokens, cumulative_fraction)`` pairs sorted by
-        token count — directly plottable as Fig. 4 / Fig. 17.
+        token count — directly plottable as Fig. 4 / Fig. 17.  Vectorized:
+        one ``np.cumsum`` over the sorted buckets replaces the Python
+        accumulation loop (``np.cumsum`` accumulates sequentially, so the
+        running totals carry the same left-to-right float additions).
         """
         total = self.total_time
         if total == 0:
             return []
-        points = []
-        cumulative = 0.0
-        for tokens in sorted(self._durations):
-            cumulative += self._durations[tokens]
-            points.append((tokens, cumulative / total))
-        return points
+        tokens = sorted(self._durations)
+        durations = np.asarray([self._durations[t] for t in tokens], dtype=np.float64)
+        fractions = np.cumsum(durations) / total
+        return list(zip(tokens, fractions.tolist()))
 
     def fraction_at_or_below(self, active_tokens: int) -> float:
         """Fraction of time spent at or below ``active_tokens`` active tokens."""
@@ -133,12 +136,39 @@ class MachineStats:
             return 0.0
         return min(1.0, self.busy_time_s / horizon_s)
 
+    def add_iteration(
+        self,
+        duration_s: float,
+        active_tokens: int,
+        energy_wh: float,
+        prompt_tokens: int,
+        tokens_generated: int,
+    ) -> None:
+        """Accumulate one executed iteration (the single write point).
+
+        Machines that hold their stats row call this directly on their
+        per-iteration hot path; :meth:`MetricsCollector.record_iteration`
+        delegates here after its name lookup.
+        """
+        self.busy_time_s += duration_s
+        self.energy_wh += energy_wh
+        self.iterations += 1
+        self.prompt_tokens_processed += prompt_tokens
+        self.tokens_generated += tokens_generated
+        self.occupancy.record(active_tokens, duration_s)
+
 
 class MetricsCollector:
-    """Cluster-wide metric aggregation keyed by machine name."""
+    """Cluster-wide metric aggregation keyed by machine name.
+
+    Also owns the cluster's columnar :class:`~repro.metrics.token_log.TokenLog`:
+    machines obtain their timeline blocks from it at construction, and
+    post-run telemetry readers can inspect its recording statistics.
+    """
 
     def __init__(self) -> None:
         self._machines: dict[str, MachineStats] = defaultdict(MachineStats)
+        self.token_log = TokenLog()
 
     def record_iteration(
         self,
@@ -154,13 +184,9 @@ class MetricsCollector:
         Hot path: callers on the simulator's iteration loop should pass
         arguments positionally (no keyword-dict churn per call).
         """
-        stats = self._machines[machine]
-        stats.busy_time_s += duration_s
-        stats.energy_wh += energy_wh
-        stats.iterations += 1
-        stats.prompt_tokens_processed += prompt_tokens
-        stats.tokens_generated += tokens_generated
-        stats.occupancy.record(active_tokens, duration_s)
+        self._machines[machine].add_iteration(
+            duration_s, active_tokens, energy_wh, prompt_tokens, tokens_generated
+        )
 
     def record_coalesced(
         self,
@@ -196,12 +222,18 @@ class MetricsCollector:
         stats.occupancy.record_bulk(active_tokens, durations_s)
 
     def machine_stats(self, machine: str) -> MachineStats:
-        """Stats for one machine (empty stats if it never ran)."""
+        """Stats for one machine (empty stats if it never ran).
+
+        Machines pre-register their stats row at construction (holding the
+        row skips a name lookup per recorded iteration), so a row's mere
+        existence does not mean the machine ever ran — activity-filtered
+        views use the iteration count.
+        """
         return self._machines[machine]
 
     def machines(self) -> list[str]:
         """Names of all machines with recorded activity."""
-        return sorted(self._machines)
+        return sorted(name for name, stats in self._machines.items() if stats.iterations)
 
     # -- aggregation ---------------------------------------------------------------
 
@@ -228,7 +260,11 @@ class MetricsCollector:
         return merged
 
     def as_dict(self, horizon_s: float) -> Mapping[str, dict]:
-        """Plain-dict summary keyed by machine name (for reports/serialization)."""
+        """Plain-dict summary keyed by machine name (for reports/serialization).
+
+        Only machines with recorded activity appear (pre-registered rows of
+        machines that never iterated are skipped).
+        """
         return {
             name: {
                 "busy_time_s": stats.busy_time_s,
@@ -239,4 +275,5 @@ class MetricsCollector:
                 "tokens_generated": stats.tokens_generated,
             }
             for name, stats in sorted(self._machines.items())
+            if stats.iterations
         }

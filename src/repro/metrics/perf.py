@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import gc
 import json
 import pstats
 import time
@@ -203,6 +204,10 @@ def run_perf_scenario(scenario: PerfScenario) -> PerfSample:
             seed=scenario.seed,
         )
         simulation = ClusterSimulation(splitwise_hh(scenario.num_prompt, scenario.num_token))
+    # Measurement hygiene: collect the previous scenario's debris before the
+    # timed region so the sample measures the simulator, not generational
+    # sweeps over another run's garbage.
+    gc.collect()
     start = time.perf_counter()
     result = simulation.run(trace, failures=failures)
     wall_s = time.perf_counter() - start

@@ -17,12 +17,14 @@ empty-series semantics of the single-cluster evaluator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 import numpy as np
 
 from repro.models.performance import PerformanceModel
-from repro.simulation.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.simulation.request import Request
 
 
 @dataclass(frozen=True)
@@ -208,8 +210,15 @@ def evaluate_slo(
         raise ValueError("no completed requests to evaluate against the SLO")
 
     ttft_slowdowns: list[float] = []
-    tbt_slowdowns: list[float] = []
     e2e_slowdowns: list[float] = []
+    # Pooled per-token TBT slowdowns are the one genuinely large series
+    # (every generated token contributes a gap): each request's interval
+    # array is divided by its reference TBT in one vectorized operation —
+    # identical float64 divisions to the old per-gap loop — and the pool is
+    # a single concatenation instead of millions of list appends.
+    tbt_parts: list[np.ndarray] = []
+    tbt_means: list[float] = []
+    per_token = tbt_mode == "per-token"
     for request in completed:
         ref_ttft = reference_model.ttft(request.prompt_tokens)
         ref_tbt = reference_model.tbt(1, request.prompt_tokens)
@@ -217,21 +226,29 @@ def evaluate_slo(
         if request.ttft is not None and ref_ttft > 0:
             ttft_slowdowns.append(request.ttft / ref_ttft)
         if ref_tbt > 0:
-            if tbt_mode == "per-token":
-                tbt_slowdowns.extend(gap / ref_tbt for gap in request.token_intervals)
+            if per_token:
+                gaps = request.token_intervals_np
+                if gaps.size:
+                    tbt_parts.append(gaps / ref_tbt)
             elif request.mean_tbt is not None:
-                tbt_slowdowns.append(request.mean_tbt / ref_tbt)
+                tbt_means.append(request.mean_tbt / ref_tbt)
         if request.e2e_latency is not None and ref_e2e > 0:
             e2e_slowdowns.append(request.e2e_latency / ref_e2e)
 
-    series = {"ttft": ttft_slowdowns, "tbt": tbt_slowdowns, "e2e": e2e_slowdowns}
+    if per_token:
+        tbt_pool = np.concatenate(tbt_parts) if tbt_parts else np.empty(0, dtype=np.float64)
+    else:
+        tbt_pool = np.asarray(tbt_means, dtype=np.float64)
+    series: dict[str, np.ndarray] = {
+        "ttft": np.asarray(ttft_slowdowns, dtype=np.float64),
+        "tbt": tbt_pool,
+        "e2e": np.asarray(e2e_slowdowns, dtype=np.float64),
+    }
     slowdowns: dict[tuple[str, float], float] = {}
     for (metric, pct), _limit in policy.limits().items():
         values = series[metric]
-        slowdowns[(metric, pct)] = (
-            float(np.percentile(np.asarray(values), pct)) if values else float("nan")
-        )
-    samples = {metric: len(values) for metric, values in series.items()}
+        slowdowns[(metric, pct)] = float(np.percentile(values, pct)) if values.size else float("nan")
+    samples = {metric: int(values.size) for metric, values in series.items()}
     return SloReport(slowdowns=slowdowns, limits=policy.limits(), samples=samples)
 
 

@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
-from repro.simulation.request import Request
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.simulation.request import Request
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -18,7 +19,9 @@ def percentile(values: Sequence[float], q: float) -> float:
     """
     if not 0 <= q <= 100:
         raise ValueError(f"q must be in [0, 100], got {q}")
-    data = np.asarray(list(values), dtype=float)
+    if not isinstance(values, (Sequence, np.ndarray)):
+        values = list(values)  # one-shot iterables (generators) stay accepted
+    data = np.asarray(values, dtype=float)
     if data.size == 0:
         raise ValueError("cannot take a percentile of an empty sequence")
     return float(np.percentile(data, q))
@@ -46,8 +49,15 @@ class LatencySummary:
 
     @classmethod
     def from_values(cls, values: Sequence[float]) -> "LatencySummary":
-        """Summarize a non-empty sequence of latency samples."""
-        data = np.asarray(list(values), dtype=float)
+        """Summarize a non-empty sequence of latency samples.
+
+        Accepts any sequence (including a numpy array) without an
+        intermediate list copy; all five statistics come from one
+        vectorized pass over the packed samples.
+        """
+        if not isinstance(values, (Sequence, np.ndarray)):
+            values = list(values)  # one-shot iterables (generators) stay accepted
+        data = np.asarray(values, dtype=float)
         if data.size == 0:
             raise ValueError("cannot summarize an empty sequence")
         return cls(

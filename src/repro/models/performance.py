@@ -123,6 +123,16 @@ class PerformanceModel(ABC):
         latency = self.token_latency
         return [latency(token_requests, context_start + i * context_step) for i in range(count)]
 
+    def token_latency_uncached(self, token_requests: int, context_tokens: int) -> float:
+        """:meth:`token_latency` for a one-shot key, bypassing any memo table.
+
+        Rotating batches query a fresh ``(token_requests, context_tokens)``
+        key every iteration (the context grows each service), so memoizing
+        those lookups only churns the table.  Must be bit-identical to
+        :meth:`token_latency`; the base implementation simply delegates.
+        """
+        return self.token_latency(token_requests, context_tokens)
+
     def invalidate_caches(self) -> None:
         """Drop memoized latency entries (call after a power-cap change).
 
@@ -332,18 +342,28 @@ class AnalyticalPerformanceModel(PerformanceModel):
             return cached
         if token_requests < 0:
             raise ValueError(f"token_requests must be non-negative, got {token_requests}")
-        if token_requests == 0:
-            return 0.0
-        d0, d1 = self._token_coeffs
-        latency_ms = d0 + d1 * token_requests + self._kv_read_ms(context_tokens)
-        if self.apply_power_cap:
-            latency_ms *= self._power.token_cap_slowdown(token_requests)
-        latency = latency_ms / 1e3
+        latency = self.token_latency_uncached(token_requests, context_tokens)
         cache = self._token_cache
         if len(cache) >= _MAX_MEMO_ENTRIES:
             cache.clear()
         cache[key] = latency
         return latency
+
+    def token_latency_uncached(self, token_requests: int, context_tokens: int) -> float:
+        """Decode latency for a transient key, skipping the memo table.
+
+        The single copy of the decode-latency formula: :meth:`token_latency`
+        is the memo wrapper around it, and rotating batches — which never
+        repeat a ``(token_requests, context_tokens)`` key — call it directly
+        so the table doesn't churn.
+        """
+        if token_requests <= 0:
+            return 0.0
+        d0, d1 = self._token_coeffs
+        latency_ms = d0 + d1 * token_requests + self._kv_read_ms(context_tokens)
+        if self.apply_power_cap:
+            latency_ms *= self._power.token_cap_slowdown(token_requests)
+        return latency_ms / 1e3
 
     def token_latency_series(
         self, token_requests: int, context_start: int, context_step: int, count: int

@@ -206,3 +206,55 @@ class TestErrors:
         scheduler = ClusterScheduler(engine=engine, machines=[], model=LLAMA2_70B, split=False)
         with pytest.raises(RuntimeError, match="no machines"):
             scheduler.submit(_request(0))
+
+
+class TestInlinedProbeMirrors:
+    """The open-coded JSQ probe bodies must track the canonical properties.
+
+    ``prompt_queue_load``/``decode_queue_load`` and the pool's
+    ``least_prompt_loaded``/``least_decode_loaded`` loops inline
+    ``pending_prompt_tokens``/``pending_decode_tokens`` for speed; this pins
+    the mirrors to the properties on machines driven through real load so a
+    future accounting change cannot silently diverge the routing probes.
+    """
+
+    def test_probe_functions_match_properties_under_load(self):
+        from repro.core.cluster import ClusterSimulation
+        from repro.core.cluster_scheduler import decode_queue_load, prompt_queue_load
+        from repro.core.designs import splitwise_hh
+        from repro.workload.generator import generate_trace
+
+        simulation = ClusterSimulation(splitwise_hh(2, 2))
+        trace = generate_trace("conversation", rate_rps=30.0, duration_s=8.0, seed=21)
+        engine = simulation.engine
+        live = [Request(descriptor=d) for d in trace]
+        for request in live:
+            engine.schedule_at(
+                request.arrival_time, lambda r=request: simulation.scheduler.submit(r), priority=2
+            )
+        steps = 0
+        while engine.step():
+            steps += 1
+            if steps % 11 == 0:
+                for machine in simulation.machines:
+                    assert prompt_queue_load(machine) == machine.pending_prompt_tokens
+                    assert decode_queue_load(machine) == machine.pending_decode_tokens
+        assert steps > 0
+
+    def test_specialized_pool_selection_matches_generic(self):
+        from repro.core.cluster_scheduler import decode_queue_load, prompt_queue_load
+
+        engine = SimulationEngine()
+        metrics = MetricsCollector()
+        pool = MachinePool(name="token")
+        for index in range(4):
+            machine = _machine(f"t{index}", engine, MachineRole.TOKEN, metrics)
+            for r in range(index * 2):
+                request = _request(100 * index + r, output=6)
+                request.phase = RequestPhase.TOKEN_QUEUED
+                machine.admit_token_request(request)
+            pool.add(machine)
+        generic_decode = min(pool.machines, key=lambda m: (decode_queue_load(m), m.name))
+        assert pool.least_decode_loaded() is generic_decode
+        generic_prompt = min(pool.machines, key=lambda m: (prompt_queue_load(m), m.name))
+        assert pool.least_prompt_loaded() is generic_prompt
