@@ -165,7 +165,7 @@ class RotationForest:
         self.levels: list[RotationLevel] = []  # stored DESC == effective DESC
         self.offset = 0
         #: Maintain per-run completion bounds and context caches (columnar
-        #: recording); the legacy per-member stepper leaves them untouched.
+        #: recording); untracked forests leave them at their sentinels.
         self.track_runs = track_runs
 
     # -- construction ---------------------------------------------------------------

@@ -29,6 +29,8 @@ Examples::
     repro-sim scenario --preset burst-storm --scale 0.5 --json
     repro-sim fleet --preset mixed-tenant --clusters 2
     repro-sim fleet --preset diurnal --clusters 3 --policy jsq --timeline
+    repro-sim fleet --preset failure-storm --chaos failure-storm --json
+    repro-sim simulate --prompt 3 --token 2 --failures 30:prompt-0
     repro-sim provision --design Splitwise-HH --workload coding --rate 10
 """
 
@@ -43,6 +45,7 @@ from typing import Sequence
 from repro.core.cluster import simulate_design
 from repro.core.designs import get_design_family
 from repro.core.provisioning import OptimizationGoal, Provisioner, estimate_pool_sizes
+from repro.faults.presets import CHAOS_PRESETS
 from repro.fleet.router import ROUTER_POLICIES
 from repro.models.llm import get_model
 from repro.workload.generator import generate_trace
@@ -87,6 +90,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace length in seconds (default 60.0; truncates a replayed --trace)",
     )
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--failures", action="append", default=[], metavar="TIME:MACHINE",
+        help="inject a machine failure, e.g. --failures 30:prompt-0 (repeatable)",
+    )
     simulate.add_argument("--json", action="store_true", help="print machine-readable JSON")
 
     scenario = subparsers.add_parser(
@@ -131,6 +138,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-burst", action="store_true",
         help="skip the burst run (static whole-fleet baseline only)",
     )
+    fleet.add_argument(
+        "--chaos", choices=sorted(CHAOS_PRESETS) + ["none"], default=None,
+        help="arm a chaos preset (stochastic faults + router bans + admission "
+             "control); defaults to the scenario preset's own chaos setting, "
+             "'none' forces chaos off",
+    )
+    fleet.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed for the stochastic fault plan (independent of the trace --seed)",
+    )
     fleet.add_argument("--timeline", action="store_true", help="print the provisioning timeline")
     fleet.add_argument("--json", action="store_true", help="print machine-readable JSON")
 
@@ -148,6 +165,25 @@ def build_parser() -> argparse.ArgumentParser:
     designs.add_argument("--token", type=int, default=1)
 
     return parser
+
+
+def _parse_failures(values: Sequence[str]) -> tuple[tuple[float, str], ...]:
+    """Parse repeated ``--failures TIME:MACHINE`` arguments.
+
+    Raises:
+        ValueError: for a malformed spec (missing colon, non-numeric time).
+    """
+    failures = []
+    for value in values:
+        time_part, sep, machine = value.partition(":")
+        if not sep or not machine:
+            raise ValueError(f"--failures expects TIME:MACHINE, got {value!r}")
+        try:
+            time_s = float(time_part)
+        except ValueError:
+            raise ValueError(f"--failures time must be a number, got {value!r}") from None
+        failures.append((time_s, machine))
+    return tuple(failures)
 
 
 def _build_design(family: str, prompt: int, token: int):
@@ -193,7 +229,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         rate = args.rate if args.rate is not None else 2.0
         duration = args.duration if args.duration is not None else 60.0
         trace = generate_trace(args.workload, rate_rps=rate, duration_s=duration, seed=args.seed)
-    result = simulate_design(design, trace, model=model)
+    try:
+        failures = _parse_failures(args.failures)
+        result = simulate_design(design, trace, model=model, failures=failures)
+    except ValueError as error:
+        # Covers malformed --failures specs and (from prepare-time
+        # validation) failure injections naming machines the design lacks.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     metrics = result.request_metrics()
     slo = result.slo_report(model=model)
     summary = {
@@ -216,6 +259,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         "power_kw": round(design.provisioned_power_kw, 2),
         "slo_satisfied": slo.satisfied,
     }
+    if failures:
+        summary["failures"] = [f"{t:g}:{name}" for t, name in failures]
+        summary["restarted_requests"] = sum(1 for r in result.requests if r.restarts)
     if notes:
         summary["notes"] = notes
     if args.json:
@@ -328,9 +374,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
     preset = get_scenario(args.preset)
     model = get_model(args.model)
+    chaos_name = preset.chaos if args.chaos is None else args.chaos
+    if chaos_name == "none":
+        chaos_name = None
     static_fleet, trace, failures = prepare_fleet_run(
         preset, clusters=args.clusters, burst_clusters=args.burst_clusters, seed=args.seed,
         scale=args.scale, policy=args.policy, burst=False, model=model,
+        chaos=args.chaos, fault_seed=args.fault_seed,
     )
     static_result = static_fleet.run(trace, failures=failures)
     static_summary = fleet_run_summary(static_result)
@@ -349,6 +399,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         "clusters": args.clusters,
         "burst_clusters": args.burst_clusters,
         "policy": args.policy,
+        "chaos": chaos_name,
+        "fault_seed": None if static_fleet.faults is None else static_fleet.faults.seed,
         "static": static_summary,
     }
 
@@ -357,6 +409,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         burst_fleet, trace, failures = prepare_fleet_run(
             preset, clusters=args.clusters, burst_clusters=args.burst_clusters, seed=args.seed,
             scale=args.scale, policy=args.policy, burst=True, model=model,
+            chaos=args.chaos, fault_seed=args.fault_seed,
         )
         burst_result = burst_fleet.run(trace, failures=failures)
         burst_summary = fleet_run_summary(burst_result)
@@ -380,6 +433,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             f"  fleet: {args.clusters} active + {args.burst_clusters} standby x "
             f"{payload['design']} ({args.policy} routing)"
         )
+        if chaos_name is not None:
+            print(f"  chaos: {chaos_name} (fault seed {payload['fault_seed']})")
         for label in ("static", "burst"):
             if label not in payload:
                 continue
@@ -395,6 +450,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                 f"completion={run['completion_rate']:.3f} "
                 f"machine-hours={run['machine_hours']:.3f} cost=${run['cost']:.0f}"
             )
+            if "faults" in run:
+                fired = sum(run["faults"]["fired"].values())
+                shed = sum(run.get("requests_shed", {}).values())
+                print(
+                    f"  {'':<7} chaos: {fired} injections fired, "
+                    f"bans={run.get('bans_issued', 0)}, shed={shed} "
+                    f"({', '.join(f'{t}={n}' for t, n in sorted(run.get('requests_shed', {}).items())) or 'none'})"
+                )
         if "machine_hours_saved" in payload:
             saved = payload["machine_hours_saved"]
             static_hours = payload["static"]["machine_hours"]

@@ -198,7 +198,6 @@ class ClusterSimulation:
         batching: str = "mixed",
         routing: str = "jsq",
         fast_forward: bool | None = None,
-        legacy_token_log: bool | None = None,
         autoscaler: PoolAutoscaler | AutoscalerConfig | bool | None = None,
         engine: SimulationEngine | None = None,
         name: str = "",
@@ -208,7 +207,6 @@ class ClusterSimulation:
         self.batching = batching
         self.routing = routing
         self.fast_forward = fast_forward
-        self.legacy_token_log = legacy_token_log
         self.name = name
         if autoscaler is True:
             autoscaler = PoolAutoscaler()
@@ -257,7 +255,6 @@ class ClusterSimulation:
                         max_prompt_batch_tokens=max_prompt_batch_tokens,
                         max_batch_size=max_batch_size,
                         fast_forward=self.fast_forward,
-                        legacy_token_log=self.legacy_token_log,
                     )
                 )
             for index in range(design.num_token):
@@ -273,7 +270,6 @@ class ClusterSimulation:
                         max_prompt_batch_tokens=max_prompt_batch_tokens,
                         max_batch_size=max_batch_size,
                         fast_forward=self.fast_forward,
-                        legacy_token_log=self.legacy_token_log,
                     )
                 )
         else:
@@ -290,7 +286,6 @@ class ClusterSimulation:
                         max_prompt_batch_tokens=max_prompt_batch_tokens,
                         max_batch_size=max_batch_size,
                         fast_forward=self.fast_forward,
-                        legacy_token_log=self.legacy_token_log,
                     )
                 )
         return machines
@@ -361,7 +356,25 @@ class ClusterSimulation:
         Attaches the autoscaler's control loop and schedules any failure
         injections.  Called by :meth:`run`, or by a fleet simulation before
         it starts scheduling arrivals.
+
+        Raises:
+            ValueError: if a failure injection names a machine this cluster
+                does not have, or fires at a negative time.  Validated here,
+                at scenario-build time, so a typo surfaces as a clear error
+                before the run instead of a mid-simulation ``KeyError``.
         """
+        known = {machine.name for machine in self.machines}
+        for failure_time, machine_name in failures:
+            if machine_name not in known:
+                label = self.name or self.design.label
+                raise ValueError(
+                    f"failure injection at t={failure_time} names unknown machine "
+                    f"{machine_name!r}; cluster {label!r} machines: {sorted(known)}"
+                )
+            if failure_time < 0:
+                raise ValueError(
+                    f"failure injection for {machine_name!r} has negative time {failure_time}"
+                )
         if self.autoscaler is not None:
             self.autoscaler.attach(self.engine, self.scheduler)
         for failure_time, machine_name in failures:
@@ -398,11 +411,12 @@ def simulate_design(
     design: ClusterDesign,
     trace: Trace,
     model: ModelSpec = LLAMA2_70B,
+    failures: Sequence[tuple[float, str]] = (),
     **kwargs,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`ClusterSimulation` and run it."""
     simulation = ClusterSimulation(design=design, model=model, **kwargs)
-    return simulation.run(trace)
+    return simulation.run(trace, failures=failures)
 
 
 def simulate_designs(

@@ -260,9 +260,17 @@ class ClusterScheduler:
         #: instead of scanning every queue in the cluster.
         self._assignments: dict[int, RoutingDecision] = {}
         self._transfer_events: dict[int, Event] = {}
+        #: request_id -> Request for every KV-cache transfer in flight.  The
+        #: transfer window is the one lifecycle stretch where a request sits
+        #: in no machine queue, so evacuation needs its own registry to find
+        #: (and restart) these requests.
+        self._transfer_requests: dict[int, Request] = {}
         self._machines_cache: list[SimulatedMachine] | None = None
         self._machines_cache_versions: tuple[int, int, int, int] = (-1, -1, -1, -1)
         self._transfer_models: dict[tuple[str, str], KVTransferModel] = {}
+        #: Visible-latency multiplier applied to newly scheduled KV transfers
+        #: (fault plane; 1.0 = healthy interconnect).
+        self._kv_degradation = 1.0
         self.completed_requests: list[Request] = []
         self.restarted_requests: list[Request] = []
         self.failed_machines: list[SimulatedMachine] = []
@@ -270,6 +278,8 @@ class ClusterScheduler:
         #: Invoked after a machine fails and leaves every pool (set by the
         #: autoscaler so its park-interval accounting can observe failures).
         self.on_machine_failed: Callable[[SimulatedMachine], None] | None = None
+        #: Invoked after a failed machine recovers and rejoins its home pool.
+        self.on_machine_recovered: Callable[[SimulatedMachine], None] | None = None
         #: Invoked after a request completes on this cluster (set by the
         #: fleet router so its outstanding counts and rolling latency windows
         #: track cluster health without scanning queues).
@@ -554,6 +564,95 @@ class ClusterScheduler:
         self.restarted_requests.extend(restarted)
         return restarted
 
+    def recover_machine(self, machine: SimulatedMachine | str) -> SimulatedMachine | None:
+        """Bring a failed machine back into service (repair completed).
+
+        The machine rejoins its *home* pool empty — ``fail`` already
+        discarded its queues and restarted its work elsewhere, so recovery
+        is purely a capacity event.  A straggler slowdown survives the
+        fail/recover cycle (slow hardware stays slow).  No-op when the
+        machine is not failed.
+
+        Returns:
+            The recovered machine, or ``None`` when nothing changed.
+
+        Raises:
+            KeyError: if a machine name is given and no machine matches it.
+        """
+        target = self._resolve_machine(machine)
+        if not target.failed:
+            return None
+        target.recover()
+        self.failed_machines.remove(target)
+        target.role = target.home_role
+        if not self.split or target.home_role is MachineRole.MIXED:
+            self.mixed_pool.add(target)
+        elif target.home_role is MachineRole.PROMPT:
+            self.prompt_pool.add(target)
+        else:
+            self.token_pool.add(target)
+        if self.on_machine_recovered is not None:
+            self.on_machine_recovered(target)
+        return target
+
+    def recover_all(self) -> list[SimulatedMachine]:
+        """Recover every failed machine (end of a cluster-wide outage)."""
+        recovered: list[SimulatedMachine] = []
+        for machine in list(self.failed_machines):
+            result = self.recover_machine(machine)
+            if result is not None:
+                recovered.append(result)
+        return recovered
+
+    def evacuate(self) -> list[Request]:
+        """Fail every machine at once and hand back the displaced requests.
+
+        Models a correlated failure domain (rack/zone outage) or a spot
+        revocation: the whole cluster drops cold in one instant.  Unlike
+        :meth:`fail_machine`, displaced requests are **not** resubmitted
+        here — there is nowhere inside the cluster to put them — they are
+        reset and returned for the caller (the fleet) to reroute.
+
+        Returns:
+            Every incomplete request the cluster held, reset for restart,
+            in deterministic discovery order.
+        """
+        to_restart: dict[int, Request] = {}
+        for machine in list(self.machines):
+            if machine.failed:
+                continue
+            affected = machine.fail()
+            self.prompt_pool.remove(machine)
+            self.token_pool.remove(machine)
+            self.mixed_pool.remove(machine)
+            self.parked_pool.remove(machine)
+            self.failed_machines.append(machine)
+            if self.on_machine_failed is not None:
+                self.on_machine_failed(machine)
+            for request in affected:
+                to_restart.setdefault(id(request), request)
+        # Requests mid KV-transfer sit in no machine queue; the transfer
+        # registry is the only index that still knows them.
+        for request in list(self._transfer_requests.values()):
+            if not request.is_complete:
+                to_restart.setdefault(id(request), request)
+        evacuated: list[Request] = []
+        for request in to_restart.values():
+            self._withdraw(request)
+            request.reset_for_restart()
+            self._assignments.pop(request.request_id, None)
+            evacuated.append(request)
+        self.restarted_requests.extend(evacuated)
+        return evacuated
+
+    def find_machine(self, name: str) -> SimulatedMachine:
+        """Look up a machine by name, failed machines included.
+
+        Raises:
+            KeyError: if no machine matches.
+        """
+        return self._resolve_machine(name)
+
     def _resolve_machine(self, machine: SimulatedMachine | str) -> SimulatedMachine:
         if isinstance(machine, SimulatedMachine):
             return machine
@@ -589,6 +688,7 @@ class ClusterScheduler:
         event = self._transfer_events.pop(request.request_id, None)
         if event is not None:
             self.engine.cancel(event)
+        self._transfer_requests.pop(request.request_id, None)
 
     # -- KV-cache transfer ---------------------------------------------------------------
 
@@ -596,8 +696,28 @@ class ClusterScheduler:
         key = (source.spec.name, destination.spec.name)
         if key not in self._transfer_models:
             link = infiniband_for(source.spec.interconnect_gbps, destination.spec.interconnect_gbps)
-            self._transfer_models[key] = KVTransferModel(model=self.model, link=link)
+            self._transfer_models[key] = KVTransferModel(
+                model=self.model, link=link, degradation_factor=self._kv_degradation
+            )
         return self._transfer_models[key]
+
+    def set_kv_degradation(self, factor: float) -> None:
+        """Degrade (or restore) the visible latency of new KV transfers.
+
+        Transfer latency is committed when the transfer is scheduled, so a
+        factor change affects only transfers that *start* after it —
+        in-flight transfers keep their already-committed latency in every
+        execution regime, which is what keeps fast-forward bit-parity intact.
+
+        Raises:
+            ValueError: if ``factor`` is below 1.
+        """
+        if factor < 1.0:
+            raise ValueError(f"KV degradation factor must be >= 1, got {factor}")
+        if factor == self._kv_degradation:
+            return
+        self._kv_degradation = factor
+        self._transfer_models.clear()
 
     # -- machine callbacks ----------------------------------------------------------------
 
@@ -619,6 +739,7 @@ class ClusterScheduler:
         transfer = self._transfer_model(machine, destination)
         latency = transfer.visible_latency(request.prompt_tokens, prompt_latency)
         request.start_kv_transfer(self.engine.now)
+        self._transfer_requests[request.request_id] = request
         self._transfer_events[request.request_id] = self.engine.schedule_after(
             latency,
             lambda: self._complete_transfer(request, destination),
@@ -627,6 +748,7 @@ class ClusterScheduler:
 
     def _complete_transfer(self, request: Request, destination: SimulatedMachine) -> None:
         self._transfer_events.pop(request.request_id, None)
+        self._transfer_requests.pop(request.request_id, None)
         if request.phase is not RequestPhase.KV_TRANSFER and not request.is_complete:
             # The request was restarted (machine failure) while its KV-cache
             # was in flight; the stale transfer completion is dropped.

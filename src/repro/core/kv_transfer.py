@@ -58,6 +58,11 @@ class KVTransferModel:
             suggests compression as a way to run Splitwise over slower
             interconnects; only the wire size shrinks, the resident KV-cache
             on the token machine is unchanged.
+        degradation_factor: Multiplier on the *visible* transfer latency
+            (1.0 = healthy link).  The fault plane uses this to model
+            interconnect brown-outs: congestion or partial link failure makes
+            every transfer scheduled during the window proportionally slower
+            without changing mode selection or the prompt-side interference.
     """
 
     model: ModelSpec
@@ -65,6 +70,7 @@ class KVTransferModel:
     serialized_threshold_tokens: int = DEFAULT_SERIALIZED_THRESHOLD_TOKENS
     per_layer_interference: float = DEFAULT_PER_LAYER_INTERFERENCE
     compression_ratio: float = 1.0
+    degradation_factor: float = 1.0
 
     def __post_init__(self) -> None:
         if self.serialized_threshold_tokens < 0:
@@ -77,6 +83,8 @@ class KVTransferModel:
             )
         if self.compression_ratio < 1.0:
             raise ValueError(f"compression_ratio must be >= 1.0, got {self.compression_ratio}")
+        if self.degradation_factor < 1.0:
+            raise ValueError(f"degradation_factor must be >= 1.0, got {self.degradation_factor}")
 
     # -- sizes -------------------------------------------------------------------
 
@@ -139,8 +147,12 @@ class KVTransferModel:
         """Visible (non-overlapped) transfer latency for the chosen scheme."""
         chosen = mode or self.choose_mode(prompt_tokens)
         if chosen is TransferMode.SERIALIZED:
-            return self.serialized_latency(prompt_tokens)
-        return self.per_layer_latency(prompt_tokens, prompt_latency_s)
+            latency = self.serialized_latency(prompt_tokens)
+        else:
+            latency = self.per_layer_latency(prompt_tokens, prompt_latency_s)
+        if self.degradation_factor != 1.0:
+            latency *= self.degradation_factor
+        return latency
 
     def prompt_interference_factor(self, mode: TransferMode) -> float:
         """Multiplier applied to the prompt latency while transferring.

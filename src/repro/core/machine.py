@@ -69,7 +69,6 @@ from repro.batching.rotation import NO_COMPLETION_BOUND as _NO_COMPLETION_BOUND,
 from repro.core.kv_transfer import KVTransferModel
 from repro.hardware.machine import MachineSpec
 from repro.metrics.collectors import MetricsCollector
-from repro.metrics.token_log import legacy_token_log_enabled
 from repro.models.llm import ModelSpec
 from repro.models.memory import MemoryModel
 from repro.models.performance import AnalyticalPerformanceModel, PerformanceModel
@@ -134,11 +133,6 @@ class SimulatedMachine:
             *wall-clock-accurate* per-iteration timing should disable it:
             coalesced iterations fire the hook once per iteration but in a
             burst at commit time.
-        legacy_token_log: Record token timestamps row-by-row (one append per
-            token per request) instead of columnar run segments.  Results
-            are bit-identical either way; the flag is a one-release escape
-            hatch (see ``docs/telemetry.md``).  Defaults to the
-            ``REPRO_LEGACY_TOKEN_LOG=1`` environment flag.
     """
 
     def __init__(
@@ -156,7 +150,6 @@ class SimulatedMachine:
         max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
         debug_accounting: bool | None = None,
         fast_forward: bool | None = None,
-        legacy_token_log: bool | None = None,
     ) -> None:
         self.name = name
         self.spec = spec
@@ -172,11 +165,7 @@ class SimulatedMachine:
         self.kv_transfer = kv_transfer
         # Columnar token telemetry (see repro.metrics.token_log): the machine
         # appends iteration-boundary timestamps to its own timeline block and
-        # requests reference them as segments; the legacy flag falls back to
-        # one array append per token per request.
-        if legacy_token_log is None:
-            legacy_token_log = legacy_token_log_enabled()
-        self.legacy_token_log = legacy_token_log
+        # requests reference them as segments.
         self.token_log = self.metrics.token_log
         self._timeline = self.token_log.timeline(name)
         # The machine only ever records into its own stats row; holding the
@@ -232,8 +221,11 @@ class SimulatedMachine:
         self._macro_tag = f"{name}:macro"
         # Pending-finish arguments (one iteration in flight at a time), so the
         # finish event is a reused bound method instead of a fresh closure.
+        # The event handle is kept so fail() can tombstone it: a machine that
+        # fails and later recovers must not replay the dead iteration.
         self._finish_plan: BatchPlan | None = None
         self._finish_prompt_latency = 0.0
+        self._finish_event = None
         # Decode fast-forward state: the macro-event's plan, the per-iteration
         # duration/energy series, the absolute end time of every coalesced
         # iteration, and commit cursors (bookkeeping committed vs. metrics
@@ -385,6 +377,14 @@ class SimulatedMachine:
         self._rotation_interrupt()
         self._ff_interrupt()
         self.failed = True
+        # Tombstone the in-flight iteration's finish event: the `failed`
+        # guard alone is not enough once repair exists — a machine recovered
+        # before the stale event fires would replay the dead iteration and
+        # complete requests that already restarted elsewhere.
+        if self._finish_event is not None:
+            self.engine.cancel(self._finish_event)
+            self._finish_event = None
+        self._finish_plan = None
         affected: list[Request] = []
         affected.extend(self.pending_prompts)
         affected.extend(self._pool_by_id.values())
@@ -414,6 +414,37 @@ class SimulatedMachine:
                 seen.add(id(request))
                 unique.append(request)
         return unique
+
+    def recover(self) -> None:
+        """Return a failed machine to service, empty (repair completed).
+
+        ``fail`` already surrendered the machine's work, zeroed every queue,
+        counter, and in-flight plan, and tombstoned the pending finish
+        event, so nothing from before the failure can fire after the flag
+        clears.  Recovery therefore only clears the flag; re-pooling is the
+        cluster scheduler's job (:meth:`ClusterScheduler.recover_machine`).
+        A straggler slowdown on the performance model deliberately survives
+        the cycle — slow hardware stays slow across repairs.
+
+        Raises:
+            RuntimeError: if the machine has not failed.
+        """
+        if not self.failed:
+            raise RuntimeError(f"machine {self.name} has not failed; nothing to recover")
+        self.failed = False
+
+    def set_performance_slowdown(self, factor: float) -> None:
+        """Apply (or lift) a persistent straggler slowdown on this machine.
+
+        Same contract as a power-cap change: any coalesced decode run is
+        interrupted first, so the in-flight iteration keeps its committed
+        latency and every later iteration sees the new factor — identical
+        behaviour with fast-forward on or off.
+        """
+        if factor == self.performance.slowdown_factor:
+            return
+        self.interrupt_coalescing()
+        self.performance.set_slowdown(factor)
 
     # -- queue metrics (used by JSQ routing) -------------------------------------------
 
@@ -517,9 +548,8 @@ class SimulatedMachine:
             # columnar state is settled so the recounts read exact values
             # (the rotation re-anchors the members on its next service).
             self._token_ready = PriorityOrderedView(self._rot_forest.flatten(self._rot_selection[0]))
-            if not self.legacy_token_log:
-                for request in self._token_ready:
-                    request._flush_service_indices()
+            for request in self._token_ready:
+                request._flush_service_indices()
         recounts = {
             "_queued_prompt_tokens": sum(r.prompt_tokens for r in self.pending_prompts),
             "_running_prompt_tokens": self._running_plan.prompt_tokens if self._running_plan else 0,
@@ -657,7 +687,7 @@ class SimulatedMachine:
 
         self._finish_plan = plan
         self._finish_prompt_latency = prompt_latency
-        self.engine.schedule_after(
+        self._finish_event = self.engine.schedule_after(
             duration, self._on_finish_event, priority=_FINISH_PRIORITY, tag=self._finish_tag
         )
 
@@ -667,6 +697,7 @@ class SimulatedMachine:
         if plan is None:  # pragma: no cover - defensive; _busy gates scheduling
             return
         self._finish_plan = None
+        self._finish_event = None
         self._finish_iteration(plan, self._finish_prompt_latency)
 
     # -- decode fast-forwarding ---------------------------------------------------------
@@ -702,11 +733,10 @@ class SimulatedMachine:
         for duration in durations:
             time += duration
             append(time)
-        if not self.legacy_token_log:
-            # The boundary series doubles as the run's shared timestamp
-            # block: every pool member will reference slices of it instead
-            # of copying the floats at commit time.
-            self.token_log.note_run_block(boundaries)
+        # The boundary series doubles as the run's shared timestamp block:
+        # every pool member will reference slices of it instead of copying
+        # the floats at commit time.
+        self.token_log.note_run_block(boundaries)
 
         self._ff_plan = plan
         self._ff_durations = durations
@@ -778,26 +808,19 @@ class SimulatedMachine:
         plan = self._ff_plan
         count = stop - start
         boundaries = self._ff_boundaries
-        if self.legacy_token_log:
-            times = boundaries[start:stop]
-            for request in plan.token_requests:
-                request.generated_tokens += count
-                request._token_times.extend(times)
-                request.phase = _TOKEN_RUNNING
-        else:
-            for request in plan.token_requests:
-                if request._tail_block is boundaries and request._tail_start + request._tail_count == start:
-                    request._tail_count += count
-                else:
-                    # Settle any deferred rotation state before touching the
-                    # generated count, then open (or re-home) the tail.
-                    request._flush_service_indices()
-                    request._close_tail()
-                    request._tail_block = boundaries
-                    request._tail_start = start
-                    request._tail_count = count
-                request.generated_tokens += count
-                request.phase = _TOKEN_RUNNING
+        for request in plan.token_requests:
+            if request._tail_block is boundaries and request._tail_start + request._tail_count == start:
+                request._tail_count += count
+            else:
+                # Settle any deferred rotation state before touching the
+                # generated count, then open (or re-home) the tail.
+                request._flush_service_indices()
+                request._close_tail()
+                request._tail_block = boundaries
+                request._tail_start = start
+                request._tail_count = count
+            request.generated_tokens += count
+            request.phase = _TOKEN_RUNNING
         generated = count * len(plan.token_requests)
         self._pool_decode_tokens -= generated
         self._kv_tokens += generated
@@ -850,7 +873,9 @@ class SimulatedMachine:
         self._ff_clear(fired=False)
         self._finish_plan = plan
         self._finish_prompt_latency = 0.0
-        self.engine.schedule_at(end_time, self._on_finish_event, priority=_FINISH_PRIORITY, tag=self._finish_tag)
+        self._finish_event = self.engine.schedule_at(
+            end_time, self._on_finish_event, priority=_FINISH_PRIORITY, tag=self._finish_tag
+        )
 
     def _on_macro_event(self) -> None:
         """Finish a completed steady-state run and re-plan."""
@@ -873,9 +898,7 @@ class SimulatedMachine:
         the pool carries non-integer boosts (external writer) or the very
         first iteration can't be composed (a KV-budget skip would be needed).
         """
-        forest = RotationForest.from_ordered_view(
-            self._token_ready, track_runs=not self.legacy_token_log
-        )
+        forest = RotationForest.from_ordered_view(self._token_ready, track_runs=True)
         if forest is None:
             return False
         self._rot_forest = forest
@@ -1013,26 +1036,65 @@ class SimulatedMachine:
         serviced = 0
         kv_delta = 0
         completed_extracted_context = 0
-        completed_per_segment = []
         split_level = selection.split_level
         split_completed = False
-        if self.legacy_token_log:
-            # Legacy row recording: one timestamp append and one phase write
-            # per serviced member per iteration.
-            for level, _run, members in selection.segments:
-                completed = None
+        # Columnar recording with deferred member state: the boundary
+        # timestamp is appended once to the machine's timeline block and
+        # each serviced member appends the boundary's *position* to its
+        # own packed index column — the steady-state loop is that one
+        # C-level integer append.  ``generated_tokens``/``phase`` catch
+        # up lazily (the true count is derivable from the column), and
+        # completions are settled exactly at the boundaries where a
+        # run's conservative min-remaining bound says the earliest
+        # member can finish.
+        timeline = self._timeline
+        if selection.count:
+            timeline.append(now)
+            index = len(timeline) - 1
+        split_bound = selection.split_bound
+        for level, run, members in selection.segments:
+            count = len(members)
+            serviced += count
+            if run is not None:
+                # Every live member's effective context grew by one.
+                run.context += count
+            for request in members:
+                if request._svc_block is timeline:
+                    request._svc_indices.append(index)
+                else:
+                    # Mode/machine switch: seal the other open run first
+                    # so segments stay chronological, then re-anchor the
+                    # derived-count invariant.
+                    request._flush_service_indices()
+                    request._close_tail()
+                    indices = request._svc_indices
+                    if indices is None:
+                        indices = request._svc_indices = array("q")
+                    request._svc_block = timeline
+                    request._svc_base = request.generated_tokens - len(indices)
+                    indices.append(index)
+            completed = None
+            bound = (run.min_remaining if run is not None else split_bound) - 1
+            if bound <= 0:
+                # The earliest member may finish at this boundary: settle
+                # completions exactly and re-derive the bound.  (Bounds
+                # are conservative — chops inherit them — so the walk may
+                # find nothing and simply tighten.)
+                boost = float(
+                    (level.stored if level is not None else split_level.stored) + offset
+                )
+                bound = _NO_COMPLETION_BOUND
                 for request in members:
-                    generated = request.generated_tokens + 1
-                    request.generated_tokens = generated
-                    request._token_times.append(now)
-                    if generated < request.output_tokens:
-                        request.phase = _TOKEN_RUNNING
-                    else:
+                    remaining = (
+                        request.output_tokens
+                        - request._svc_base
+                        - len(request._svc_indices)
+                    )
+                    if remaining == 0:
+                        request.generated_tokens = generated = request.output_tokens
                         request.phase = _COMPLETED
                         request.completion_time = now
-                        request.priority_boost = float(
-                            (level.stored if level is not None else split_level.stored) + offset
-                        )
+                        request.priority_boost = boost
                         if completed is None:
                             completed = []
                         pre_context = request.prompt_tokens + generated - 1
@@ -1040,114 +1102,40 @@ class SimulatedMachine:
                         if level is None:
                             completed_extracted_context += pre_context
                             split_completed = True
+                        else:
+                            run.context -= pre_context + 1
                         del pool_by_id[request.request_id]
                         kv_delta -= request.prompt_tokens + generated
                         if on_request_complete is not None:
                             on_request_complete(request, self)
-                serviced += len(members)
-                completed_per_segment.append(completed)
-        else:
-            # Columnar recording with deferred member state: the boundary
-            # timestamp is appended once to the machine's timeline block and
-            # each serviced member appends the boundary's *position* to its
-            # own packed index column — the steady-state loop is that one
-            # C-level integer append.  ``generated_tokens``/``phase`` catch
-            # up lazily (the true count is derivable from the column), and
-            # completions are settled exactly at the boundaries where a
-            # run's conservative min-remaining bound says the earliest
-            # member can finish.
-            timeline = self._timeline
-            if selection.count:
-                timeline.append(now)
-                index = len(timeline) - 1
-            split_bound = selection.split_bound
-            del completed_per_segment  # columnar folds the level-cache pass in
-            for level, run, members in selection.segments:
-                count = len(members)
-                serviced += count
-                if run is not None:
-                    # Every live member's effective context grew by one.
-                    run.context += count
-                for request in members:
-                    if request._svc_block is timeline:
-                        request._svc_indices.append(index)
-                    else:
-                        # Mode/machine switch: seal the other open run first
-                        # so segments stay chronological, then re-anchor the
-                        # derived-count invariant.
-                        request._flush_service_indices()
-                        request._close_tail()
-                        indices = request._svc_indices
-                        if indices is None:
-                            indices = request._svc_indices = array("q")
-                        request._svc_block = timeline
-                        request._svc_base = request.generated_tokens - len(indices)
-                        indices.append(index)
-                completed = None
-                bound = (run.min_remaining if run is not None else split_bound) - 1
-                if bound <= 0:
-                    # The earliest member may finish at this boundary: settle
-                    # completions exactly and re-derive the bound.  (Bounds
-                    # are conservative — chops inherit them — so the walk may
-                    # find nothing and simply tighten.)
-                    boost = float(
-                        (level.stored if level is not None else split_level.stored) + offset
-                    )
-                    bound = _NO_COMPLETION_BOUND
-                    for request in members:
-                        remaining = (
-                            request.output_tokens
-                            - request._svc_base
-                            - len(request._svc_indices)
-                        )
-                        if remaining == 0:
-                            request.generated_tokens = generated = request.output_tokens
-                            request.phase = _COMPLETED
-                            request.completion_time = now
-                            request.priority_boost = boost
-                            if completed is None:
-                                completed = []
-                            pre_context = request.prompt_tokens + generated - 1
-                            completed.append((request, pre_context))
-                            if level is None:
-                                completed_extracted_context += pre_context
-                                split_completed = True
-                            else:
-                                run.context -= pre_context + 1
-                            del pool_by_id[request.request_id]
-                            kv_delta -= request.prompt_tokens + generated
-                            if on_request_complete is not None:
-                                on_request_complete(request, self)
-                        elif remaining < bound:
-                            if remaining < 0:  # pragma: no cover - defensive
-                                raise RuntimeError(
-                                    f"request {request.request_id} already complete"
-                                )
-                            bound = remaining
-                if run is not None:
-                    run.min_remaining = bound
-                else:
-                    split_bound = bound
-                # Level-cache maintenance folded from note_serviced: every
-                # serviced survivor's context grew by one; completers leave
-                # their level entirely (split members are not levelled).
-                if level is not None:
-                    survivors_here = count
-                    if completed is not None:
-                        removed_context = 0
-                        for _request, pre_context in completed:
-                            removed_context += pre_context
-                        level.size -= len(completed)
-                        level.context -= removed_context
-                        done = {id(_request) for _request, _ in completed}
-                        run.members = [r for r in run.live() if id(r) not in done]
-                        run.start = 0
-                        survivors_here -= len(completed)
-                    level.context += survivors_here
+                    elif remaining < bound:
+                        if remaining < 0:  # pragma: no cover - defensive
+                            raise RuntimeError(
+                                f"request {request.request_id} already complete"
+                            )
+                        bound = remaining
+            if run is not None:
+                run.min_remaining = bound
+            else:
+                split_bound = bound
+            # Level-cache maintenance folded from note_serviced: every
+            # serviced survivor's context grew by one; completers leave
+            # their level entirely (split members are not levelled).
+            if level is not None:
+                survivors_here = count
+                if completed is not None:
+                    removed_context = 0
+                    for _request, pre_context in completed:
+                        removed_context += pre_context
+                    level.size -= len(completed)
+                    level.context -= removed_context
+                    done = {id(_request) for _request, _ in completed}
+                    run.members = [r for r in run.live() if id(r) not in done]
+                    run.start = 0
+                    survivors_here -= len(completed)
+                level.context += survivors_here
         self._pool_decode_tokens -= serviced
         self._kv_tokens += serviced + kv_delta
-        if self.legacy_token_log:
-            forest.note_serviced(selection, completed_per_segment)
         if split_level is not None:
             if split_completed:
                 survivors = [r for r in selection.extracted if r.phase is not _COMPLETED]
@@ -1157,7 +1145,7 @@ class SimulatedMachine:
             # re-walking it: pre-service total, minus completed members'
             # pre-service contexts, plus one generated token per survivor.
             survivors_context = selection.extracted_context - completed_extracted_context + len(survivors)
-            survivors_bound = selection.split_bound if self.legacy_token_log else split_bound
+            survivors_bound = split_bound
         else:
             survivors = []
             survivors_context = 0
@@ -1191,9 +1179,8 @@ class SimulatedMachine:
         self._rot_selection = None
         self._rot_event = None
         flat = forest.flatten(inflight)
-        if not self.legacy_token_log:
-            for request in flat:
-                request._flush_service_indices()
+        for request in flat:
+            request._flush_service_indices()
         self._token_ready = PriorityOrderedView(flat)
 
     def _rotation_interrupt(self) -> None:
@@ -1222,7 +1209,9 @@ class SimulatedMachine:
         self._pool_len_at_plan = len(self._pool_by_id)
         self._admitted_during_iteration = 0
         self._aging_pending = True
-        self.engine.schedule_at(boundary, self._on_finish_event, priority=_FINISH_PRIORITY, tag=self._finish_tag)
+        self._finish_event = self.engine.schedule_at(
+            boundary, self._on_finish_event, priority=_FINISH_PRIORITY, tag=self._finish_tag
+        )
 
     def sync_fast_forward(self) -> None:
         """Materialize any coalesced-but-uncommitted iterations up to now.
@@ -1354,7 +1343,7 @@ class SimulatedMachine:
         generated_count = 0
         kv_delta = 0
         token_requests = plan.token_requests
-        if token_requests and not self.legacy_token_log:
+        if token_requests:
             # Columnar recording: the boundary timestamp is appended once to
             # the machine's timeline block; each serviced request extends (or
             # opens) a tail segment referencing it — consecutive services on
@@ -1384,28 +1373,6 @@ class SimulatedMachine:
                     request._tail_count = 1
                 generated = request.generated_tokens + 1
                 request.generated_tokens = generated
-                generated_count += 1
-                if generated < request.output_tokens:
-                    request.phase = _TOKEN_RUNNING
-                else:
-                    request.phase = _COMPLETED
-                    request.completion_time = now
-                    del pool_by_id[request.request_id]
-                    self._remove_ready(request)
-                    kv_delta -= request.prompt_tokens + generated
-                    if on_request_complete is not None:
-                        on_request_complete(request, self)
-        else:
-            for request in token_requests:
-                if withdrawn and request.request_id in withdrawn:
-                    continue
-                # Token bookkeeping inlined from Request.generate_token: this
-                # loop runs once per generated token across the whole cluster.
-                if request.phase is _COMPLETED:
-                    raise RuntimeError(f"request {request.request_id} already complete")
-                generated = request.generated_tokens + 1
-                request.generated_tokens = generated
-                request._token_times.append(now)
                 generated_count += 1
                 if generated < request.output_tokens:
                     request.phase = _TOKEN_RUNNING

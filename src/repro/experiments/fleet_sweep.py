@@ -19,7 +19,10 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+from dataclasses import replace
+
 from repro.core.designs import splitwise_hh
+from repro.faults import get_chaos_preset
 from repro.fleet.fleet import FleetResult, FleetSimulation
 from repro.fleet.provisioner import FleetProvisionerConfig
 from repro.fleet.router import ROUTER_POLICIES
@@ -38,6 +41,8 @@ def prepare_fleet_run(
     burst: bool = True,
     model: ModelSpec = LLAMA2_70B,
     provisioner_config: FleetProvisionerConfig | None = None,
+    chaos: str | None = None,
+    fault_seed: int | None = None,
     **cluster_kwargs,
 ) -> tuple[FleetSimulation, Trace, tuple[tuple[float, str], ...]]:
     """Build one fleet run: the simulation, its trace, and its failures.
@@ -67,9 +72,17 @@ def prepare_fleet_run(
         model: LLM served by every cluster.
         provisioner_config: Burst-provisioner overrides (defaults used when
             omitted).
+        chaos: Chaos preset name (see
+            :data:`~repro.faults.presets.CHAOS_PRESETS`) arming the fault
+            plane plus router reliability and admission control.  ``None``
+            falls back to the scenario preset's own ``chaos`` default;
+            ``"none"`` forces chaos off regardless of the scenario.
+        fault_seed: Seed for the stochastic fault plan (defaults to the
+            chaos preset's own seed, so ``seed`` keeps meaning *trace* seed
+            and the two processes stay independently reproducible).
         **cluster_kwargs: Forwarded to every member
             :class:`~repro.core.cluster.ClusterSimulation` (``fast_forward``,
-            ``legacy_token_log``, batching/routing overrides, ...).
+            batching/routing overrides, ...).
     """
     if clusters < 1:
         raise ValueError(f"clusters must be >= 1, got {clusters}")
@@ -77,6 +90,18 @@ def prepare_fleet_run(
     failures = tuple(
         (time_s, f"cluster-0/{name}") for time_s, name in preset.failures(scale=scale)
     )
+    chaos_name = preset.chaos if chaos is None else chaos
+    chaos_kwargs: dict = {}
+    if chaos_name is not None and chaos_name != "none":
+        bundle = get_chaos_preset(chaos_name)
+        faults = bundle.faults
+        if fault_seed is not None:
+            faults = replace(faults, seed=fault_seed)
+        chaos_kwargs = {
+            "faults": faults,
+            "reliability": bundle.reliability,
+            "admission": bundle.admission,
+        }
     num_prompt, num_token = preset.machine_counts(scale)
     design = splitwise_hh(num_prompt, num_token)
     if burst:
@@ -87,6 +112,7 @@ def prepare_fleet_run(
             model=model,
             router=policy,
             provisioner=provisioner_config or FleetProvisionerConfig(),
+            **chaos_kwargs,
             **cluster_kwargs,
         )
     else:
@@ -95,6 +121,7 @@ def prepare_fleet_run(
             num_clusters=clusters + burst_clusters,
             model=model,
             router=policy,
+            **chaos_kwargs,
             **cluster_kwargs,
         )
     return fleet, trace, failures
@@ -119,6 +146,11 @@ def fleet_run_summary(result: FleetResult) -> dict:
     if result.provisioner is not None:
         summary["bursts"] = result.provisioner.burst_count()
         summary["provisioner_actions"] = len(result.provisioner.timeline)
+    if result.requests_shed or result.router.reliability is not None:
+        summary["requests_shed"] = dict(sorted(result.shed_by_tenant.items()))
+        summary["bans_issued"] = result.router.bans_issued
+    if result.injector is not None:
+        summary["faults"] = result.injector.snapshot()
     return summary
 
 

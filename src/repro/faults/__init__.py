@@ -1,0 +1,30 @@
+"""Seeded, composable fault injection for cluster and fleet simulations.
+
+See :mod:`repro.faults.plan` for the compile-time fault model,
+:mod:`repro.faults.injector` for the replay machinery, and
+:mod:`repro.faults.presets` for the named chaos bundles.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    INJECTION_KINDS,
+    FaultPlanConfig,
+    FaultTopology,
+    Injection,
+    compile_fault_plan,
+    plan_counts,
+)
+from repro.faults.presets import CHAOS_PRESETS, ChaosPreset, get_chaos_preset
+
+__all__ = [
+    "CHAOS_PRESETS",
+    "ChaosPreset",
+    "FaultInjector",
+    "FaultPlanConfig",
+    "FaultTopology",
+    "INJECTION_KINDS",
+    "Injection",
+    "compile_fault_plan",
+    "get_chaos_preset",
+    "plan_counts",
+]

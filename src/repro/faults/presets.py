@@ -1,0 +1,100 @@
+"""Named chaos presets: fault plan + reliability + admission bundles.
+
+A chaos preset is the reliability analogue of a scenario preset: one name
+selects a coherent bundle of failure processes, router reliability knobs,
+and admission control, so the CLI (``repro-sim fleet --chaos <name>``), the
+CI chaos-smoke job, and the tests all exercise the identical configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.plan import FaultPlanConfig
+from repro.fleet.router import AdmissionConfig, ReliabilityConfig
+
+
+@dataclass(frozen=True)
+class ChaosPreset:
+    """One named chaos configuration.
+
+    Attributes:
+        name: Preset name (CLI ``--chaos`` argument).
+        description: One-line summary for ``--help`` and docs.
+        faults: The stochastic failure processes to arm.
+        reliability: Router reliability feedback (``None`` = off).
+        admission: Per-tenant admission control (``None`` = off).
+    """
+
+    name: str
+    description: str
+    faults: FaultPlanConfig
+    reliability: ReliabilityConfig | None = None
+    admission: AdmissionConfig | None = None
+
+
+CHAOS_PRESETS: dict[str, ChaosPreset] = {
+    "machine-churn": ChaosPreset(
+        name="machine-churn",
+        description="Stochastic machine failures with repair (MTBF/MTTR) plus router bans",
+        faults=FaultPlanConfig(machine_mtbf_s=60.0, machine_mttr_s=10.0),
+        reliability=ReliabilityConfig(),
+    ),
+    "degraded-network": ChaosPreset(
+        name="degraded-network",
+        description="KV-transfer brown-outs and persistent stragglers, no hard failures",
+        faults=FaultPlanConfig(
+            straggler_interval_s=180.0,
+            straggler_slowdown=1.6,
+            kv_degradation_interval_s=60.0,
+            kv_degradation_duration_s=15.0,
+            kv_degradation_factor=3.0,
+        ),
+        reliability=ReliabilityConfig(),
+    ),
+    "failure-storm": ChaosPreset(
+        name="failure-storm",
+        description=(
+            "Everything at once: machine churn, rack outages, stragglers, "
+            "KV brown-outs, spot revocation, bans, and admission control"
+        ),
+        faults=FaultPlanConfig(
+            machine_mtbf_s=45.0,
+            machine_mttr_s=8.0,
+            outage_interval_s=150.0,
+            outage_duration_s=12.0,
+            straggler_interval_s=180.0,
+            straggler_slowdown=1.6,
+            kv_degradation_interval_s=90.0,
+            kv_degradation_duration_s=15.0,
+            kv_degradation_factor=3.0,
+            revocation_mtbf_s=90.0,
+        ),
+        reliability=ReliabilityConfig(
+            window=32,
+            ban_threshold=0.4,
+            min_observations=12,
+            cooldown_s=20.0,
+            probation_requests=10,
+            probation_threshold=0.4,
+        ),
+        admission=AdmissionConfig(
+            max_outstanding=64,
+            tenant_priorities={"conversation": 2},
+            shed_headroom=0.5,
+        ),
+    ),
+}
+
+
+def get_chaos_preset(name: str) -> ChaosPreset:
+    """Look up a chaos preset by name.
+
+    Raises:
+        KeyError: for an unknown name, listing the known presets.
+    """
+    try:
+        return CHAOS_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(CHAOS_PRESETS))
+        raise KeyError(f"unknown chaos preset {name!r}; known presets: {known}") from None

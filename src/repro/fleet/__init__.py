@@ -16,7 +16,15 @@ from repro.fleet.provisioner import (
     FleetProvisioner,
     FleetProvisionerConfig,
 )
-from repro.fleet.router import DEFAULT_SLO_WINDOW, ROUTER_POLICIES, ClusterTraffic, FleetRouter
+from repro.fleet.router import (
+    DEFAULT_SLO_WINDOW,
+    ROUTER_POLICIES,
+    AdmissionConfig,
+    ClusterHealth,
+    ClusterTraffic,
+    FleetRouter,
+    ReliabilityConfig,
+)
 
 __all__ = [
     "FleetSimulation",
@@ -24,6 +32,9 @@ __all__ = [
     "FleetCluster",
     "FleetRouter",
     "ClusterTraffic",
+    "ClusterHealth",
+    "ReliabilityConfig",
+    "AdmissionConfig",
     "ROUTER_POLICIES",
     "DEFAULT_SLO_WINDOW",
     "FleetProvisioner",

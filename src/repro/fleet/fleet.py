@@ -21,13 +21,17 @@ deterministic :class:`~repro.simulation.engine.SimulationEngine`:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.core.autoscaler import AutoscalerConfig
 from repro.core.cluster import ClusterSimulation, SimulationResult
 from repro.core.designs import ClusterDesign
 from repro.fleet.provisioner import ClusterState, FleetProvisioner, FleetProvisionerConfig
-from repro.fleet.router import FleetRouter
+from repro.fleet.router import AdmissionConfig, FleetRouter, ReliabilityConfig
+
+if TYPE_CHECKING:  # pragma: no cover - the fault plane layers above the fleet
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlanConfig
 from repro.hardware.machine import DGX_A100
 from repro.metrics.slo import DEFAULT_SLO, SloPolicy, TenantSloReport, evaluate_slo_by_tenant
 from repro.models.llm import LLAMA2_70B, ModelSpec
@@ -58,7 +62,12 @@ class FleetCluster:
             engine.
         state: Provisioning lifecycle state (always ``ACTIVE`` without a
             provisioner).
-        routable: Whether the router may send new requests here.
+        routable: Whether the router may send new requests here.  Owned by
+            the provisioner lifecycle (or static construction).
+        available: Whether the cluster is physically up.  Owned by the fault
+            plane: a correlated outage clears it, the outage's end restores
+            it.  Distinct from ``routable`` so an outage and recovery never
+            fight the provisioner over the same bit.
         requests: Every request routed to this cluster, in routing order.
     """
 
@@ -66,6 +75,7 @@ class FleetCluster:
     simulation: ClusterSimulation
     state: ClusterState = ClusterState.ACTIVE
     routable: bool = True
+    available: bool = True
     requests: list[Request] = field(default_factory=list, repr=False)
 
     @property
@@ -100,6 +110,10 @@ class FleetResult:
         model: The LLM served (builds the default SLO reference).
         tenant_policies: Per-tenant SLO policies used by default in
             :meth:`tenant_slo_report`.
+        shed_by_tenant: Requests rejected up front by admission control,
+            grouped by tenant (empty without admission control).
+        injector: The fault injector that drove the run (``None`` when no
+            fault plan was armed); exposes seed and injection provenance.
     """
 
     trace_name: str
@@ -111,6 +125,8 @@ class FleetResult:
     provisioner: FleetProvisioner | None = field(default=None, repr=False)
     model: ModelSpec = field(default=LLAMA2_70B, repr=False)
     tenant_policies: Mapping[str, SloPolicy] | None = field(default=None, repr=False)
+    shed_by_tenant: dict[str, int] = field(default_factory=dict)
+    injector: "FaultInjector | None" = field(default=None, repr=False)
 
     @property
     def completed_requests(self) -> list[Request]:
@@ -118,8 +134,23 @@ class FleetResult:
         return [r for r in self.requests if r.is_complete]
 
     @property
+    def shed_requests(self) -> list[Request]:
+        """Requests rejected up front by admission control (never routed)."""
+        return [r for r in self.requests if r.shed]
+
+    @property
+    def requests_shed(self) -> int:
+        """Count of admission-shed requests."""
+        return sum(self.shed_by_tenant.values())
+
+    @property
     def completion_rate(self) -> float:
-        """Fraction of submitted requests that completed."""
+        """Fraction of submitted requests that completed.
+
+        Shed requests stay in the denominator: admission control trades
+        completion rate for the latency of the requests it does admit, and
+        hiding the shed traffic would make that trade look free.
+        """
         return len(self.completed_requests) / len(self.requests) if self.requests else 0.0
 
     @property
@@ -238,6 +269,15 @@ class FleetSimulation:
         autoscaler: Per-cluster pool autoscaler config (each cluster gets
             its own instance; ``True`` for defaults).
         tenant_policies: Per-tenant SLO policies threaded into the result.
+        faults: Optional :class:`~repro.faults.plan.FaultPlanConfig`; when
+            its processes are enabled, a :class:`FaultInjector` compiles and
+            arms a seeded fault plan at the start of :meth:`run`.
+        reliability: Optional :class:`~repro.fleet.router.ReliabilityConfig`
+            enabling per-cluster error tracking with auto-ban, cool-down,
+            and probationary re-admission on the router.
+        admission: Optional :class:`~repro.fleet.router.AdmissionConfig`
+            enabling per-tenant admission control: under fleet overload the
+            lowest-priority tenants' arrivals are shed first.
         **cluster_kwargs: Forwarded to every member
             :class:`ClusterSimulation` (batching, routing, thresholds,
             ``fast_forward``, ...).
@@ -253,6 +293,9 @@ class FleetSimulation:
         provisioner: FleetProvisioner | FleetProvisionerConfig | bool | None = None,
         autoscaler: AutoscalerConfig | bool | None = None,
         tenant_policies: Mapping[str, SloPolicy] | None = None,
+        faults: "FaultPlanConfig | None" = None,
+        reliability: ReliabilityConfig | None = None,
+        admission: AdmissionConfig | None = None,
         **cluster_kwargs,
     ) -> None:
         if num_clusters < 1:
@@ -270,6 +313,16 @@ class FleetSimulation:
         self.model = model
         self.provisioner: FleetProvisioner | None = provisioner
         self.router = FleetRouter(router) if isinstance(router, str) else router
+        if reliability is not None:
+            self.router.reliability = reliability
+        if self.router.reliability is not None and self.router.reference_model is None:
+            # Error classification compares completions against an
+            # uncontended run of the served model (the paper's SLO
+            # reference hardware).
+            self.router.reference_model = AnalyticalPerformanceModel(model, DGX_A100)
+        self.admission = admission
+        self.faults = faults
+        self.injector: "FaultInjector | None" = None
         self.tenant_policies = tenant_policies
         self.engine = SimulationEngine()
         self.clusters: list[FleetCluster] = []
@@ -298,9 +351,11 @@ class FleetSimulation:
                     routable=state is ClusterState.ACTIVE,
                 )
             )
-        self.router.attach(self.clusters)
+        self.router.attach(self.clusters, engine=self.engine)
         self._expected = 0
         self._completed = 0
+        self._shed = 0
+        self.shed_by_tenant: dict[str, int] = {}
 
     @property
     def machines(self):
@@ -315,14 +370,33 @@ class FleetSimulation:
                 lambda request, name=cluster.name: self._on_complete(name, request)
             )
 
+    def _wire_failure_hooks(self) -> None:
+        """Chain machine-failure hooks into the router's reliability tracking.
+
+        Must run *after* every cluster's ``prepare()``: the per-cluster pool
+        autoscaler claims ``on_machine_failed`` when it attaches, and both
+        observers need to see the event.
+        """
+        for cluster in self.clusters:
+            scheduler = cluster.scheduler
+            inner = scheduler.on_machine_failed
+
+            def chained(machine, name=cluster.name, inner=inner):
+                if inner is not None:
+                    inner(machine)
+                self.router.note_failure(name)
+
+            scheduler.on_machine_failed = chained
+
     def _on_complete(self, cluster_name: str, request: Request) -> None:
         self.router.note_completed(cluster_name, request)
         self._completed += 1
-        if self._completed >= self._expected:
-            # Every request is done: stop all recurring controllers.  Two or
-            # more of them (per-cluster autoscalers, the fleet provisioner)
-            # would otherwise keep each other's "queue non-empty" checks
-            # true forever.  Controller ticks never act after the last
+        if self._completed + self._shed >= self._expected:
+            # Every request is accounted for (completed or shed up front):
+            # stop all recurring controllers.  Two or more of them
+            # (per-cluster autoscalers, the fleet provisioner) would
+            # otherwise keep each other's "queue non-empty" checks true
+            # forever.  Controller ticks never act after the last
             # completion, so stopping here is behavior-neutral.
             self._stop_controllers()
 
@@ -337,10 +411,74 @@ class FleetSimulation:
             if cluster.simulation.autoscaler is not None:
                 cluster.simulation.autoscaler.stop()
 
-    def _submit(self, request: Request) -> None:
+    def _submit(self, request: Request, readmit: bool = False) -> None:
+        if not readmit and self.admission is not None:
+            if self.router.total_outstanding() >= self.admission.shed_threshold(request.tenant):
+                # Over this tenant's headroom: reject up front instead of
+                # queueing.  Evacuated requests being re-routed (readmit)
+                # are exempt — admission gates *new* work, and dropping
+                # already-admitted work on re-route would lose requests.
+                request.shed = True
+                self._shed += 1
+                self.shed_by_tenant[request.tenant] = (
+                    self.shed_by_tenant.get(request.tenant, 0) + 1
+                )
+                if self._completed + self._shed >= self._expected:
+                    self._stop_controllers()
+                return
         cluster = self.router.route(request)
         cluster.requests.append(request)
         cluster.scheduler.submit(request)
+
+    # -- fault-plane actions -----------------------------------------------------------
+
+    def begin_outage(self, cluster: FleetCluster) -> None:
+        """Take a whole cluster down (correlated failure domain).
+
+        Every machine fails at once; displaced requests are withdrawn from
+        the router's books and re-routed across the surviving clusters.
+        The cluster stays ``available = False`` until :meth:`end_outage`.
+        """
+        cluster.available = False
+        evacuated = cluster.scheduler.evacuate()
+        self.router.note_evacuated(cluster.name, evacuated)
+        if evacuated:
+            evacuated_ids = {id(request) for request in evacuated}
+            cluster.requests = [
+                request for request in cluster.requests if id(request) not in evacuated_ids
+            ]
+            for request in evacuated:
+                self._submit(request, readmit=True)
+
+    def end_outage(self, cluster: FleetCluster) -> None:
+        """Bring an outaged cluster back: repair done, machines rejoin empty."""
+        cluster.available = True
+        cluster.scheduler.recover_all()
+
+    def revoke_cluster(self, cluster: FleetCluster) -> None:
+        """Spot revocation: the rented capacity is reclaimed mid-run.
+
+        Unlike an outage the hardware is healthy — the capacity is simply
+        taken away for good.  In-flight requests evacuate to the rest of
+        the fleet, the machines are restored to a clean state (someone else
+        will rent them), and the cluster returns to the cold pool, where
+        the provisioner may re-rent it at full cold-start price.
+        """
+        evacuated = cluster.scheduler.evacuate()
+        self.router.note_evacuated(cluster.name, evacuated)
+        cluster.scheduler.recover_all()
+        if self.provisioner is not None:
+            self.provisioner.revoke(cluster, "spot revocation")
+        else:
+            cluster.state = ClusterState.COLD
+            cluster.routable = False
+        if evacuated:
+            evacuated_ids = {id(request) for request in evacuated}
+            cluster.requests = [
+                request for request in cluster.requests if id(request) not in evacuated_ids
+            ]
+            for request in evacuated:
+                self._submit(request, readmit=True)
 
     # -- running -----------------------------------------------------------------------
 
@@ -380,14 +518,27 @@ class FleetSimulation:
                 )
         self._expected = len(requests)
         self._completed = 0
+        self._shed = 0
+        self.shed_by_tenant = {}
         self._wire_completion_hooks()
         for cluster in self.clusters:
             prefix = f"{cluster.name}/"
             cluster.simulation.prepare(
                 [(t, name) for t, name in failures if name.startswith(prefix)]
             )
+        if self.router.reliability is not None:
+            # After prepare(): the autoscalers have claimed the
+            # machine-failure hooks by now, so chaining sees them.
+            self._wire_failure_hooks()
         if self.provisioner is not None:
             self.provisioner.attach(self)
+        if self.faults is not None and self.faults.enabled:
+            # Imported lazily: the fault plane layers above the fleet, and a
+            # fleet without faults must not pay for (or depend on) it.
+            from repro.faults.injector import FaultInjector
+
+            self.injector = FaultInjector(self, self.faults)
+            self.injector.arm(trace.duration_s)
         if not requests:
             # Nothing will ever complete, so the completion-driven controller
             # stop below can never fire; with two or more recurring
@@ -439,4 +590,6 @@ class FleetSimulation:
             provisioner=self.provisioner,
             model=self.model,
             tenant_policies=self.tenant_policies,
+            shed_by_tenant=dict(self.shed_by_tenant),
+            injector=self.injector,
         )

@@ -124,7 +124,8 @@ class FleetProvisionEvent:
         time_s: Simulated time of the action.
         cluster: Cluster acted on.
         action: ``"burst-warm"``, ``"burst-cold"``, ``"activate"``,
-            ``"undrain"``, ``"drain"``, ``"retire"``, or ``"warm"``.
+            ``"undrain"``, ``"drain"``, ``"retire"``, ``"revoke"``, or
+            ``"warm"``.
         reason: Signal that triggered the action.
     """
 
@@ -310,6 +311,19 @@ class FleetProvisioner:
             self._last_action_time = engine.now
             self._high_streak = 0
             self._low_streak = 0
+
+    def revoke(self, cluster: "FleetCluster", reason: str) -> None:
+        """Record a spot revocation: the cluster's capacity was reclaimed.
+
+        Called by the fleet's fault plane, not the control loop.  Billing
+        for the cluster stops immediately (the provider took the machines
+        back), and the cluster lands in the cold pool, where a later
+        scale-up may re-rent it at full cold-start price.
+        """
+        self._transition(cluster, ClusterState.COLD)
+        self.timeline.append(
+            FleetProvisionEvent(self._fleet.engine.now, cluster.name, "revoke", reason)
+        )
 
     def retire_drained(self) -> None:
         """Retire every draining cluster whose outstanding work hit zero.

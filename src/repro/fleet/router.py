@@ -45,6 +45,185 @@ ROUTER_POLICIES = ("weighted-rr", "least-outstanding", "jsq", "slo-feedback")
 DEFAULT_SLO_WINDOW = 128
 
 
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Knobs for the router's per-cluster reliability feedback loop.
+
+    The router tracks a rolling error window per cluster (SLO-violating
+    completions and machine failures).  A cluster whose error fraction
+    crosses ``ban_threshold`` is *banned* — removed from routing — for
+    ``cooldown_s``, then re-admitted on *probation*: it receives traffic
+    again, and its first ``probation_requests`` outcomes decide whether it
+    returns to healthy rotation or is banned again.
+
+    Attributes:
+        window: Outcomes remembered per cluster while healthy.
+        ban_threshold: Error fraction that triggers a ban.
+        min_observations: Outcomes required before a ban can trigger (avoids
+            banning on one early unlucky request).
+        cooldown_s: Ban duration before probationary re-admission.
+        probation_requests: Outcomes observed on probation before deciding.
+        probation_threshold: Error fraction on probation that re-bans.
+        ttft_slowdown_limit: A completion whose TTFT exceeds this multiple of
+            the uncontended reference is counted as an error.
+        tbt_slowdown_limit: Same for the mean TBT.
+    """
+
+    window: int = 64
+    ban_threshold: float = 0.5
+    min_observations: int = 16
+    cooldown_s: float = 30.0
+    probation_requests: int = 16
+    probation_threshold: float = 0.5
+    ttft_slowdown_limit: float = 6.0
+    tbt_slowdown_limit: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if not 0.0 < self.ban_threshold <= 1.0:
+            raise ValueError(f"ban_threshold must be in (0, 1], got {self.ban_threshold}")
+        if not 0.0 < self.probation_threshold <= 1.0:
+            raise ValueError(
+                f"probation_threshold must be in (0, 1], got {self.probation_threshold}"
+            )
+        if self.min_observations < 1 or self.min_observations > self.window:
+            raise ValueError(
+                f"min_observations must be in [1, window], got {self.min_observations}"
+            )
+        if self.cooldown_s <= 0:
+            raise ValueError(f"cooldown_s must be > 0, got {self.cooldown_s}")
+        if self.probation_requests < 1:
+            raise ValueError(f"probation_requests must be >= 1, got {self.probation_requests}")
+        if self.ttft_slowdown_limit <= 1.0 or self.tbt_slowdown_limit <= 1.0:
+            raise ValueError("slowdown limits must be > 1")
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Per-tenant admission control under fleet overload.
+
+    When the fleet's total outstanding requests reach a tenant's shed
+    threshold, that tenant's new arrivals are *shed* (rejected up front)
+    instead of queued.  Higher-priority tenants get proportionally more
+    headroom — ``threshold = max_outstanding * (1 + priority *
+    shed_headroom)`` — so under mounting overload the lowest-priority
+    tenants are shed first and the highest-priority tenants last.
+
+    Attributes:
+        max_outstanding: Fleet-wide outstanding requests at which a
+            priority-0 tenant starts shedding.
+        tenant_priorities: Tenant tag -> priority (higher = shed later).
+        default_priority: Priority of tenants not listed.
+        shed_headroom: Extra headroom fraction granted per priority level.
+    """
+
+    max_outstanding: int
+    tenant_priorities: Mapping[str, int] = field(default_factory=dict)
+    default_priority: int = 0
+    shed_headroom: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_outstanding < 1:
+            raise ValueError(f"max_outstanding must be >= 1, got {self.max_outstanding}")
+        if self.shed_headroom < 0:
+            raise ValueError(f"shed_headroom must be >= 0, got {self.shed_headroom}")
+        for tenant, priority in self.tenant_priorities.items():
+            if priority < 0:
+                raise ValueError(f"tenant {tenant!r} priority must be >= 0, got {priority}")
+
+    def priority(self, tenant: str) -> int:
+        """Shedding priority of a tenant (higher = shed later)."""
+        return self.tenant_priorities.get(tenant, self.default_priority)
+
+    def shed_threshold(self, tenant: str) -> float:
+        """Fleet outstanding count at which this tenant's arrivals shed."""
+        return self.max_outstanding * (1.0 + self.priority(tenant) * self.shed_headroom)
+
+
+class ClusterHealth:
+    """Rolling reliability state of one cluster (healthy/banned/probation)."""
+
+    __slots__ = (
+        "config",
+        "state",
+        "outcomes",
+        "errors",
+        "banned_until_s",
+        "probation_seen",
+        "probation_errors",
+        "bans",
+    )
+
+    def __init__(self, config: ReliabilityConfig) -> None:
+        self.config = config
+        self.state = "healthy"
+        self.outcomes: deque[bool] = deque(maxlen=config.window)
+        self.errors = 0
+        self.banned_until_s = 0.0
+        self.probation_seen = 0
+        self.probation_errors = 0
+        self.bans = 0
+
+    def is_banned(self, now: float) -> bool:
+        """Whether the cluster is currently banned; expires lapsed bans."""
+        if self.state == "banned":
+            if now >= self.banned_until_s:
+                self._enter_probation()
+                return False
+            return True
+        return False
+
+    def record(self, error: bool, now: float) -> None:
+        """Fold one outcome (completion or failure) into the state machine."""
+        if self.state == "banned":
+            if now < self.banned_until_s:
+                return  # straggler completions during a ban carry no signal
+            self._enter_probation()
+        if self.state == "probation":
+            self.probation_seen += 1
+            if error:
+                self.probation_errors += 1
+            if self.probation_seen >= self.config.probation_requests:
+                if self.probation_errors / self.probation_seen >= self.config.probation_threshold:
+                    self._ban(now)
+                else:
+                    self._reset_healthy()
+            return
+        outcomes = self.outcomes
+        if len(outcomes) == outcomes.maxlen and outcomes[0]:
+            self.errors -= 1
+        outcomes.append(error)
+        if error:
+            self.errors += 1
+        if (
+            len(outcomes) >= self.config.min_observations
+            and self.errors / len(outcomes) >= self.config.ban_threshold
+        ):
+            self._ban(now)
+
+    def _ban(self, now: float) -> None:
+        self.state = "banned"
+        self.banned_until_s = now + self.config.cooldown_s
+        self.bans += 1
+        self.outcomes.clear()
+        self.errors = 0
+        self.probation_seen = 0
+        self.probation_errors = 0
+
+    def _enter_probation(self) -> None:
+        self.state = "probation"
+        self.probation_seen = 0
+        self.probation_errors = 0
+
+    def _reset_healthy(self) -> None:
+        self.state = "healthy"
+        self.outcomes.clear()
+        self.errors = 0
+        self.probation_seen = 0
+        self.probation_errors = 0
+
+
 def _p99(values) -> float:
     """P99 by the nearest-rank method over a small sample window."""
     ordered = sorted(values)
@@ -86,6 +265,15 @@ class ClusterTraffic:
         self.submitted += 1
         self.by_tenant[request.tenant] = self.by_tenant.get(request.tenant, 0) + 1
 
+    def note_withdrawn(self, request: Request) -> None:
+        """Un-count a routed request that was evacuated before completing."""
+        self.submitted -= 1
+        count = self.by_tenant.get(request.tenant, 0) - 1
+        if count > 0:
+            self.by_tenant[request.tenant] = count
+        else:
+            self.by_tenant.pop(request.tenant, None)
+
     def note_completed(self, request: Request) -> None:
         self.completed += 1
         if request.ttft is not None:
@@ -119,6 +307,10 @@ class FleetRouter:
             stay routable, or routing raises).
         slo_window: Completions remembered per cluster for the rolling
             P99 windows of the ``"slo-feedback"`` policy.
+        reliability: Optional per-cluster error tracking with auto-ban,
+            cool-down, and probationary re-admission (see
+            :class:`ReliabilityConfig`).  Classifying completions as errors
+            additionally needs :attr:`reference_model` to be set.
 
     Raises:
         ValueError: for an unknown policy.
@@ -129,6 +321,7 @@ class FleetRouter:
         policy: str = "least-outstanding",
         tenant_pins: Mapping[str, str] | None = None,
         slo_window: int = DEFAULT_SLO_WINDOW,
+        reliability: "ReliabilityConfig | None" = None,
     ) -> None:
         if policy not in ROUTER_POLICIES:
             raise ValueError(f"policy must be one of {ROUTER_POLICIES}, got {policy!r}")
@@ -137,8 +330,14 @@ class FleetRouter:
         self.policy = policy
         self.tenant_pins = dict(tenant_pins or {})
         self.slo_window = slo_window
+        self.reliability = reliability
+        #: Uncontended performance model latency classification compares
+        #: against (set by the fleet simulation when reliability is on).
+        self.reference_model = None
         self._clusters: list["FleetCluster"] = []
         self.traffic: dict[str, ClusterTraffic] = {}
+        self._health: dict[str, ClusterHealth] = {}
+        self._engine = None
         #: Smooth weighted-RR state: cluster name -> current credit.
         self._wrr_credit: dict[str, float] = {}
         #: Fleet-wide best rolling P99s, refreshed once per slo-feedback
@@ -149,15 +348,27 @@ class FleetRouter:
 
     # -- lifecycle ---------------------------------------------------------------------
 
-    def attach(self, clusters: list["FleetCluster"]) -> None:
-        """Register the fleet's member clusters (done by the fleet simulation)."""
+    def attach(self, clusters: list["FleetCluster"], engine=None) -> None:
+        """Register the fleet's member clusters (done by the fleet simulation).
+
+        Args:
+            clusters: The fleet's member clusters.
+            engine: Simulation engine providing the clock for ban cool-downs
+                (required only when reliability tracking is configured).
+        """
         self._clusters = list(clusters)
+        self._engine = engine
         for cluster in self._clusters:
             self.traffic[cluster.name] = ClusterTraffic(window=self.slo_window)
             self._wrr_credit[cluster.name] = 0.0
+            if self.reliability is not None:
+                self._health[cluster.name] = ClusterHealth(self.reliability)
         for tenant, name in self.tenant_pins.items():
             if name not in self.traffic:
                 raise ValueError(f"tenant {tenant!r} pinned to unknown cluster {name!r}")
+
+    def _now(self) -> float:
+        return self._engine.now if self._engine is not None else 0.0
 
     # -- routing -----------------------------------------------------------------------
 
@@ -170,16 +381,28 @@ class FleetRouter:
         """
         pinned = self.tenant_pins.get(request.tenant)
         if pinned is not None:
+            # A pin overrides reliability bans (the tenant has nowhere else
+            # to go) but not availability — an outaged cluster serves nobody.
             for cluster in self._clusters:
-                if cluster.name == pinned and cluster.routable:
+                if cluster.name == pinned and cluster.routable and getattr(cluster, "available", True):
                     self.traffic[cluster.name].note_submitted(request)
                     return cluster
             raise RuntimeError(
                 f"tenant {request.tenant!r} is pinned to cluster {pinned!r}, which is not routable"
             )
-        candidates = [c for c in self._clusters if c.routable]
+        candidates = [
+            c for c in self._clusters if c.routable and getattr(c, "available", True)
+        ]
         if not candidates:
             raise RuntimeError("fleet has no routable cluster")
+        if self._health:
+            # Availability beats reliability: prefer unbanned clusters, but
+            # when every candidate is banned, serve from the banned ones
+            # rather than dropping traffic on the floor.
+            now = self._now()
+            unbanned = [c for c in candidates if not self._health[c.name].is_banned(now)]
+            if unbanned:
+                candidates = unbanned
         if self.policy == "weighted-rr":
             choice = self._pick_weighted_rr(candidates)
         elif self.policy == "jsq":
@@ -197,6 +420,52 @@ class FleetRouter:
     def note_completed(self, cluster_name: str, request: Request) -> None:
         """Record a completion (wired to each cluster scheduler's hook)."""
         self.traffic[cluster_name].note_completed(request)
+        health = self._health.get(cluster_name)
+        if health is not None:
+            health.record(self._is_error(request), self._now())
+
+    def note_failure(self, cluster_name: str) -> None:
+        """Record a machine failure on a cluster as a reliability error."""
+        health = self._health.get(cluster_name)
+        if health is not None:
+            health.record(True, self._now())
+
+    def note_evacuated(self, cluster_name: str, requests) -> None:
+        """Un-count requests evacuated from a cluster before rerouting them.
+
+        Keeps ``outstanding`` truthful: the evacuated request will be
+        re-submitted (and counted) on whichever cluster it lands on next.
+        """
+        traffic = self.traffic[cluster_name]
+        for request in requests:
+            traffic.note_withdrawn(request)
+
+    def total_outstanding(self) -> int:
+        """Fleet-wide in-flight requests (admission-control pressure signal)."""
+        return sum(traffic.outstanding for traffic in self.traffic.values())
+
+    @property
+    def bans_issued(self) -> int:
+        """Total reliability bans issued across the fleet so far."""
+        return sum(health.bans for health in self._health.values())
+
+    def _is_error(self, request: Request) -> bool:
+        """Classify a completion as an SLO-violating error via the reference model."""
+        reliability = self.reliability
+        reference = self.reference_model
+        if reference is None or reliability is None:
+            return False
+        ttft = request.ttft
+        if ttft is not None:
+            reference_ttft = reference.ttft(request.prompt_tokens)
+            if reference_ttft > 0 and ttft / reference_ttft > reliability.ttft_slowdown_limit:
+                return True
+        mean_tbt = request.mean_tbt
+        if mean_tbt is not None:
+            reference_tbt = reference.tbt(1)
+            if reference_tbt > 0 and mean_tbt / reference_tbt > reliability.tbt_slowdown_limit:
+                return True
+        return False
 
     # -- policy internals --------------------------------------------------------------
 
@@ -273,7 +542,7 @@ class FleetRouter:
 
     def snapshot(self) -> dict:
         """JSON-friendly routing statistics (per cluster and per tenant)."""
-        return {
+        snapshot = {
             "policy": self.policy,
             "clusters": {
                 name: {
@@ -285,3 +554,10 @@ class FleetRouter:
                 for name, traffic in sorted(self.traffic.items())
             },
         }
+        if self._health:
+            snapshot["reliability"] = {
+                name: {"state": health.state, "bans": health.bans}
+                for name, health in sorted(self._health.items())
+            }
+            snapshot["bans_issued"] = self.bans_issued
+        return snapshot

@@ -26,13 +26,12 @@ from repro.metrics.slo import (
     evaluate_slo_by_tenant,
 )
 from repro.metrics.summary import LatencySummary, RequestMetrics, percentile, summarize_requests
-from repro.metrics.token_log import TokenLog, legacy_token_log_enabled
+from repro.metrics.token_log import TokenLog
 
 __all__ = [
     "MetricsCollector",
     "BatchOccupancyTracker",
     "TokenLog",
-    "legacy_token_log_enabled",
     "LatencySummary",
     "RequestMetrics",
     "percentile",

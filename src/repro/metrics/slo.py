@@ -113,10 +113,18 @@ class TenantSloReport:
             be satisfied.
         fleet: Roll-up report over every request regardless of tenant,
             evaluated against ``fleet_policy``.
+        goodput: Fraction of each tenant's *submitted* requests that
+            completed.  Distinct from SLO attainment: admission shedding and
+            failures reduce goodput even when the requests that were served
+            met every latency target.
+        fleet_goodput: Completed fraction over all submitted requests
+            (``nan`` when no requests were submitted).
     """
 
     tenants: Mapping[str, SloReport]
     fleet: SloReport
+    goodput: Mapping[str, float] = field(default_factory=dict)
+    fleet_goodput: float = float("nan")
 
     @property
     def satisfied(self) -> bool:
@@ -142,6 +150,7 @@ class TenantSloReport:
                     "violations": len(report.violations()),
                     "samples": dict(report.samples),
                     "missing_series": report.missing_series(),
+                    "goodput": self.goodput.get(tenant),
                 }
                 for tenant, report in self.tenants.items()
             },
@@ -149,6 +158,7 @@ class TenantSloReport:
                 "satisfied": self.fleet.satisfied,
                 "violations": len(self.fleet.violations()),
                 "samples": dict(self.fleet.samples),
+                "goodput": None if np.isnan(self.fleet_goodput) else self.fleet_goodput,
             },
         }
 
@@ -285,17 +295,24 @@ def evaluate_slo_by_tenant(
         by_tenant.setdefault(request.tenant, []).append(request)
 
     reports: dict[str, SloReport] = {}
+    goodput: dict[str, float] = {}
     for tenant in sorted(by_tenant):
         policy = policies.get(tenant, default_policy)
         group = by_tenant[tenant]
-        if any(r.is_complete for r in group):
+        completed = sum(1 for r in group if r.is_complete)
+        goodput[tenant] = completed / len(group)
+        if completed:
             reports[tenant] = evaluate_slo(group, reference_model, policy, tbt_mode=tbt_mode)
         else:
             reports[tenant] = empty_slo_report(policy)
 
     roll_up_policy = fleet_policy or default_policy
-    if any(r.is_complete for r in all_requests):
+    fleet_completed = sum(1 for r in all_requests if r.is_complete)
+    if fleet_completed:
         fleet = evaluate_slo(all_requests, reference_model, roll_up_policy, tbt_mode=tbt_mode)
     else:
         fleet = empty_slo_report(roll_up_policy)
-    return TenantSloReport(tenants=reports, fleet=fleet)
+    fleet_goodput = fleet_completed / len(all_requests) if all_requests else float("nan")
+    return TenantSloReport(
+        tenants=reports, fleet=fleet, goodput=goodput, fleet_goodput=fleet_goodput
+    )

@@ -37,25 +37,16 @@ Materialization is numpy-backed: blocks are viewed zero-copy with
 ``np.frombuffer`` and slices/gathers are copied out with C-level memory
 moves.  The views are transient — they must not outlive the materialization
 call, because an exported buffer would block further appends to the block.
-
-Set ``REPRO_LEGACY_TOKEN_LOG=1`` to fall back to per-token row recording for
-one release (see ``docs/telemetry.md``); results are identical either way.
 """
 
 from __future__ import annotations
 
-import os
 from array import array
 from typing import Iterable
 
 import numpy as np
 
-__all__ = ["TokenLog", "legacy_token_log_enabled", "materialize_into", "segment_token_count"]
-
-
-def legacy_token_log_enabled() -> bool:
-    """Whether the per-token legacy recording escape hatch is active."""
-    return os.environ.get("REPRO_LEGACY_TOKEN_LOG") == "1"
+__all__ = ["TokenLog", "materialize_into", "segment_token_count"]
 
 
 def segment_token_count(segment: tuple) -> int:

@@ -94,6 +94,23 @@ class PerformanceModel(ABC):
     model: ModelSpec
     machine: MachineSpec
 
+    #: Multiplicative straggler slowdown applied to every latency this model
+    #: produces (1.0 = healthy hardware; the fault plane sets it via
+    #: :meth:`set_slowdown`).  Distinct from power-cap inflation: a power cap
+    #: is a reversible operator policy, a straggler is degraded hardware.
+    slowdown_factor: float = 1.0
+
+    def set_slowdown(self, factor: float) -> None:
+        """Set the straggler slowdown factor and drop memoized latencies.
+
+        Raises:
+            ValueError: if ``factor`` is not positive.
+        """
+        if factor <= 0.0:
+            raise ValueError(f"slowdown factor must be > 0, got {factor}")
+        self.slowdown_factor = factor
+        self.invalidate_caches()
+
     @abstractmethod
     def prompt_latency(self, prompt_tokens: int) -> float:
         """Seconds for a prompt-only iteration over ``prompt_tokens`` tokens."""
@@ -326,6 +343,8 @@ class AnalyticalPerformanceModel(PerformanceModel):
         latency_ms = c0 + c1 * prompt_tokens + c2 * prompt_tokens**2
         if self.apply_power_cap:
             latency_ms *= self._power.prompt_cap_slowdown(prompt_tokens)
+        if self.slowdown_factor != 1.0:
+            latency_ms *= self.slowdown_factor
         latency = latency_ms / 1e3
         cache = self._prompt_cache
         if len(cache) >= _MAX_MEMO_ENTRIES:
@@ -363,6 +382,8 @@ class AnalyticalPerformanceModel(PerformanceModel):
         latency_ms = d0 + d1 * token_requests + self._kv_read_ms(context_tokens)
         if self.apply_power_cap:
             latency_ms *= self._power.token_cap_slowdown(token_requests)
+        if self.slowdown_factor != 1.0:
+            latency_ms *= self.slowdown_factor
         return latency_ms / 1e3
 
     def token_latency_series(
@@ -383,6 +404,8 @@ class AnalyticalPerformanceModel(PerformanceModel):
         base_ms = d0 + d1 * token_requests
         apply_cap = self.apply_power_cap
         slowdown = self._power.token_cap_slowdown(token_requests) if apply_cap else 1.0
+        straggler = self.slowdown_factor
+        apply_straggler = straggler != 1.0
         kv_read_ms = self._kv_read_ms
         append = latencies.append
         context = context_start
@@ -390,6 +413,8 @@ class AnalyticalPerformanceModel(PerformanceModel):
             latency_ms = base_ms + kv_read_ms(context)
             if apply_cap:
                 latency_ms *= slowdown
+            if apply_straggler:
+                latency_ms *= straggler
             append(latency_ms / 1e3)
             context += context_step
         return latencies
@@ -495,7 +520,10 @@ class ProfiledPerformanceModel(PerformanceModel):
             raise ValueError(f"prompt_tokens must be non-negative, got {prompt_tokens}")
         if prompt_tokens == 0:
             return 0.0
-        return self._interp(float(prompt_tokens), self._prompt_x, self._prompt_y)
+        latency = self._interp(float(prompt_tokens), self._prompt_x, self._prompt_y)
+        if self.slowdown_factor != 1.0:
+            latency *= self.slowdown_factor
+        return latency
 
     def token_latency(self, token_requests: int, context_tokens: int | None = None) -> float:
         if token_requests < 0:
@@ -503,11 +531,13 @@ class ProfiledPerformanceModel(PerformanceModel):
         if token_requests == 0:
             return 0.0
         base = self._interp(float(token_requests), self._token_x, self._token_y)
-        if context_tokens is None:
-            return base
-        # Correct for contexts that differ from the profiling reference.
-        delta_tokens = context_tokens - token_requests * self.reference_context
-        return max(0.0, base + delta_tokens * self._kv_read_per_token_s)
+        if context_tokens is not None:
+            # Correct for contexts that differ from the profiling reference.
+            delta_tokens = context_tokens - token_requests * self.reference_context
+            base = max(0.0, base + delta_tokens * self._kv_read_per_token_s)
+        if self.slowdown_factor != 1.0:
+            base *= self.slowdown_factor
+        return base
 
     def token_latency_series(
         self, token_requests: int, context_start: int, context_step: int, count: int
@@ -529,6 +559,9 @@ class ProfiledPerformanceModel(PerformanceModel):
         )
         values = base + deltas * self._kv_read_per_token_s
         np.maximum(values, 0.0, out=values)
+        if self.slowdown_factor != 1.0:
+            # Element-wise IEEE multiply: bit-identical to the scalar path.
+            values *= self.slowdown_factor
         latencies = array("d")
         latencies.frombytes(values.tobytes())
         return latencies

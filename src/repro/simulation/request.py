@@ -97,6 +97,8 @@ class Request:
             mixed machines to avoid starvation after preemption).
         restarts: Number of times the request was restarted from scratch after
             a machine failure (§IV-E: Splitwise restarts failed requests).
+        shed: Whether fleet admission control rejected the request up front
+            (it was never routed and will never complete).
     """
 
     __slots__ = (
@@ -118,6 +120,7 @@ class Request:
         "preemptions",
         "priority_boost",
         "restarts",
+        "shed",
         "_token_times",
         "_token_segments",
         "_tail_block",
@@ -148,6 +151,7 @@ class Request:
         self.preemptions = 0
         self.priority_boost = 0.0
         self.restarts = 0
+        self.shed = False
         # Columnar token telemetry: materialized prefix + pending segments +
         # the open contiguous / rotation runs (see the module docstring).
         self._token_times: array = array("d")

@@ -1,12 +1,13 @@
-"""Columnar-vs-legacy token-recording parity.
+"""Columnar token-recording parity across execution regimes.
 
 The columnar token log (see ``docs/telemetry.md``) must be *invisible* in
-simulation results: with ``legacy_token_log=True`` every machine records one
-timestamp per token per request exactly as before, and the default columnar
-segments must materialize to bit-identical values — per-request token times,
-completion metadata, SLO reports, and per-machine stats — under fast-forward
-on and off, across single clusters, the diurnal-autoscale preset, and the
-fleet-burst preset.
+simulation results: the segment-based recording materializes to bit-identical
+values — per-request token times, completion metadata, SLO reports, and
+per-machine stats — whether the simulator coalesces decode runs
+(``fast_forward=True``, the macro-event + rotation regimes) or steps every
+iteration exactly (``fast_forward=False``).  Since the per-iteration path
+records through entirely different code than the coalesced paths, this parity
+pins the recording itself, not just the scheduling.
 
 These tests cover the recording edge cases named in the issue: zero-decode
 (prompt-only) requests, single-token decodes, restart-after-preemption
@@ -65,20 +66,17 @@ def _assert_slo_reports_identical(ref_report, col_report):
     assert ref_report.satisfied == col_report.satisfied
 
 
-def _run_cluster_pair(design, trace, fast_forward=True, failures=()):
+def _run_cluster_pair(design, trace, failures=()):
+    """Run the trace per-iteration (reference) and coalesced (columnar fast paths)."""
     results = []
-    for legacy in (True, False):
-        simulation = ClusterSimulation(
-            design, legacy_token_log=legacy, fast_forward=fast_forward
-        )
+    for fast_forward in (False, True):
+        simulation = ClusterSimulation(design, fast_forward=fast_forward)
         results.append((simulation, simulation.run(trace, failures=failures)))
     return results
 
 
-def _assert_cluster_parity(design, trace, fast_forward=True, failures=()):
-    (ref_sim, ref), (col_sim, col) = _run_cluster_pair(
-        design, trace, fast_forward=fast_forward, failures=failures
-    )
+def _assert_cluster_parity(design, trace, failures=()):
+    (ref_sim, ref), (col_sim, col) = _run_cluster_pair(design, trace, failures=failures)
     assert ref.duration_s == col.duration_s
     _assert_requests_identical(ref.requests, col.requests)
     _assert_machine_stats_identical(ref_sim.metrics, col_sim.metrics)
@@ -95,8 +93,7 @@ class TestEdgeCaseParity:
             for i in range(40)
         )
         trace = Trace(requests=descriptors, name="prompt-only")
-        for fast_forward in (True, False):
-            _assert_cluster_parity(splitwise_hh(1, 1), trace, fast_forward=fast_forward)
+        _assert_cluster_parity(splitwise_hh(1, 1), trace)
 
     def test_single_token_decodes(self):
         """output_tokens == 2: exactly one decode service per request."""
@@ -107,56 +104,47 @@ class TestEdgeCaseParity:
             for i in range(120)
         )
         trace = Trace(requests=descriptors, name="single-token")
-        for fast_forward in (True, False):
-            _assert_cluster_parity(splitwise_hh(1, 1), trace, fast_forward=fast_forward)
+        _assert_cluster_parity(splitwise_hh(1, 1), trace)
 
     def test_restart_after_failure_resets_recording(self):
         """Failed machines restart their requests from scratch (reset_for_restart)."""
         trace = generate_trace("conversation", rate_rps=20.0, duration_s=25.0, seed=404)
         failures = [(4.0, "prompt-0"), (8.5, "token-1")]
-        for fast_forward in (True, False):
-            (ref_sim, ref), (col_sim, col) = _run_cluster_pair(
-                splitwise_hh(2, 2), trace, fast_forward=fast_forward, failures=failures
-            )
-            assert any(r.restarts for r in ref.requests), "failures should restart work"
-            _assert_requests_identical(ref.requests, col.requests)
-            _assert_machine_stats_identical(ref_sim.metrics, col_sim.metrics)
+        (ref_sim, ref), (col_sim, col) = _run_cluster_pair(
+            splitwise_hh(2, 2), trace, failures=failures
+        )
+        assert any(r.restarts for r in ref.requests), "failures should restart work"
+        _assert_requests_identical(ref.requests, col.requests)
+        _assert_machine_stats_identical(ref_sim.metrics, col_sim.metrics)
 
     def test_mixed_prompt_and_token_rotation_iterations(self):
         """Saturated mixed machines rotate with prompts sharing iterations."""
         trace = generate_trace("conversation", rate_rps=30.0, duration_s=25.0, seed=77)
-        for fast_forward in (True, False):
-            (ref_sim, ref), (col_sim, col) = _run_cluster_pair(
-                baseline_h100(2), trace, fast_forward=fast_forward
-            )
-            if fast_forward:
-                # fast_forward=False disables the rotation engine entirely;
-                # the coalescing pass must actually engage it here.
-                assert any(m.rotation_runs for m in col_sim.machines), (
-                    "the trace must actually drive the rotation engine"
-                )
-            _assert_requests_identical(ref.requests, col.requests)
-            _assert_machine_stats_identical(ref_sim.metrics, col_sim.metrics)
+        (ref_sim, ref), (col_sim, col) = _run_cluster_pair(baseline_h100(2), trace)
+        # fast_forward=False disables the rotation engine entirely; the
+        # coalescing pass must actually engage it here.
+        assert any(m.rotation_runs for m in col_sim.machines), (
+            "the trace must actually drive the rotation engine"
+        )
+        _assert_requests_identical(ref.requests, col.requests)
+        _assert_machine_stats_identical(ref_sim.metrics, col_sim.metrics)
 
     def test_oversubscribed_split_cluster_rotation(self):
         """Burst load drives token machines through the rotation + ff regimes."""
         trace = generate_trace("conversation", rate_rps=50.0, duration_s=30.0, seed=11)
-        for fast_forward in (True, False):
-            _assert_cluster_parity(splitwise_hh(2, 2), trace, fast_forward=fast_forward)
+        _assert_cluster_parity(splitwise_hh(2, 2), trace)
 
 
 class TestScenarioParity:
-    @pytest.mark.parametrize("fast_forward", [True, False])
-    def test_diurnal_autoscale_scenario(self, fast_forward):
+    def test_diurnal_autoscale_scenario(self):
         preset = get_scenario("diurnal")
         runs = []
-        for legacy in (True, False):
+        for fast_forward in (False, True):
             simulation, trace, failures = prepare_scenario_run(
                 preset,
                 seed=14,
                 scale=1.0,
                 autoscaled=True,
-                legacy_token_log=legacy,
                 fast_forward=fast_forward,
             )
             runs.append((simulation, simulation.run(trace, failures=failures)))
@@ -167,11 +155,10 @@ class TestScenarioParity:
         _assert_slo_reports_identical(ref.slo_report(), col.slo_report())
         assert ref.machine_hours() == col.machine_hours()
 
-    @pytest.mark.parametrize("fast_forward", [True, False])
-    def test_fleet_burst_scenario(self, fast_forward):
+    def test_fleet_burst_scenario(self):
         preset = get_scenario("mixed-tenant")
         runs = []
-        for legacy in (True, False):
+        for fast_forward in (False, True):
             fleet, trace, failures = prepare_fleet_run(
                 preset,
                 clusters=2,
@@ -180,7 +167,6 @@ class TestScenarioParity:
                 scale=1.0,
                 policy="slo-feedback",
                 burst=True,
-                legacy_token_log=legacy,
                 fast_forward=fast_forward,
             )
             runs.append(fleet.run(trace, failures=failures))

@@ -87,6 +87,29 @@ class TestClusterLevelRecovery:
         result = simulation.run(failure_trace, failures=[(7.0, "machine-2")])
         assert result.completion_rate == 1.0
 
+    def test_recovered_machine_does_not_replay_dead_iteration(self, failure_trace):
+        # Regression: fail() must tombstone the in-flight iteration's finish
+        # event.  A machine repaired before that event's boundary would
+        # otherwise replay the dead iteration and double-complete requests
+        # that already restarted on its siblings.
+        simulation = ClusterSimulation(splitwise_hh(2, 2))
+        simulation.engine.schedule_at(
+            5.0,
+            lambda: simulation.scheduler.recover_machine("prompt-0"),
+            priority=2,  # after the failure at the same instant
+            tag="repair:prompt-0",
+        )
+        result = simulation.run(failure_trace, failures=[(5.0, "prompt-0")])
+        assert result.completion_rate == 1.0
+        assert not result.scheduler.failed_machines
+        assert result.scheduler.restarted_requests
+        assert all(r.generated_tokens == r.output_tokens for r in result.completed_requests)
+        # The repaired machine rejoined the pool and served later work.
+        assert any(
+            r.prompt_machine == "prompt-0" and r.prompt_start_time > 5.0
+            for r in result.completed_requests
+        )
+
     def test_restarted_requests_pay_a_latency_penalty(self, failure_trace):
         clean = ClusterSimulation(splitwise_hh(2, 2)).run(failure_trace)
         faulty = ClusterSimulation(splitwise_hh(2, 2)).run(failure_trace, failures=[(8.0, "token-0")])
