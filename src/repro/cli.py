@@ -30,6 +30,7 @@ Examples::
     repro-sim fleet --preset mixed-tenant --clusters 2
     repro-sim fleet --preset diurnal --clusters 3 --policy jsq --timeline
     repro-sim fleet --preset failure-storm --chaos failure-storm --json
+    repro-sim fleet --preset mixed-tenant --chaos failure-storm --retry 4 --hedge
     repro-sim simulate --prompt 3 --token 2 --failures 30:prompt-0
     repro-sim provision --design Splitwise-HH --workload coding --rate 10
 """
@@ -147,6 +148,29 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--fault-seed", type=int, default=None,
         help="seed for the stochastic fault plan (independent of the trace --seed)",
+    )
+    fleet.add_argument(
+        "--retry", type=int, default=None, metavar="N",
+        help="retry budget per request (overrides the chaos preset's policy; "
+             "0 disables retries)",
+    )
+    fleet.add_argument(
+        "--retry-seed", type=int, default=None,
+        help="seed for the retry-backoff jitter (independent of --seed and --fault-seed)",
+    )
+    fleet.add_argument(
+        "--hedge", action=argparse.BooleanOptionalAction, default=None,
+        help="force tail-latency hedging on/off (default: the chaos preset's setting)",
+    )
+    fleet.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="fleet-wide end-to-end deadline in milliseconds (replaces the "
+             "chaos preset's deadline config)",
+    )
+    fleet.add_argument(
+        "--no-reliability", action="store_true",
+        help="strip the request-lifecycle layer (retries, hedging, deadlines, "
+             "degraded service) — the pre-lifecycle baseline",
     )
     fleet.add_argument("--timeline", action="store_true", help="print the provisioning timeline")
     fleet.add_argument("--json", action="store_true", help="print machine-readable JSON")
@@ -377,10 +401,17 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     chaos_name = preset.chaos if args.chaos is None else args.chaos
     if chaos_name == "none":
         chaos_name = None
+    reliability_kwargs = dict(
+        retry_override=args.retry,
+        retry_seed=args.retry_seed,
+        hedge_override=args.hedge,
+        deadline_ms=args.deadline_ms,
+        reliability_off=args.no_reliability,
+    )
     static_fleet, trace, failures = prepare_fleet_run(
         preset, clusters=args.clusters, burst_clusters=args.burst_clusters, seed=args.seed,
         scale=args.scale, policy=args.policy, burst=False, model=model,
-        chaos=args.chaos, fault_seed=args.fault_seed,
+        chaos=args.chaos, fault_seed=args.fault_seed, **reliability_kwargs,
     )
     static_result = static_fleet.run(trace, failures=failures)
     static_summary = fleet_run_summary(static_result)
@@ -401,6 +432,15 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         "policy": args.policy,
         "chaos": chaos_name,
         "fault_seed": None if static_fleet.faults is None else static_fleet.faults.seed,
+        "retry": None
+        if static_fleet.lifecycle is None or static_fleet.lifecycle.retry is None
+        else static_fleet.lifecycle.retry.max_retries,
+        "retry_seed": None
+        if static_fleet.lifecycle is None or static_fleet.lifecycle.retry is None
+        else static_fleet.lifecycle.retry.seed,
+        "hedge": static_fleet.lifecycle is not None
+        and static_fleet.lifecycle.hedge is not None,
+        "deadline_ms": args.deadline_ms,
         "static": static_summary,
     }
 
@@ -409,7 +449,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         burst_fleet, trace, failures = prepare_fleet_run(
             preset, clusters=args.clusters, burst_clusters=args.burst_clusters, seed=args.seed,
             scale=args.scale, policy=args.policy, burst=True, model=model,
-            chaos=args.chaos, fault_seed=args.fault_seed,
+            chaos=args.chaos, fault_seed=args.fault_seed, **reliability_kwargs,
         )
         burst_result = burst_fleet.run(trace, failures=failures)
         burst_summary = fleet_run_summary(burst_result)
@@ -457,6 +497,15 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                     f"  {'':<7} chaos: {fired} injections fired, "
                     f"bans={run.get('bans_issued', 0)}, shed={shed} "
                     f"({', '.join(f'{t}={n}' for t, n in sorted(run.get('requests_shed', {}).items())) or 'none'})"
+                )
+            if "reliability" in run:
+                rel = run["reliability"]
+                expired = sum(run.get("requests_expired", {}).values())
+                print(
+                    f"  {'':<7} lifecycle: retries={rel['retries_fired']} "
+                    f"hedges={rel['hedges_launched']} (won {rel['hedges_won']}, "
+                    f"wasted {rel['hedge_wasted_tokens']} tok), "
+                    f"degraded={run.get('requests_degraded', 0)}, expired={expired}"
                 )
         if "machine_hours_saved" in payload:
             saved = payload["machine_hours_saved"]

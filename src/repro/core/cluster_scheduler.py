@@ -284,6 +284,10 @@ class ClusterScheduler:
         #: fleet router so its outstanding counts and rolling latency windows
         #: track cluster health without scanning queues).
         self.on_request_complete: Callable[[Request], None] | None = None
+        #: When set (fleet request-lifecycle layer), failed requests are reset
+        #: and handed to this callable instead of being resubmitted locally —
+        #: the lifecycle layer decides whether (and where) to retry them.
+        self.restart_handler: Callable[[Request], None] | None = None
 
         for machine in machines:
             machine.on_prompt_complete = self._handle_prompt_complete
@@ -555,11 +559,15 @@ class ClusterScheduler:
                     to_restart.setdefault(id(request), request)
 
         restarted: list[Request] = []
+        handler = self.restart_handler
         for request in to_restart.values():
             self._withdraw(request)
             request.reset_for_restart()
             self._assignments.pop(request.request_id, None)
-            self.submit(request)
+            if handler is not None:
+                handler(request)
+            else:
+                self.submit(request)
             restarted.append(request)
         self.restarted_requests.extend(restarted)
         return restarted
@@ -644,6 +652,18 @@ class ClusterScheduler:
             evacuated.append(request)
         self.restarted_requests.extend(evacuated)
         return evacuated
+
+    def cancel_request(self, request: Request) -> None:
+        """Withdraw a request from the cluster without restarting it.
+
+        Used by the fleet's request-lifecycle layer for deadline expiry and
+        first-wins hedge cancellation: the request leaves every queue (and
+        any in-flight KV transfer is tombstoned), its routing entry is
+        dropped, and nothing is resubmitted.  Safe to call for a request the
+        cluster no longer holds.
+        """
+        self._withdraw(request)
+        self._assignments.pop(request.request_id, None)
 
     def find_machine(self, name: str) -> SimulatedMachine:
         """Look up a machine by name, failed machines included.
@@ -759,7 +779,10 @@ class ClusterScheduler:
             self._assignments.pop(request.request_id, None)
             request.reset_for_restart()
             self.restarted_requests.append(request)
-            self.submit(request)
+            if self.restart_handler is not None:
+                self.restart_handler(request)
+            else:
+                self.submit(request)
             return
         request.finish_kv_transfer(self.engine.now)
         destination.admit_token_request(request)

@@ -349,6 +349,15 @@ class SimulatedMachine:
                 # the restarted request can be re-admitted to this very
                 # machine before the stale finish event fires).
                 self._withdrawn_ids.add(request_id)
+        elif self._busy and self._running_plan is not None:
+            # Mid-running-prompt: the request was popped from the queue at
+            # iteration start, so neither map holds it — only the running
+            # plan does.  Mark it so the finish loop's prompt pass skips it
+            # (finish_prompt on a reset request would corrupt the restarted
+            # attempt).  `_running_prompt_tokens` is left alone: it is
+            # plan-static and reset wholesale when the iteration finishes.
+            if any(r is request for r in self._running_plan.prompt_requests):
+                self._withdrawn_ids.add(request_id)
         self.cancel_transfer(request)
 
     def _remove_ready(self, request: Request) -> None:
@@ -1326,7 +1335,16 @@ class SimulatedMachine:
 
         on_prompt_complete = self.on_prompt_complete
         on_request_complete = self.on_request_complete
+        # A request withdrawn mid-iteration (failure restart, deadline
+        # cancellation) was reset or expired; mutating it here would corrupt
+        # the restarted/cancelled state, so its plan slot is skipped
+        # outright.  Keyed on the withdrawn-id set rather than pool
+        # membership: the restarted request may already have been
+        # re-admitted to this very machine, putting its id back in the pool.
+        withdrawn = self._withdrawn_ids
         for request in plan.prompt_requests:
+            if withdrawn and request.request_id in withdrawn:
+                continue
             request.finish_prompt(now)
             if on_prompt_complete is not None:
                 on_prompt_complete(request, self, prompt_latency)
@@ -1334,12 +1352,6 @@ class SimulatedMachine:
                 on_request_complete(request, self)
 
         pool_by_id = self._pool_by_id
-        # A request withdrawn mid-iteration (failure restart) was reset and
-        # rerouted; mutating it here would corrupt the restarted state, so its
-        # plan slot is skipped outright.  Keyed on the withdrawn-id set rather
-        # than pool membership: the restarted request may already have been
-        # re-admitted to this very machine, putting its id back in the pool.
-        withdrawn = self._withdrawn_ids
         generated_count = 0
         kv_delta = 0
         token_requests = plan.token_requests

@@ -25,6 +25,7 @@ from repro.core.designs import splitwise_hh
 from repro.faults import get_chaos_preset
 from repro.fleet.fleet import FleetResult, FleetSimulation
 from repro.fleet.provisioner import FleetProvisionerConfig
+from repro.fleet.reliability import DeadlineConfig, HedgeConfig, RetryPolicy
 from repro.fleet.router import ROUTER_POLICIES
 from repro.models.llm import LLAMA2_70B, ModelSpec
 from repro.workload.scenarios import SCENARIO_PRESETS, Scenario, get_scenario
@@ -43,6 +44,11 @@ def prepare_fleet_run(
     provisioner_config: FleetProvisionerConfig | None = None,
     chaos: str | None = None,
     fault_seed: int | None = None,
+    retry_override: int | None = None,
+    retry_seed: int | None = None,
+    hedge_override: bool | None = None,
+    deadline_ms: float | None = None,
+    reliability_off: bool = False,
     **cluster_kwargs,
 ) -> tuple[FleetSimulation, Trace, tuple[tuple[float, str], ...]]:
     """Build one fleet run: the simulation, its trace, and its failures.
@@ -80,6 +86,18 @@ def prepare_fleet_run(
         fault_seed: Seed for the stochastic fault plan (defaults to the
             chaos preset's own seed, so ``seed`` keeps meaning *trace* seed
             and the two processes stay independently reproducible).
+        retry_override: Override the chaos preset's retry budget (``0``
+            disables retries entirely; ``None`` keeps the preset's policy).
+        retry_seed: Seed for the retry-backoff jitter RNG (independent of
+            the trace and fault seeds; ``None`` keeps the policy's seed).
+        hedge_override: Force hedging on (with default
+            :class:`~repro.fleet.reliability.HedgeConfig`) or off;
+            ``None`` keeps the preset's setting.
+        deadline_ms: Fleet-wide end-to-end deadline in milliseconds,
+            replacing the preset's deadline config (``None`` keeps it).
+        reliability_off: Strip the whole request-lifecycle layer (retry,
+            hedge, deadlines, degraded service) regardless of the preset —
+            the PR 6-equivalent baseline for goodput comparisons.
         **cluster_kwargs: Forwarded to every member
             :class:`~repro.core.cluster.ClusterSimulation` (``fast_forward``,
             batching/routing overrides, ...).
@@ -101,7 +119,27 @@ def prepare_fleet_run(
             "faults": faults,
             "reliability": bundle.reliability,
             "admission": bundle.admission,
+            "retry": bundle.retry,
+            "hedge": bundle.hedge,
+            "deadlines": bundle.deadlines,
+            "degraded": bundle.degraded,
         }
+    if reliability_off:
+        for key in ("retry", "hedge", "deadlines", "degraded"):
+            chaos_kwargs.pop(key, None)
+    else:
+        if retry_override is not None:
+            if retry_override <= 0:
+                chaos_kwargs["retry"] = None
+            else:
+                base = chaos_kwargs.get("retry") or RetryPolicy()
+                chaos_kwargs["retry"] = replace(base, max_retries=retry_override)
+        if retry_seed is not None and chaos_kwargs.get("retry") is not None:
+            chaos_kwargs["retry"] = replace(chaos_kwargs["retry"], seed=retry_seed)
+        if hedge_override is not None:
+            chaos_kwargs["hedge"] = HedgeConfig() if hedge_override else None
+        if deadline_ms is not None:
+            chaos_kwargs["deadlines"] = DeadlineConfig(e2e_s=deadline_ms / 1000.0)
     num_prompt, num_token = preset.machine_counts(scale)
     design = splitwise_hh(num_prompt, num_token)
     if burst:
@@ -151,6 +189,10 @@ def fleet_run_summary(result: FleetResult) -> dict:
         summary["bans_issued"] = result.router.bans_issued
     if result.injector is not None:
         summary["faults"] = result.injector.snapshot()
+    if result.lifecycle is not None:
+        summary["reliability"] = result.lifecycle.snapshot()
+        summary["requests_expired"] = dict(sorted(result.expired_by_tenant.items()))
+        summary["requests_degraded"] = len(result.degraded_requests)
     return summary
 
 

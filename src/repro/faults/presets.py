@@ -1,9 +1,11 @@
-"""Named chaos presets: fault plan + reliability + admission bundles.
+"""Named chaos presets: fault plan + reliability + admission + lifecycle bundles.
 
 A chaos preset is the reliability analogue of a scenario preset: one name
 selects a coherent bundle of failure processes, router reliability knobs,
-and admission control, so the CLI (``repro-sim fleet --chaos <name>``), the
-CI chaos-smoke job, and the tests all exercise the identical configuration.
+admission control, and request-lifecycle policies (retry / hedge / deadline /
+degraded service), so the CLI (``repro-sim fleet --chaos <name>``), the CI
+chaos- and reliability-smoke jobs, and the tests all exercise the identical
+configuration.
 """
 
 from __future__ import annotations
@@ -11,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.faults.plan import FaultPlanConfig
+from repro.fleet.reliability import DeadlineConfig, DegradedConfig, HedgeConfig, RetryPolicy
 from repro.fleet.router import AdmissionConfig, ReliabilityConfig
 
 
@@ -24,6 +27,10 @@ class ChaosPreset:
         faults: The stochastic failure processes to arm.
         reliability: Router reliability feedback (``None`` = off).
         admission: Per-tenant admission control (``None`` = off).
+        retry: Request retry policy (``None`` = local restarts, as before).
+        hedge: Tail-latency hedging config (``None`` = off).
+        deadlines: Per-tenant deadline config (``None`` = no deadlines).
+        degraded: Degraded-service config (``None`` = shed means dropped).
     """
 
     name: str
@@ -31,18 +38,32 @@ class ChaosPreset:
     faults: FaultPlanConfig
     reliability: ReliabilityConfig | None = None
     admission: AdmissionConfig | None = None
+    retry: RetryPolicy | None = None
+    hedge: HedgeConfig | None = None
+    deadlines: DeadlineConfig | None = None
+    degraded: DegradedConfig | None = None
 
 
 CHAOS_PRESETS: dict[str, ChaosPreset] = {
     "machine-churn": ChaosPreset(
         name="machine-churn",
-        description="Stochastic machine failures with repair (MTBF/MTTR) plus router bans",
+        description=(
+            "Stochastic machine failures with repair (MTBF/MTTR) plus router "
+            "bans and budgeted cross-cluster retries"
+        ),
         faults=FaultPlanConfig(machine_mtbf_s=60.0, machine_mttr_s=10.0),
         reliability=ReliabilityConfig(),
+        # Churn displaces work often; a generous budget with short backoff
+        # keeps displaced requests flowing to surviving clusters instead of
+        # re-queueing on the one that just lost a machine.
+        retry=RetryPolicy(max_retries=6, backoff_base_s=0.1, backoff_max_s=1.0),
     ),
     "degraded-network": ChaosPreset(
         name="degraded-network",
-        description="KV-transfer brown-outs and persistent stragglers, no hard failures",
+        description=(
+            "KV-transfer brown-outs and persistent stragglers, no hard "
+            "failures; hedging and loose deadlines cut the straggler tail"
+        ),
         faults=FaultPlanConfig(
             straggler_interval_s=180.0,
             straggler_slowdown=1.6,
@@ -51,12 +72,19 @@ CHAOS_PRESETS: dict[str, ChaosPreset] = {
             kv_degradation_factor=3.0,
         ),
         reliability=ReliabilityConfig(),
+        # Stragglers and brown-outs stretch the tail without killing work:
+        # hedge stuck starts onto a healthy cluster, and expire only the
+        # truly wedged (deadlines far beyond any healthy completion).
+        hedge=HedgeConfig(p99_multiplier=1.5, min_delay_s=1.0, max_delay_s=30.0),
+        deadlines=DeadlineConfig(ttft_s=120.0, e2e_s=600.0),
+        degraded=DegradedConfig(max_output_tokens=32, on_shed=True, on_ttft_deadline=False),
     ),
     "failure-storm": ChaosPreset(
         name="failure-storm",
         description=(
             "Everything at once: machine churn, rack outages, stragglers, "
-            "KV brown-outs, spot revocation, bans, and admission control"
+            "KV brown-outs, spot revocation, bans, admission control, "
+            "retries, hedging, deadlines, and degraded service"
         ),
         faults=FaultPlanConfig(
             machine_mtbf_s=45.0,
@@ -83,6 +111,15 @@ CHAOS_PRESETS: dict[str, ChaosPreset] = {
             tenant_priorities={"conversation": 2},
             shed_headroom=0.5,
         ),
+        # The goodput lever under a storm is serving, not dropping: a deep
+        # retry budget with fast backoff re-lands displaced work, hedging
+        # rescues stuck starts, degraded service converts shed traffic into
+        # short answers, and deadlines stay loose enough that only requests
+        # the storm has genuinely wedged expire.
+        retry=RetryPolicy(max_retries=8, backoff_base_s=0.1, backoff_max_s=1.0),
+        hedge=HedgeConfig(p99_multiplier=2.0, min_delay_s=2.0, max_delay_s=30.0),
+        deadlines=DeadlineConfig(ttft_s=120.0, e2e_s=300.0),
+        degraded=DegradedConfig(max_output_tokens=32, on_shed=True, on_ttft_deadline=False),
     ),
 }
 

@@ -6,7 +6,10 @@ discrete-event engine behind a global, tenant-aware
 :class:`~repro.fleet.router.FleetRouter`, while an optional
 :class:`~repro.fleet.provisioner.FleetProvisioner` rents and retires whole
 clusters elastically (warm pools, cold starts, drain-then-retire) with
-machine-hour/cost accounting against static provisioning.
+machine-hour/cost accounting against static provisioning.  The
+request-lifecycle reliability layer (:mod:`repro.fleet.reliability`) adds
+per-tenant deadlines, budgeted retries, hedged requests, and degraded
+service under overload on top of the router.
 """
 
 from repro.fleet.fleet import FleetCluster, FleetResult, FleetSimulation
@@ -15,6 +18,13 @@ from repro.fleet.provisioner import (
     FleetProvisionEvent,
     FleetProvisioner,
     FleetProvisionerConfig,
+)
+from repro.fleet.reliability import (
+    DeadlineConfig,
+    DegradedConfig,
+    HedgeConfig,
+    ReliabilityCoordinator,
+    RetryPolicy,
 )
 from repro.fleet.router import (
     DEFAULT_SLO_WINDOW,
@@ -35,6 +45,11 @@ __all__ = [
     "ClusterHealth",
     "ReliabilityConfig",
     "AdmissionConfig",
+    "RetryPolicy",
+    "HedgeConfig",
+    "DeadlineConfig",
+    "DegradedConfig",
+    "ReliabilityCoordinator",
     "ROUTER_POLICIES",
     "DEFAULT_SLO_WINDOW",
     "FleetProvisioner",

@@ -27,6 +27,13 @@ from repro.core.autoscaler import AutoscalerConfig
 from repro.core.cluster import ClusterSimulation, SimulationResult
 from repro.core.designs import ClusterDesign
 from repro.fleet.provisioner import ClusterState, FleetProvisioner, FleetProvisionerConfig
+from repro.fleet.reliability import (
+    DeadlineConfig,
+    DegradedConfig,
+    HedgeConfig,
+    ReliabilityCoordinator,
+    RetryPolicy,
+)
 from repro.fleet.router import AdmissionConfig, FleetRouter, ReliabilityConfig
 
 if TYPE_CHECKING:  # pragma: no cover - the fault plane layers above the fleet
@@ -114,6 +121,11 @@ class FleetResult:
             grouped by tenant (empty without admission control).
         injector: The fault injector that drove the run (``None`` when no
             fault plan was armed); exposes seed and injection provenance.
+        expired_by_tenant: Requests cancelled by the request-lifecycle layer
+            (missed deadline or exhausted retry budget), grouped by tenant.
+        lifecycle: The request-lifecycle coordinator (``None`` when no
+            deadline/retry/hedge/degraded config was supplied); exposes
+            retry/hedge counters and wasted-work accounting.
     """
 
     trace_name: str
@@ -127,6 +139,8 @@ class FleetResult:
     tenant_policies: Mapping[str, SloPolicy] | None = field(default=None, repr=False)
     shed_by_tenant: dict[str, int] = field(default_factory=dict)
     injector: "FaultInjector | None" = field(default=None, repr=False)
+    expired_by_tenant: dict[str, int] = field(default_factory=dict)
+    lifecycle: ReliabilityCoordinator | None = field(default=None, repr=False)
 
     @property
     def completed_requests(self) -> list[Request]:
@@ -144,12 +158,28 @@ class FleetResult:
         return sum(self.shed_by_tenant.values())
 
     @property
+    def expired_requests(self) -> list[Request]:
+        """Requests cancelled by the lifecycle layer (deadline / retry exhaustion)."""
+        return [r for r in self.requests if r.expired]
+
+    @property
+    def requests_expired(self) -> int:
+        """Count of lifecycle-expired requests."""
+        return sum(self.expired_by_tenant.values())
+
+    @property
+    def degraded_requests(self) -> list[Request]:
+        """Requests served to completion with a degraded (truncated) output budget."""
+        return [r for r in self.requests if r.degraded and r.is_complete]
+
+    @property
     def completion_rate(self) -> float:
         """Fraction of submitted requests that completed.
 
-        Shed requests stay in the denominator: admission control trades
-        completion rate for the latency of the requests it does admit, and
-        hiding the shed traffic would make that trade look free.
+        Shed and expired requests stay in the denominator: admission control
+        and deadlines trade completion rate for the latency of the requests
+        they do serve, and hiding the dropped traffic would make that trade
+        look free.
         """
         return len(self.completed_requests) / len(self.requests) if self.requests else 0.0
 
@@ -278,6 +308,20 @@ class FleetSimulation:
         admission: Optional :class:`~repro.fleet.router.AdmissionConfig`
             enabling per-tenant admission control: under fleet overload the
             lowest-priority tenants' arrivals are shed first.
+        retry: Optional :class:`~repro.fleet.reliability.RetryPolicy`
+            re-submitting failed attempts through the router (failing
+            cluster excluded) under a per-tenant budget with seeded backoff.
+        hedge: Optional :class:`~repro.fleet.reliability.HedgeConfig`
+            duplicating slow-starting requests onto a second cluster after
+            a rolling-P99-derived delay (first attempt wins).
+        deadlines: Optional :class:`~repro.fleet.reliability.DeadlineConfig`
+            with per-tenant TTFT / end-to-end deadlines enforced by engine
+            timers that cancel-and-account expired work.
+        degraded: Optional :class:`~repro.fleet.reliability.DegradedConfig`
+            serving would-be-shed (and optionally deadline-missing)
+            requests with a truncated output budget instead of dropping
+            them.  Any of these four being set creates the fleet's
+            :class:`~repro.fleet.reliability.ReliabilityCoordinator`.
         **cluster_kwargs: Forwarded to every member
             :class:`ClusterSimulation` (batching, routing, thresholds,
             ``fast_forward``, ...).
@@ -296,6 +340,10 @@ class FleetSimulation:
         faults: "FaultPlanConfig | None" = None,
         reliability: ReliabilityConfig | None = None,
         admission: AdmissionConfig | None = None,
+        retry: RetryPolicy | None = None,
+        hedge: HedgeConfig | None = None,
+        deadlines: DeadlineConfig | None = None,
+        degraded: DegradedConfig | None = None,
         **cluster_kwargs,
     ) -> None:
         if num_clusters < 1:
@@ -352,10 +400,18 @@ class FleetSimulation:
                 )
             )
         self.router.attach(self.clusters, engine=self.engine)
+        if any(cfg is not None for cfg in (retry, hedge, deadlines, degraded)):
+            self.lifecycle: ReliabilityCoordinator | None = ReliabilityCoordinator(
+                self, retry=retry, hedge=hedge, deadlines=deadlines, degraded=degraded
+            )
+        else:
+            self.lifecycle = None
         self._expected = 0
         self._completed = 0
         self._shed = 0
+        self._expired = 0
         self.shed_by_tenant: dict[str, int] = {}
+        self.expired_by_tenant: dict[str, int] = {}
 
     @property
     def machines(self):
@@ -389,15 +445,23 @@ class FleetSimulation:
             scheduler.on_machine_failed = chained
 
     def _on_complete(self, cluster_name: str, request: Request) -> None:
+        if self.lifecycle is not None:
+            # First-wins settlement: the coordinator maps hedge clones back
+            # to their logical request and suppresses duplicate counts.
+            settled = self.lifecycle.on_attempt_complete(cluster_name, request)
+            if settled is None:
+                return
+            request = settled
         self.router.note_completed(cluster_name, request)
         self._completed += 1
-        if self._completed + self._shed >= self._expected:
-            # Every request is accounted for (completed or shed up front):
-            # stop all recurring controllers.  Two or more of them
-            # (per-cluster autoscalers, the fleet provisioner) would
-            # otherwise keep each other's "queue non-empty" checks true
-            # forever.  Controller ticks never act after the last
-            # completion, so stopping here is behavior-neutral.
+        if self._completed + self._shed + self._expired >= self._expected:
+            # Every request is accounted for (completed, shed up front, or
+            # expired by the lifecycle layer): stop all recurring
+            # controllers.  Two or more of them (per-cluster autoscalers,
+            # the fleet provisioner) would otherwise keep each other's
+            # "queue non-empty" checks true forever.  Controller ticks never
+            # act after the last completion, so stopping here is
+            # behavior-neutral.
             self._stop_controllers()
 
     def _stop_controllers(self) -> None:
@@ -414,21 +478,47 @@ class FleetSimulation:
     def _submit(self, request: Request, readmit: bool = False) -> None:
         if not readmit and self.admission is not None:
             if self.router.total_outstanding() >= self.admission.shed_threshold(request.tenant):
-                # Over this tenant's headroom: reject up front instead of
-                # queueing.  Evacuated requests being re-routed (readmit)
-                # are exempt — admission gates *new* work, and dropping
-                # already-admitted work on re-route would lose requests.
-                request.shed = True
-                self._shed += 1
-                self.shed_by_tenant[request.tenant] = (
-                    self.shed_by_tenant.get(request.tenant, 0) + 1
-                )
-                if self._completed + self._shed >= self._expected:
-                    self._stop_controllers()
-                return
-        cluster = self.router.route(request)
+                if self.lifecycle is not None and self.lifecycle.wants_shed_degrade(request):
+                    # Degraded service: admit with a truncated output budget
+                    # instead of dropping.  Only requests whose budget
+                    # actually shrinks take this path — degrading an
+                    # already-short request would defeat admission control
+                    # without offloading anything.
+                    self.lifecycle.degrade_admission(request)
+                else:
+                    # Over this tenant's headroom: reject up front instead
+                    # of queueing.  Evacuated requests being re-routed
+                    # (readmit) are exempt — admission gates *new* work, and
+                    # dropping already-admitted work on re-route would lose
+                    # requests.
+                    request.shed = True
+                    self._shed += 1
+                    self.shed_by_tenant[request.tenant] = (
+                        self.shed_by_tenant.get(request.tenant, 0) + 1
+                    )
+                    if self._completed + self._shed + self._expired >= self._expected:
+                        self._stop_controllers()
+                    return
+        if self.lifecycle is not None and not readmit:
+            self.lifecycle.register(request)
+        self._submit_attempt(request)
+
+    def _submit_attempt(self, request: Request, exclude: str | None = None) -> None:
+        """Route one attempt (original, retry, or hedge clone) to a cluster."""
+        cluster = self.router.route(request, exclude=exclude)
         cluster.requests.append(request)
         cluster.scheduler.submit(request)
+        if self.lifecycle is not None:
+            self.lifecycle.on_routed(request, cluster.name)
+
+    def _note_expired(self, request: Request) -> None:
+        """Account a lifecycle-expired request toward the run's census."""
+        self._expired += 1
+        self.expired_by_tenant[request.tenant] = (
+            self.expired_by_tenant.get(request.tenant, 0) + 1
+        )
+        if self._completed + self._shed + self._expired >= self._expected:
+            self._stop_controllers()
 
     # -- fault-plane actions -----------------------------------------------------------
 
@@ -448,7 +538,12 @@ class FleetSimulation:
                 request for request in cluster.requests if id(request) not in evacuated_ids
             ]
             for request in evacuated:
-                self._submit(request, readmit=True)
+                if self.lifecycle is not None:
+                    # Already withdrawn from the router's books and the
+                    # roster above; the coordinator decides retry vs expire.
+                    self.lifecycle.on_attempt_failed(cluster.name, request, accounted=True)
+                else:
+                    self._submit(request, readmit=True)
 
     def end_outage(self, cluster: FleetCluster) -> None:
         """Bring an outaged cluster back: repair done, machines rejoin empty."""
@@ -478,7 +573,10 @@ class FleetSimulation:
                 request for request in cluster.requests if id(request) not in evacuated_ids
             ]
             for request in evacuated:
-                self._submit(request, readmit=True)
+                if self.lifecycle is not None:
+                    self.lifecycle.on_attempt_failed(cluster.name, request, accounted=True)
+                else:
+                    self._submit(request, readmit=True)
 
     # -- running -----------------------------------------------------------------------
 
@@ -519,8 +617,23 @@ class FleetSimulation:
         self._expected = len(requests)
         self._completed = 0
         self._shed = 0
+        self._expired = 0
         self.shed_by_tenant = {}
+        self.expired_by_tenant = {}
+        if self.lifecycle is not None:
+            self.lifecycle.reset()
         self._wire_completion_hooks()
+        if self.lifecycle is not None and self.lifecycle.retry is not None:
+            # With a retry policy, failed attempts leave their cluster and
+            # re-enter through the router (failing cluster excluded, budget
+            # charged).  Without one, schedulers keep the pre-lifecycle
+            # behavior: restart locally on the surviving machines.
+            for cluster in self.clusters:
+                cluster.scheduler.restart_handler = (
+                    lambda request, name=cluster.name: self.lifecycle.on_attempt_failed(
+                        name, request
+                    )
+                )
         for cluster in self.clusters:
             prefix = f"{cluster.name}/"
             cluster.simulation.prepare(
@@ -592,4 +705,6 @@ class FleetSimulation:
             tenant_policies=self.tenant_policies,
             shed_by_tenant=dict(self.shed_by_tenant),
             injector=self.injector,
+            expired_by_tenant=dict(self.expired_by_tenant),
+            lifecycle=self.lifecycle,
         )

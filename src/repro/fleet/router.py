@@ -372,8 +372,17 @@ class FleetRouter:
 
     # -- routing -----------------------------------------------------------------------
 
-    def route(self, request: Request) -> "FleetCluster":
+    def route(self, request: Request, exclude=None) -> "FleetCluster":
         """Pick the cluster that will serve ``request`` and record the decision.
+
+        Args:
+            request: The request to place.
+            exclude: Optional cluster name (or collection of names) to avoid
+                for this attempt — the request-lifecycle layer excludes the
+                cluster a retry just failed on.  The exclusion is *soft*:
+                when every other cluster is unroutable the excluded cluster
+                is used anyway (a slow retry beats a dropped request), and
+                tenant pins override it entirely.
 
         Raises:
             RuntimeError: when no routable cluster exists (or a pinned
@@ -395,6 +404,11 @@ class FleetRouter:
         ]
         if not candidates:
             raise RuntimeError("fleet has no routable cluster")
+        if exclude:
+            excluded = {exclude} if isinstance(exclude, str) else set(exclude)
+            filtered = [c for c in candidates if c.name not in excluded]
+            if filtered:
+                candidates = filtered
         if self._health:
             # Availability beats reliability: prefer unbanned clusters, but
             # when every candidate is banned, serve from the banned ones

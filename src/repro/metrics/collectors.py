@@ -9,6 +9,10 @@ Two collectors are provided:
   time, energy, and the batch occupancy of every machine, plus helpers to
   derive utilization and the weighted occupancy distribution over machine
   groups (e.g. "all Splitwise-HH prompt machines").
+
+:func:`request_outcomes` classifies a request population by lifecycle
+outcome (completed / degraded / expired / shed) — the census surface used
+by the reliability smoke checks.
 """
 
 from __future__ import annotations
@@ -20,6 +24,39 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.metrics.token_log import TokenLog
+
+
+def request_outcomes(requests: Iterable) -> dict[str, int]:
+    """Count requests by lifecycle outcome.
+
+    Returns a dict with keys ``total``, ``completed``, ``degraded``
+    (completed with a truncated output budget — a subset of ``completed``),
+    ``expired`` (cancelled by a deadline or exhausted retry budget),
+    ``shed`` (rejected by admission control), and ``in_flight`` (none of
+    the above — nonzero only for runs cut off by a horizon).
+
+    The census invariant of a drained run is
+    ``completed + expired + shed == total``.
+    """
+    total = completed = degraded = expired = shed = 0
+    for request in requests:
+        total += 1
+        if request.is_complete:
+            completed += 1
+            if getattr(request, "degraded", False):
+                degraded += 1
+        elif getattr(request, "expired", False):
+            expired += 1
+        elif getattr(request, "shed", False):
+            shed += 1
+    return {
+        "total": total,
+        "completed": completed,
+        "degraded": degraded,
+        "expired": expired,
+        "shed": shed,
+        "in_flight": total - completed - expired - shed,
+    }
 
 
 class BatchOccupancyTracker:

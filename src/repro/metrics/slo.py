@@ -114,17 +114,29 @@ class TenantSloReport:
         fleet: Roll-up report over every request regardless of tenant,
             evaluated against ``fleet_policy``.
         goodput: Fraction of each tenant's *submitted* requests that
-            completed.  Distinct from SLO attainment: admission shedding and
-            failures reduce goodput even when the requests that were served
-            met every latency target.
+            completed.  Distinct from SLO attainment: admission shedding,
+            deadline expiry, and failures reduce goodput even when the
+            requests that were served met every latency target.  Degraded
+            completions count toward goodput — the request was answered,
+            just shorter — with their share reported separately in
+            ``degraded_goodput``.
         fleet_goodput: Completed fraction over all submitted requests
             (``nan`` when no requests were submitted).
+        degraded_goodput: Fraction of each tenant's submitted requests that
+            completed *degraded* (a subset of ``goodput``).
+        fleet_degraded_goodput: Degraded-completed fraction over all
+            submitted requests (0.0 when none were degraded).
+        expired_by_tenant: Requests cancelled by the lifecycle layer
+            (missed deadline or exhausted retry budget), per tenant.
     """
 
     tenants: Mapping[str, SloReport]
     fleet: SloReport
     goodput: Mapping[str, float] = field(default_factory=dict)
     fleet_goodput: float = float("nan")
+    degraded_goodput: Mapping[str, float] = field(default_factory=dict)
+    fleet_degraded_goodput: float = 0.0
+    expired_by_tenant: Mapping[str, int] = field(default_factory=dict)
 
     @property
     def satisfied(self) -> bool:
@@ -151,6 +163,8 @@ class TenantSloReport:
                     "samples": dict(report.samples),
                     "missing_series": report.missing_series(),
                     "goodput": self.goodput.get(tenant),
+                    "degraded_goodput": self.degraded_goodput.get(tenant, 0.0),
+                    "expired": self.expired_by_tenant.get(tenant, 0),
                 }
                 for tenant, report in self.tenants.items()
             },
@@ -159,6 +173,8 @@ class TenantSloReport:
                 "violations": len(self.fleet.violations()),
                 "samples": dict(self.fleet.samples),
                 "goodput": None if np.isnan(self.fleet_goodput) else self.fleet_goodput,
+                "degraded_goodput": self.fleet_degraded_goodput,
+                "expired": sum(self.expired_by_tenant.values()),
             },
         }
 
@@ -279,6 +295,13 @@ def evaluate_slo_by_tenant(
     complete gets the all-``nan`` :func:`empty_slo_report`, so a dropped
     tenant can never make the fleet look compliant.
 
+    Attempt semantics: a retried or hedged request contributes exactly one
+    sample — the fleet layer resolves every attempt back to its logical
+    request before it reaches this function (hedge clones never enter the
+    submitted list, and restarts reuse the original request object), so
+    latencies are measured from the *original* arrival to the winning
+    attempt's completion.
+
     Args:
         requests: Requests from a simulation (any mix of tenants).
         reference_model: Uncontended reference machine model.
@@ -296,11 +319,19 @@ def evaluate_slo_by_tenant(
 
     reports: dict[str, SloReport] = {}
     goodput: dict[str, float] = {}
+    degraded_goodput: dict[str, float] = {}
+    expired_by_tenant: dict[str, int] = {}
     for tenant in sorted(by_tenant):
         policy = policies.get(tenant, default_policy)
         group = by_tenant[tenant]
         completed = sum(1 for r in group if r.is_complete)
         goodput[tenant] = completed / len(group)
+        degraded = sum(1 for r in group if r.is_complete and getattr(r, "degraded", False))
+        if degraded:
+            degraded_goodput[tenant] = degraded / len(group)
+        expired = sum(1 for r in group if getattr(r, "expired", False))
+        if expired:
+            expired_by_tenant[tenant] = expired
         if completed:
             reports[tenant] = evaluate_slo(group, reference_model, policy, tbt_mode=tbt_mode)
         else:
@@ -313,6 +344,16 @@ def evaluate_slo_by_tenant(
     else:
         fleet = empty_slo_report(roll_up_policy)
     fleet_goodput = fleet_completed / len(all_requests) if all_requests else float("nan")
+    fleet_degraded = sum(
+        1 for r in all_requests if r.is_complete and getattr(r, "degraded", False)
+    )
+    fleet_degraded_goodput = fleet_degraded / len(all_requests) if all_requests else 0.0
     return TenantSloReport(
-        tenants=reports, fleet=fleet, goodput=goodput, fleet_goodput=fleet_goodput
+        tenants=reports,
+        fleet=fleet,
+        goodput=goodput,
+        fleet_goodput=fleet_goodput,
+        degraded_goodput=degraded_goodput,
+        fleet_degraded_goodput=fleet_degraded_goodput,
+        expired_by_tenant=expired_by_tenant,
     )

@@ -16,6 +16,13 @@ for throughput:
   cancellation O(1) instead of O(n).
 * :meth:`schedule_recurring` provides self-rescheduling periodic tasks
   without allocating a fresh closure per occurrence.
+
+Same-timestamp ordering across the stack follows a fixed priority ladder:
+machine iteration finishes fire at priority 0, fault injections at 1, fleet
+arrivals at 2, and request-lifecycle timers (deadlines, hedges, retry
+backoffs) at 3 — so at any instant capacity is freed first, the fault plane
+mutates the world second, new work routes against the post-fault state, and
+a completion beats its own deadline.
 """
 
 from __future__ import annotations

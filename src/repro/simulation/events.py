@@ -44,6 +44,11 @@ class Event:
         if self.time < 0:
             raise ValueError(f"event time must be non-negative, got {self.time}")
 
+    @property
+    def live(self) -> bool:
+        """Whether the event is still pending (neither fired nor cancelled)."""
+        return not self.cancelled and not self.fired
+
     # The dataclass is frozen so callers cannot corrupt ordering fields while
     # the event sits in the heap; the two status flags are still mutated
     # through these narrow helpers (used only by the engine).

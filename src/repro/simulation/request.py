@@ -63,6 +63,7 @@ class RequestPhase(enum.Enum):
     TOKEN_RUNNING = "token_running"
     PREEMPTED = "preempted"
     COMPLETED = "completed"
+    EXPIRED = "expired"
 
 
 class Request:
@@ -99,6 +100,16 @@ class Request:
             a machine failure (§IV-E: Splitwise restarts failed requests).
         shed: Whether fleet admission control rejected the request up front
             (it was never routed and will never complete).
+        ttft_deadline_s: TTFT deadline in seconds from arrival (``None`` when
+            no deadline applies — either none was configured, or the
+            lifecycle layer resolved a per-tenant default onto this slot).
+        e2e_deadline_s: End-to-end deadline in seconds from arrival.
+        expired: Whether a deadline timer cancelled the request; expired
+            requests never complete and are censused separately from shed.
+        degraded: Whether the request is being served in degraded mode (its
+            ``output_tokens`` budget was truncated instead of dropping the
+            request); degraded completions are reported separately in
+            goodput.
     """
 
     __slots__ = (
@@ -121,6 +132,10 @@ class Request:
         "priority_boost",
         "restarts",
         "shed",
+        "ttft_deadline_s",
+        "e2e_deadline_s",
+        "expired",
+        "degraded",
         "_token_times",
         "_token_segments",
         "_tail_block",
@@ -152,6 +167,10 @@ class Request:
         self.priority_boost = 0.0
         self.restarts = 0
         self.shed = False
+        self.ttft_deadline_s = descriptor.ttft_deadline_s
+        self.e2e_deadline_s = descriptor.e2e_deadline_s
+        self.expired = False
+        self.degraded = False
         # Columnar token telemetry: materialized prefix + pending segments +
         # the open contiguous / rotation runs (see the module docstring).
         self._token_times: array = array("d")
@@ -311,6 +330,54 @@ class Request:
         """Mark the request as fully generated."""
         self.phase = RequestPhase.COMPLETED
         self.completion_time = time
+
+    def expire(self, time: float) -> None:
+        """Cancel the request because a deadline passed (lifecycle layer).
+
+        Expired requests keep whatever partial telemetry they accumulated
+        (useful for wasted-work accounting) but will never complete; the
+        fleet census counts them separately from completed and shed.
+
+        Raises:
+            RuntimeError: if the request has already completed.
+        """
+        del time  # timestamp kept for interface symmetry / future tracing
+        if self.phase is RequestPhase.COMPLETED:
+            raise RuntimeError(f"request {self.request_id} already completed; cannot expire")
+        self.phase = RequestPhase.EXPIRED
+        self.expired = True
+
+    def adopt_result(self, winner: "Request") -> None:
+        """Copy a winning hedge attempt's telemetry onto this request.
+
+        When a hedged duplicate completes first, the logical request (this
+        object — the one the trace, the fleet census, and the SLO report all
+        hold) adopts the clone's timestamps so that latency is measured from
+        the original arrival to the winning completion, and the clone's
+        token series becomes the request's token series.  Per-attempt stats
+        stay on the lifecycle layer; this object ends up indistinguishable
+        from having run the winning attempt itself.
+        """
+        self.phase = winner.phase
+        self.prompt_machine = winner.prompt_machine
+        self.token_machine = winner.token_machine
+        self.prompt_start_time = winner.prompt_start_time
+        self.first_token_time = winner.first_token_time
+        self.completion_time = winner.completion_time
+        self.kv_transfer_start = winner.kv_transfer_start
+        self.kv_transfer_end = winner.kv_transfer_end
+        self.preemptions = winner.preemptions
+        self.degraded = winner.degraded
+        # Materialize the winner's columnar state and take an owned copy —
+        # the loser attempt's partial series on self is discarded.
+        self._token_times = array("d", winner.token_times)
+        self._token_segments = None
+        self._tail_block = None
+        self._svc_block = None
+        self._svc_indices = None
+        self._svc_base = 0
+        self._svc_flushed = 0
+        self.generated_tokens = winner.generated_tokens
 
     def reset_for_restart(self) -> None:
         """Restart the request from scratch after a machine failure (§IV-E).

@@ -39,6 +39,11 @@ class RequestDescriptor:
             first one is produced by the prompt phase).
         tenant: Tenant the request belongs to (per-tenant SLO accounting and
             tenant-aware fleet routing group by this tag).
+        ttft_deadline_s: Optional per-request TTFT deadline (seconds from
+            arrival).  Overrides any per-tenant deadline configured on the
+            fleet's request-lifecycle layer; ``None`` defers to it.
+        e2e_deadline_s: Optional per-request end-to-end deadline (seconds
+            from arrival).  Same precedence as ``ttft_deadline_s``.
     """
 
     request_id: int
@@ -46,6 +51,8 @@ class RequestDescriptor:
     prompt_tokens: int
     output_tokens: int
     tenant: str = DEFAULT_TENANT
+    ttft_deadline_s: float | None = None
+    e2e_deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.arrival_time_s < 0:
@@ -56,6 +63,10 @@ class RequestDescriptor:
             raise ValueError(f"output_tokens must be >= 1, got {self.output_tokens}")
         if not self.tenant:
             raise ValueError("tenant must be a non-empty string")
+        for name in ("ttft_deadline_s", "e2e_deadline_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be > 0, got {value}")
 
     @property
     def total_tokens(self) -> int:
@@ -183,6 +194,8 @@ class Trace:
         "prompt_tokens",
         "output_tokens",
         "tenant",
+        "ttft_deadline_s",
+        "e2e_deadline_s",
     )
 
     def to_csv(self, path: str | Path) -> Path:
@@ -193,7 +206,15 @@ class Trace:
             writer.writerow(self._CSV_COLUMNS)
             for r in self.requests:
                 writer.writerow(
-                    [r.request_id, f"{r.arrival_time_s:.6f}", r.prompt_tokens, r.output_tokens, r.tenant]
+                    [
+                        r.request_id,
+                        f"{r.arrival_time_s:.6f}",
+                        r.prompt_tokens,
+                        r.output_tokens,
+                        r.tenant,
+                        "" if r.ttft_deadline_s is None else repr(r.ttft_deadline_s),
+                        "" if r.e2e_deadline_s is None else repr(r.e2e_deadline_s),
+                    ]
                 )
         return path
 
@@ -201,14 +222,17 @@ class Trace:
     def from_csv(cls, path: str | Path, name: str | None = None) -> "Trace":
         """Load a trace from a CSV produced by :meth:`to_csv`.
 
-        CSVs written before the tenant column existed (or raw Azure-layout
-        files) load with every request on the default tenant.
+        CSVs written before the tenant or deadline columns existed (or raw
+        Azure-layout files) load with every request on the default tenant and
+        no per-request deadlines.
         """
         path = Path(path)
         requests = []
         with path.open(newline="") as handle:
             reader = csv.DictReader(handle)
             for row in reader:
+                ttft_deadline = row.get("ttft_deadline_s") or None
+                e2e_deadline = row.get("e2e_deadline_s") or None
                 requests.append(
                     RequestDescriptor(
                         request_id=int(row["request_id"]),
@@ -216,6 +240,8 @@ class Trace:
                         prompt_tokens=int(row["prompt_tokens"]),
                         output_tokens=int(row["output_tokens"]),
                         tenant=row.get("tenant") or DEFAULT_TENANT,
+                        ttft_deadline_s=None if ttft_deadline is None else float(ttft_deadline),
+                        e2e_deadline_s=None if e2e_deadline is None else float(e2e_deadline),
                     )
                 )
         return cls(requests=tuple(requests), name=name or path.stem)
@@ -233,6 +259,8 @@ class Trace:
                     "prompt_tokens": r.prompt_tokens,
                     "output_tokens": r.output_tokens,
                     "tenant": r.tenant,
+                    "ttft_deadline_s": r.ttft_deadline_s,
+                    "e2e_deadline_s": r.e2e_deadline_s,
                 }
                 for r in self.requests
             ],
@@ -251,6 +279,8 @@ class Trace:
                 prompt_tokens=r["prompt_tokens"],
                 output_tokens=r["output_tokens"],
                 tenant=r.get("tenant", DEFAULT_TENANT),
+                ttft_deadline_s=r.get("ttft_deadline_s"),
+                e2e_deadline_s=r.get("e2e_deadline_s"),
             )
             for r in payload["requests"]
         )

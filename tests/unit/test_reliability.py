@@ -125,6 +125,93 @@ class TestClusterHealthStateMachine:
         assert health.state == "healthy"
 
 
+class TestProbationEdges:
+    def test_probation_with_zero_outcomes_never_decides(self):
+        health = ClusterHealth(_config(cooldown_s=10.0, probation_requests=4))
+        for _ in range(4):
+            health.record(True, now=0.0)
+        # Arbitrarily far past the cooldown, with no outcomes observed, the
+        # cluster is routable but stays on probation — re-admission requires
+        # evidence, not the passage of time.
+        for now in (10.0, 1e3, 1e6):
+            assert not health.is_banned(now)
+            assert health.state == "probation"
+        assert health.bans == 1
+
+    def test_reban_decided_exactly_at_probation_quota(self):
+        health = ClusterHealth(
+            _config(cooldown_s=10.0, probation_requests=4, probation_threshold=0.5)
+        )
+        for _ in range(4):
+            health.record(True, now=0.0)
+        assert not health.is_banned(10.0)
+        # Three straight probation errors already exceed the threshold, but
+        # the verdict waits for the full probation quota.
+        for t in (11.0, 12.0, 13.0):
+            health.record(True, now=t)
+            assert health.state == "probation"
+        health.record(True, now=14.0)
+        assert health.state == "banned"
+        assert health.bans == 2
+        # The fresh cooldown runs from the deciding outcome.
+        assert health.banned_until_s == pytest.approx(24.0)
+        assert health.is_banned(23.9)
+        assert not health.is_banned(24.0)
+
+    def test_mixed_probation_below_threshold_readmits(self):
+        health = ClusterHealth(
+            _config(cooldown_s=10.0, probation_requests=4, probation_threshold=0.5)
+        )
+        for _ in range(4):
+            health.record(True, now=0.0)
+        assert not health.is_banned(10.0)
+        # 1 error in the 4 probation outcomes: 25% < 50% -> healthy again.
+        health.record(True, now=11.0)
+        for t in (12.0, 13.0, 14.0):
+            health.record(False, now=t)
+        assert health.state == "healthy"
+        assert health.bans == 1
+
+
+class TestBanExclusionInteraction:
+    """Bans (reliability) x retry exclusion (lifecycle) on ``route()``."""
+
+    def _fleet_with_ban(self, banned="cluster-0"):
+        fleet = FleetSimulation(splitwise_hh(1, 1), num_clusters=2, reliability=_config())
+        health = fleet.router._health[banned]
+        for _ in range(4):
+            health.record(True, now=0.0)
+        assert health.is_banned(fleet.engine.now)
+        return fleet
+
+    def test_exclusion_of_healthy_cluster_falls_back_to_banned(self, make_request):
+        # cluster-0 banned, cluster-1 excluded by a retry: both filters are
+        # soft, so the banned cluster still serves rather than dropping.
+        fleet = self._fleet_with_ban("cluster-0")
+        choice = fleet.router.route(make_request(), exclude="cluster-1")
+        assert choice.name == "cluster-0"
+
+    def test_exclusion_agrees_with_ban(self, make_request):
+        fleet = self._fleet_with_ban("cluster-0")
+        choice = fleet.router.route(make_request(), exclude="cluster-0")
+        assert choice.name == "cluster-1"
+
+    def test_ban_alone_steers_to_healthy_cluster(self, make_request):
+        fleet = self._fleet_with_ban("cluster-0")
+        for request_id in range(4):
+            choice = fleet.router.route(make_request(request_id=request_id))
+            assert choice.name == "cluster-1"
+
+    def test_excluding_every_cluster_still_routes(self, make_request):
+        fleet = self._fleet_with_ban("cluster-0")
+        choice = fleet.router.route(
+            make_request(), exclude=("cluster-0", "cluster-1")
+        )
+        # Soft exclusion that would empty the candidate set is ignored; the
+        # ban filter then steers to the healthy cluster.
+        assert choice.name == "cluster-1"
+
+
 class TestAdmissionConfig:
     def test_thresholds_scale_with_priority(self):
         admission = AdmissionConfig(
