@@ -1,0 +1,10 @@
+"""Legacy-path shim: all metadata lives in pyproject.toml.
+
+Kept so ``pip install -e . --no-use-pep517`` works in offline environments
+whose setuptools predates bundled wheel support; normal installs go through
+the PEP 517/660 path and never read this file beyond ``setup()``.
+"""
+
+from setuptools import setup
+
+setup()

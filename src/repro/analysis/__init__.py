@@ -1,0 +1,32 @@
+"""Static analysis and runtime sanitization for simulation invariants.
+
+Every number this reproduction reports rests on bit-identical,
+seed-deterministic simulation: three independent RNG seams (trace / fault /
+retry), ``(time, priority, sequence)`` event ordering, and attempt-census
+closure.  This package enforces those invariants *before* a violation can
+corrupt a result:
+
+* :mod:`repro.analysis.simlint` — an AST linter with repo-specific rules
+  (``SIM001``–``SIM007``: unseeded randomness, wall-clock reads, set-ordering
+  hazards, event-priority discipline, frozen-config mutation, exact float
+  time comparison, stray ``os.environ`` reads).  CLI:
+  ``python -m repro.analysis.simlint [paths]`` or ``repro-sim lint``.
+* :mod:`repro.analysis.rules` — the rule registry; each rule is a small
+  ``ast.NodeVisitor`` so future PRs add rules cheaply.
+* :mod:`repro.analysis.baseline` — committed-baseline support for the
+  documented findings that are justified rather than fixed.
+* :mod:`repro.analysis.sanitizer` — :class:`RunSanitizer`, the runtime half:
+  armed via ``REPRO_SANITIZE=1`` (or ``SimulationEngine(sanitize=True)``) it
+  asserts event-time monotonicity, no scheduling into the past, named
+  RNG-stream phase discipline, and end-of-run event-census closure, raising
+  :class:`SanitizerError` with the offending event tag.  A sanitized run is
+  bit-identical to an unsanitized one (property-tested).
+
+See ``docs/static-analysis.md`` for the rule catalog and workflows.
+"""
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULE_REGISTRY, Rule
+from repro.analysis.sanitizer import RunSanitizer, SanitizerError
+
+__all__ = ["Finding", "RULE_REGISTRY", "Rule", "RunSanitizer", "SanitizerError"]

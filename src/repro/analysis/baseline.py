@@ -1,0 +1,127 @@
+"""Committed-baseline support for documented, justified findings.
+
+The baseline is a JSON file (``.simlint-baseline.json`` at the repo root)
+listing findings that are *accepted*: each entry names the rule, the file,
+optionally the line, and a mandatory human-readable justification note.  The
+linter subtracts baselined findings from its report; entries that no longer
+match anything are reported as *stale* so the baseline cannot silently rot.
+
+Matching is by ``(rule, path)`` plus, when the entry pins a ``line``, the
+exact line number.  A line-less entry accepts every finding of that rule in
+that file — use it for findings that move with unrelated edits, and pinned
+lines for point justifications.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+DEFAULT_BASELINE_NAME = ".simlint-baseline.json"
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineEntry:
+    """One accepted finding.
+
+    Attributes:
+        rule: Rule code the entry suppresses.
+        path: File the entry applies to (``/``-separated relative path).
+        line: Exact line to match, or ``None`` to match the whole file.
+        note: Why the finding is accepted (required; an un-justified
+            suppression is a lint error in itself).
+    """
+
+    rule: str
+    path: str
+    line: int | None
+    note: str
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether this entry suppresses ``finding``."""
+        if self.rule != finding.rule or self.path != finding.path:
+            return False
+        return self.line is None or self.line == finding.line
+
+    def as_dict(self) -> dict[str, object]:
+        data: dict[str, object] = {"rule": self.rule, "path": self.path}
+        if self.line is not None:
+            data["line"] = self.line
+        data["note"] = self.note
+        return data
+
+
+@dataclass
+class Baseline:
+    """The committed set of accepted findings."""
+
+    entries: tuple[BaselineEntry, ...] = ()
+    source: str = ""
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Load a baseline file.
+
+        Raises:
+            ValueError: on a malformed file (wrong version, missing fields,
+                or an entry without a justification note).
+        """
+        raw = json.loads(Path(path).read_text())
+        if not isinstance(raw, dict) or raw.get("version") != 1:
+            raise ValueError(f"{path}: expected a simlint baseline with version 1")
+        entries = []
+        for item in raw.get("entries", []):
+            try:
+                entry = BaselineEntry(
+                    rule=str(item["rule"]),
+                    path=str(item["path"]),
+                    line=None if item.get("line") is None else int(item["line"]),
+                    note=str(item["note"]),
+                )
+            except KeyError as missing:
+                raise ValueError(f"{path}: baseline entry {item!r} lacks {missing}") from None
+            if not entry.note.strip():
+                raise ValueError(f"{path}: baseline entry for {entry.path} has an empty note")
+            entries.append(entry)
+        return cls(entries=tuple(entries), source=str(path))
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding], note: str) -> "Baseline":
+        """Build a baseline accepting every given finding (``--write-baseline``)."""
+        entries = tuple(
+            BaselineEntry(rule=f.rule, path=f.path, line=f.line, note=note or f.message)
+            for f in sorted(findings, key=Finding.sort_key)
+        )
+        return cls(entries=entries)
+
+    def write(self, path: str | Path) -> None:
+        """Serialize to ``path`` in the version-1 JSON format."""
+        payload = {"version": 1, "entries": [entry.as_dict() for entry in self.entries]}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def apply(self, findings: list[Finding]) -> "BaselineResult":
+        """Split findings into unbaselined vs suppressed; spot stale entries."""
+        unbaselined: list[Finding] = []
+        suppressed: list[Finding] = []
+        used: set[BaselineEntry] = set()
+        for finding in findings:
+            entry = next((e for e in self.entries if e.matches(finding)), None)
+            if entry is None:
+                unbaselined.append(finding)
+            else:
+                suppressed.append(finding)
+                used.add(entry)
+        stale = [entry for entry in self.entries if entry not in used]
+        return BaselineResult(unbaselined=unbaselined, suppressed=suppressed, stale=stale)
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of applying a baseline to a finding list."""
+
+    unbaselined: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    stale: list[BaselineEntry] = field(default_factory=list)

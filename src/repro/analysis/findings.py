@@ -1,0 +1,54 @@
+"""The finding record shared by the linter, the baseline, and the CLI.
+
+A :class:`Finding` is one coded diagnostic anchored to a file and line.  The
+``--json`` output mode, the committed baseline, and the human-readable table
+all serialize findings through :meth:`Finding.as_dict`, so future tooling and
+the CI artifact share one format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One diagnostic emitted by a simlint rule.
+
+    Attributes:
+        rule: Rule code, e.g. ``"SIM001"``.
+        path: File the finding is in, as a ``/``-separated relative path.
+        line: 1-indexed source line.
+        col: 0-indexed column offset.
+        message: What is wrong, specific to the offending expression.
+        hint: How to fix it (or how to suppress it when justified).
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        """Stable ordering: by path, line, column, then rule code."""
+        return (self.path, self.line, self.col, self.rule)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready representation (the ``--json`` / artifact format)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        """One-line human-readable form: ``path:line:col: RULE message``."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.hint:
+            text += f" [{self.hint}]"
+        return text

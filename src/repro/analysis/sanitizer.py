@@ -1,0 +1,170 @@
+"""RunSanitizer: runtime checks for what static analysis cannot see.
+
+Armed via ``REPRO_SANITIZE=1`` (or ``SimulationEngine(sanitize=True)``), the
+sanitizer observes every schedule and step of the engine and raises
+:class:`SanitizerError` — with the offending event's tag — the moment an
+invariant breaks:
+
+* **No scheduling into the past.**  The engine already rejects this with a
+  ``ValueError``; sanitized runs upgrade it to a tagged ``SanitizerError``
+  so fleet-level wrappers cannot swallow it as ordinary bad input.
+* **Event-time monotonicity.**  Fired events must carry non-decreasing
+  timestamps.  The public API cannot violate this, but heap corruption or a
+  scheduler bypassing :meth:`SimulationEngine.schedule_at` can — exactly the
+  bug class the planned sharded engine multiplies.
+* **Named RNG-stream phase discipline.**  The repo's determinism rests on
+  three independent RNG seams (trace / fault / retry, plus routing).  Each
+  stream registers with the sanitizer as *setup-phase* (spent entirely
+  before the event loop runs: trace, fault) or *run-phase* (drawn only
+  inside event callbacks, in event order: retry, routing).  A draw observed
+  in the wrong phase — e.g. fault randomness spent mid-run, where the draw
+  order depends on event interleaving — is flagged at the draw site.
+* **Event-census closure.**  At the end of every :meth:`SimulationEngine.run`
+  window, every event ever scheduled must be accounted for: processed,
+  cancelled, or still pending.  A leak means an event was lost without
+  firing or being tombstoned.
+
+The sanitizer only *observes*: it draws no randomness, schedules nothing,
+and never perturbs event order, so a sanitized run is bit-identical to an
+unsanitized one (property-tested in ``tests/property/test_sanitizer_parity.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class SanitizerError(AssertionError):
+    """A simulation invariant was violated at runtime."""
+
+
+@dataclass
+class StreamRecord:
+    """Bookkeeping for one named RNG stream.
+
+    Attributes:
+        name: Stream name (``"trace"``, ``"fault"``, ``"retry"``, ...).
+        run_phase: ``True`` if draws belong inside event callbacks,
+            ``False`` if the stream must be fully spent before the loop runs.
+        draws: Draws observed so far (diagnostic only).
+    """
+
+    name: str
+    run_phase: bool
+    draws: int = 0
+
+
+@dataclass
+class RunSanitizer:
+    """Observes one engine's run and raises on invariant violations.
+
+    Attach by constructing the engine with ``sanitize=True`` (or exporting
+    ``REPRO_SANITIZE=1``); components discover it via
+    :attr:`SimulationEngine.sanitizer` and call :meth:`note_draw` at their
+    RNG draw sites.
+    """
+
+    streams: dict[str, StreamRecord] = field(default_factory=dict)
+    events_checked: int = 0
+    closures_verified: int = 0
+    _last_fired_time: float = field(default=float("-inf"), repr=False)
+    _last_fired_tag: str = field(default="", repr=False)
+    _in_event: bool = field(default=False, repr=False)
+
+    # -- stream discipline -----------------------------------------------------
+
+    def register_stream(self, name: str, run_phase: bool) -> StreamRecord:
+        """Register (or re-arm) a named RNG stream.
+
+        Re-registering an existing stream keeps its draw count but may not
+        flip its phase — that would indicate two components claiming the
+        same seam.
+        """
+        existing = self.streams.get(name)
+        if existing is not None:
+            if existing.run_phase != run_phase:
+                raise SanitizerError(
+                    f"RNG stream {name!r} re-registered with a different phase "
+                    f"(run_phase={run_phase}, was {existing.run_phase})"
+                )
+            return existing
+        record = StreamRecord(name=name, run_phase=run_phase)
+        self.streams[name] = record
+        return record
+
+    def note_draw(self, name: str) -> None:
+        """Record a draw from stream ``name``; flag wrong-phase draws.
+
+        Raises:
+            SanitizerError: if the stream is unregistered, or a setup-phase
+                stream is drawn inside an event callback (draw order would
+                then depend on event interleaving), or a run-phase stream is
+                drawn outside one (draw order would escape the event order).
+        """
+        record = self.streams.get(name)
+        if record is None:
+            raise SanitizerError(
+                f"draw from unregistered RNG stream {name!r}; register_stream() it "
+                "with its owning phase before drawing"
+            )
+        if record.run_phase != self._in_event:
+            where = "inside" if self._in_event else "outside"
+            owner = "event callbacks" if record.run_phase else "pre-run setup"
+            context = f" (during event {self._last_fired_tag!r})" if self._in_event else ""
+            raise SanitizerError(
+                f"RNG stream {name!r} drawn {where} the event loop{context} "
+                f"but is owned by {owner}; draws would leave the stream's seam"
+            )
+        record.draws += 1
+
+    # -- engine hooks ----------------------------------------------------------
+
+    def check_schedule(self, now: float, time: float, tag: str) -> None:
+        """Called by the engine before enqueuing an event."""
+        if time < now:
+            raise SanitizerError(
+                f"event {tag or '<untagged>'!r} scheduled into the past: "
+                f"t={time:.9f} < now={now:.9f}"
+            )
+
+    def before_fire(self, time: float, tag: str) -> None:
+        """Called by the engine as an event reaches the head of the queue."""
+        if time < self._last_fired_time:
+            raise SanitizerError(
+                f"event-time monotonicity violated: event {tag or '<untagged>'!r} "
+                f"fires at t={time:.9f} after {self._last_fired_tag or '<untagged>'!r} "
+                f"already fired at t={self._last_fired_time:.9f}"
+            )
+        self._last_fired_time = time
+        self._last_fired_tag = tag
+        self._in_event = True
+        self.events_checked += 1
+
+    def after_fire(self) -> None:
+        """Called by the engine after the event's action returns."""
+        self._in_event = False
+
+    def verify_closure(
+        self, scheduled: int, processed: int, cancelled: int, pending: int
+    ) -> None:
+        """End-of-run census: every scheduled event is accounted for.
+
+        Raises:
+            SanitizerError: if ``processed + cancelled + pending`` does not
+                equal the number of events ever scheduled.
+        """
+        accounted = processed + cancelled + pending
+        if accounted != scheduled:
+            raise SanitizerError(
+                f"event census leak: {scheduled} scheduled != {processed} processed "
+                f"+ {cancelled} cancelled + {pending} pending (= {accounted})"
+            )
+        self.closures_verified += 1
+
+    def snapshot(self) -> dict[str, object]:
+        """Diagnostic summary (draw counts per stream, events observed)."""
+        return {
+            "events_checked": self.events_checked,
+            "closures_verified": self.closures_verified,
+            "streams": {name: record.draws for name, record in sorted(self.streams.items())},
+        }

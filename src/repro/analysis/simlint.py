@@ -1,0 +1,273 @@
+"""simlint: the determinism & simulation-invariant linter's driver and CLI.
+
+Walks Python files, runs every registered rule (:mod:`repro.analysis.rules`)
+over each module's AST, applies inline pragmas and the committed baseline,
+and reports coded findings with ``file:line``, a fix hint, and machine- or
+human-readable output.
+
+Usage::
+
+    python -m repro.analysis.simlint [paths...] [--json] [--baseline FILE]
+    repro-sim lint [paths...] [--json]
+
+Suppression, most-local first:
+
+* ``# simlint: disable=SIM002,SIM007`` as a trailing comment on the
+  offending line (or a standalone comment on the line directly above)
+  suppresses those rules for that line — use for point justifications that
+  should live next to the code.
+* ``# simlint: disable-file=SIM003`` anywhere in a file suppresses a rule
+  for the whole module.
+* the committed baseline (``.simlint-baseline.json``) accepts documented
+  findings repo-wide; stale entries are reported so it cannot rot.
+
+Exit codes: 0 — no unbaselined findings; 1 — findings (or stale baseline
+entries under ``--strict-baseline``); 2 — usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline, BaselineResult
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULE_REGISTRY, ModuleContext, iter_rules
+
+_PRAGMA_MARKER = "# simlint:"
+
+
+def _parse_pragmas(lines: list[str]) -> tuple[dict[int, set[str]], set[str]]:
+    """Extract line-level and file-level disable pragmas.
+
+    Returns:
+        ``(by_line, file_wide)`` where ``by_line`` maps a 1-indexed source
+        line to the rule codes disabled *on* that line.
+    """
+    by_line: dict[int, set[str]] = {}
+    file_wide: set[str] = set()
+    for index, line in enumerate(lines, start=1):
+        marker = line.find(_PRAGMA_MARKER)
+        if marker < 0:
+            continue
+        directive = line[marker + len(_PRAGMA_MARKER):].strip()
+        # Anything after the rule list (e.g. "- justification text") is prose.
+        for prefix, target in (("disable-file=", None), ("disable=", index)):
+            if not directive.startswith(prefix):
+                continue
+            spec = directive[len(prefix):].split()[0] if directive[len(prefix):] else ""
+            rules = {code.strip() for code in spec.split(",") if code.strip()}
+            if target is None:
+                file_wide |= rules
+            else:
+                by_line.setdefault(target, set()).update(rules)
+                stripped = line[:marker].strip()
+                if not stripped:
+                    # Standalone pragma comment: applies to the next line too.
+                    by_line.setdefault(index + 1, set()).update(rules)
+            break
+    return by_line, file_wide
+
+
+def _suppressed(finding: Finding, by_line: dict[int, set[str]], file_wide: set[str]) -> bool:
+    if finding.rule in file_wide:
+        return True
+    at_line = by_line.get(finding.line, ())
+    return finding.rule in at_line
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one module given as source text (the test-facing API).
+
+    Args:
+        source: Python source code.
+        path: The path the module should be attributed to — rules use it for
+            scoping (test exemptions, allowlists, ordering-sensitive dirs).
+
+    Returns:
+        Pragma-filtered findings, sorted by location.  Baseline application
+        is the caller's concern (:func:`run_lint` wires it for the CLI).
+
+    Raises:
+        SyntaxError: if the source does not parse.
+    """
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    ctx = ModuleContext(path=path, tree=tree, lines=lines)
+    findings: list[Finding] = []
+    for rule in iter_rules(ctx):
+        findings.extend(rule.run())
+    by_line, file_wide = _parse_pragmas(lines)
+    kept = [f for f in findings if not _suppressed(f, by_line, file_wide)]
+    kept.sort(key=Finding.sort_key)
+    return kept
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under the given files/directories, sorted."""
+    seen: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            seen.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            seen.append(path)
+    deduped: dict[str, Path] = {}
+    for path in seen:
+        deduped.setdefault(path.as_posix(), path)
+    return iter(deduped.values())
+
+
+def _relative_path(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(paths: Sequence[str | Path]) -> tuple[list[Finding], int]:
+    """Lint every Python file under ``paths``.
+
+    Returns:
+        ``(findings, files_checked)``; unparseable files produce a synthetic
+        ``SIM000`` finding rather than aborting the run.
+    """
+    findings: list[Finding] = []
+    checked = 0
+    for path in iter_python_files(paths):
+        rel = _relative_path(path)
+        checked += 1
+        try:
+            findings.extend(lint_source(path.read_text(), path=rel))
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    rule="SIM000",
+                    path=rel,
+                    line=error.lineno or 1,
+                    col=(error.offset or 1) - 1,
+                    message=f"syntax error: {error.msg}",
+                    hint="simlint only analyzes files that parse",
+                )
+            )
+    findings.sort(key=Finding.sort_key)
+    return findings, checked
+
+
+def _find_default_baseline() -> Path | None:
+    """Look for the committed baseline at cwd and its ancestors."""
+    for directory in (Path.cwd(), *Path.cwd().parents):
+        candidate = directory / DEFAULT_BASELINE_NAME
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def run_lint(
+    paths: Sequence[str],
+    baseline_path: str | None = None,
+    use_baseline: bool = True,
+) -> tuple[BaselineResult, int, Baseline | None]:
+    """Lint ``paths`` and apply the baseline (the CLI's engine).
+
+    Returns:
+        ``(result, files_checked, baseline)`` where ``result`` carries the
+        unbaselined, suppressed, and stale-entry partitions.
+    """
+    findings, checked = lint_paths(paths)
+    baseline: Baseline | None = None
+    if use_baseline:
+        resolved = Path(baseline_path) if baseline_path else _find_default_baseline()
+        if resolved is not None and resolved.is_file():
+            baseline = Baseline.load(resolved)
+    if baseline is None:
+        return BaselineResult(unbaselined=findings), checked, None
+    return baseline.apply(findings), checked, baseline
+
+
+def _payload(result: BaselineResult, checked: int, baseline: Baseline | None) -> dict[str, object]:
+    """The ``--json`` document (shared with the CI artifact)."""
+    return {
+        "version": 1,
+        "files_checked": checked,
+        "findings": [f.as_dict() for f in result.unbaselined],
+        "baselined": [f.as_dict() for f in result.suppressed],
+        "stale_baseline_entries": [e.as_dict() for e in result.stale],
+        "baseline": baseline.source if baseline else None,
+        "rules": {
+            rule_id: cls.summary for rule_id, cls in sorted(RULE_REGISTRY.items())
+        },
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="simlint",
+        description="determinism & simulation-invariant linter for the repro codebase",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files/directories to lint")
+    parser.add_argument("--json", action="store_true", help="emit machine-readable JSON findings")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help=f"baseline file (default: nearest {DEFAULT_BASELINE_NAME})")
+    parser.add_argument("--no-baseline", action="store_true", help="ignore any baseline file")
+    parser.add_argument("--write-baseline", default=None, metavar="FILE",
+                        help="accept every current finding into FILE and exit 0")
+    parser.add_argument("--baseline-note", default="accepted at baseline creation",
+                        help="justification note recorded by --write-baseline")
+    parser.add_argument("--strict-baseline", action="store_true",
+                        help="fail (exit 1) when the baseline has stale entries")
+    parser.add_argument("--list-rules", action="store_true", help="print the rule catalog and exit")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id, cls in sorted(RULE_REGISTRY.items()):
+            print(f"{rule_id}  {cls.summary}")
+        return 0
+
+    if args.write_baseline:
+        findings, checked = lint_paths(args.paths)
+        Baseline.from_findings(findings, note=args.baseline_note).write(args.write_baseline)
+        print(f"wrote {len(findings)} finding(s) from {checked} file(s) to {args.write_baseline}")
+        return 0
+
+    try:
+        result, checked, baseline = run_lint(
+            args.paths, baseline_path=args.baseline, use_baseline=not args.no_baseline
+        )
+    except ValueError as error:  # malformed baseline
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps(_payload(result, checked, baseline), indent=2))
+    else:
+        for finding in result.unbaselined:
+            print(finding.render())
+        for entry in result.stale:
+            print(
+                f"stale baseline entry: {entry.rule} {entry.path}"
+                + (f":{entry.line}" if entry.line is not None else "")
+                + f" ({entry.note}) no longer matches anything"
+            )
+        summary = (
+            f"simlint: {checked} file(s), {len(result.unbaselined)} finding(s), "
+            f"{len(result.suppressed)} baselined, {len(result.stale)} stale baseline entr(ies)"
+        )
+        print(summary)
+    if result.unbaselined:
+        return 1
+    if args.strict_baseline and result.stale:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

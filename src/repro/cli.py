@@ -188,6 +188,23 @@ def build_parser() -> argparse.ArgumentParser:
     designs.add_argument("--prompt", type=int, default=2)
     designs.add_argument("--token", type=int, default=1)
 
+    lint = subparsers.add_parser(
+        "lint", help="run simlint, the determinism & simulation-invariant linter"
+    )
+    lint.add_argument("paths", nargs="*", default=["src"], help="files/directories to lint")
+    lint.add_argument("--json", action="store_true", help="emit machine-readable JSON findings")
+    lint.add_argument("--baseline", default=None, metavar="FILE", help="baseline file to apply")
+    lint.add_argument("--no-baseline", action="store_true", help="ignore any baseline file")
+    lint.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="accept every current finding into FILE and exit 0",
+    )
+    lint.add_argument(
+        "--strict-baseline", action="store_true",
+        help="fail when the baseline has stale entries",
+    )
+    lint.add_argument("--list-rules", action="store_true", help="print the rule catalog and exit")
+
     return parser
 
 
@@ -563,6 +580,27 @@ def _cmd_designs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: linting is dev tooling, simulation runs must not pay
+    # for (or depend on) the analysis package.
+    from repro.analysis import simlint
+
+    argv = list(args.paths)
+    if args.json:
+        argv.append("--json")
+    if args.baseline:
+        argv.extend(["--baseline", args.baseline])
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.write_baseline:
+        argv.extend(["--write-baseline", args.write_baseline])
+    if args.strict_baseline:
+        argv.append("--strict-baseline")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return simlint.main(argv)
+
+
 _COMMANDS = {
     "trace": _cmd_trace,
     "simulate": _cmd_simulate,
@@ -570,6 +608,7 @@ _COMMANDS = {
     "fleet": _cmd_fleet,
     "provision": _cmd_provision,
     "designs": _cmd_designs,
+    "lint": _cmd_lint,
 }
 
 

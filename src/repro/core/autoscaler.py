@@ -31,10 +31,7 @@ from dataclasses import dataclass, field
 from repro.core.cluster_scheduler import ClusterScheduler, total_queue_load
 from repro.core.machine import MachineRole, SimulatedMachine
 from repro.simulation.engine import RecurringTask, SimulationEngine
-
-#: Autoscaler ticks fire after iteration completions (0), failures (1) and
-#: arrivals (2) at the same timestamp, so decisions see settled queue state.
-_TICK_PRIORITY = 3
+from repro.simulation.events import AUTOSCALER_TICK_PRIORITY
 
 
 @dataclass(frozen=True)
@@ -164,7 +161,7 @@ class PoolAutoscaler:
         self._scheduler = scheduler
         scheduler.on_machine_failed = self._handle_machine_failed
         self._task = engine.schedule_recurring(
-            self.config.interval_s, self._tick, priority=_TICK_PRIORITY, tag="autoscaler"
+            self.config.interval_s, self._tick, priority=AUTOSCALER_TICK_PRIORITY, tag="autoscaler"
         )
 
     def _handle_machine_failed(self, machine: SimulatedMachine) -> None:

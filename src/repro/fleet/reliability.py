@@ -44,17 +44,11 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Mapping
 
-from repro.simulation.events import Event
+from repro.simulation.events import LIFECYCLE_EVENT_PRIORITY, Event
 from repro.simulation.request import Request
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fleet imports this)
     from repro.fleet.fleet import FleetCluster, FleetSimulation
-
-#: Lifecycle timers (deadlines, hedge launches, retry backoffs) fire after
-#: machine finishes (0), fault injections (1), and fleet arrivals (2): a
-#: completion at the same instant beats its own deadline, and every timer
-#: observes the post-fault, post-arrival world of its timestamp.
-LIFECYCLE_EVENT_PRIORITY = 3
 
 #: Hedge clones carry ``original_id + _CLONE_OFFSET`` as their request id —
 #: far above any real trace id, so per-machine queues and transfer registries
@@ -275,6 +269,9 @@ class ReliabilityCoordinator:
         self.deadlines = deadlines
         self.degraded = degraded
         self._rng = random.Random(retry.seed if retry is not None else 0)
+        if fleet.engine.sanitizer is not None:
+            # Backoff jitter is drawn in event order, inside retry callbacks.
+            fleet.engine.sanitizer.register_stream("retry", run_phase=True)
         self._by_id: dict[int, _Lifecycle] = {}
         self.retries_scheduled = 0
         self.retries_fired = 0
@@ -500,6 +497,9 @@ class ReliabilityCoordinator:
         delay = self.retry.backoff_s(lifecycle.retries_used)
         jitter = self.retry.jitter_fraction
         if jitter:
+            sanitizer = self.fleet.engine.sanitizer
+            if sanitizer is not None:
+                sanitizer.note_draw("retry")
             delay *= 1.0 + jitter * (2.0 * self._rng.random() - 1.0)
         lifecycle.retry_exclude = failed_cluster
         lifecycle.retry_event = self.fleet.engine.schedule_after(

@@ -28,9 +28,13 @@ a completion beats its own deadline.
 from __future__ import annotations
 
 import heapq
-from typing import Callable
+import os
+from typing import TYPE_CHECKING, Callable
 
 from repro.simulation.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (analysis layers above simulation)
+    from repro.analysis.sanitizer import RunSanitizer
 
 
 class RecurringTask:
@@ -94,9 +98,17 @@ class RecurringTask:
 
 
 class SimulationEngine:
-    """Deterministic discrete-event simulator clock and queue."""
+    """Deterministic discrete-event simulator clock and queue.
 
-    def __init__(self) -> None:
+    Args:
+        sanitize: Arm a :class:`~repro.analysis.sanitizer.RunSanitizer` on
+            this engine (event-time monotonicity, RNG-stream phase
+            discipline, end-of-run census closure).  ``None`` defers to the
+            ``REPRO_SANITIZE=1`` environment flag.  The sanitizer only
+            observes — sanitized runs are bit-identical to unsanitized ones.
+    """
+
+    def __init__(self, sanitize: bool | None = None) -> None:
         self._now = 0.0
         # Heap entries are (time, priority, sequence, event): comparison never
         # reaches the event because sequence numbers are unique.
@@ -106,6 +118,35 @@ class SimulationEngine:
         self._events_cancelled = 0
         self._events_coalesced = 0
         self._tombstones = 0  # cancelled events still sitting in the heap
+        if sanitize is None:
+            # Run-mode debug flag, deliberately env-driven so any entry point
+            # can arm the sanitizer without plumbing; it only observes, so it
+            # cannot make two equally-configured runs differ.
+            sanitize = os.environ.get("REPRO_SANITIZE") == "1"  # simlint: disable=SIM007
+        self._sanitizer: RunSanitizer | None = None
+        if sanitize:
+            from repro.analysis.sanitizer import RunSanitizer
+
+            self._sanitizer = RunSanitizer()
+
+    @property
+    def sanitizer(self) -> RunSanitizer | None:
+        """The armed sanitizer, or ``None`` on ordinary (unsanitized) runs."""
+        return self._sanitizer
+
+    @property
+    def sanitize(self) -> bool:
+        """Whether a sanitizer is armed."""
+        return self._sanitizer is not None
+
+    @sanitize.setter
+    def sanitize(self, value: bool) -> None:
+        if value and self._sanitizer is None:
+            from repro.analysis.sanitizer import RunSanitizer
+
+            self._sanitizer = RunSanitizer()
+        elif not value:
+            self._sanitizer = None
 
     @property
     def now(self) -> float:
@@ -149,9 +190,13 @@ class SimulationEngine:
         """Schedule ``action`` at absolute simulated time ``time``.
 
         Raises:
-            ValueError: if ``time`` is in the simulated past.
+            ValueError: if ``time`` is in the simulated past (or, on
+                sanitized runs, :class:`~repro.analysis.sanitizer.SanitizerError`
+                carrying the offending tag).
         """
         if time < self._now:
+            if self._sanitizer is not None:
+                self._sanitizer.check_schedule(self._now, time, tag)
             raise ValueError(f"cannot schedule event at {time:.6f}, current time is {self._now:.6f}")
         sequence = self._sequence
         self._sequence = sequence + 1
@@ -219,6 +264,7 @@ class SimulationEngine:
         without executing, advancing the clock, or counting as processed.
         """
         queue = self._queue
+        sanitizer = self._sanitizer
         while queue:
             time, _, _, event = heapq.heappop(queue)
             if event.cancelled:
@@ -227,7 +273,14 @@ class SimulationEngine:
             event._mark_fired()
             self._now = time
             self._events_processed += 1
-            event.action()
+            if sanitizer is None:
+                event.action()
+            else:
+                sanitizer.before_fire(time, event.tag)
+                try:
+                    event.action()
+                finally:
+                    sanitizer.after_fire()
             return True
         return False
 
@@ -260,4 +313,11 @@ class SimulationEngine:
             executed += 1
         if until is not None and self._now < until and not self._queue:
             self._now = until
+        if self._sanitizer is not None:
+            self._sanitizer.verify_closure(
+                scheduled=self._sequence,
+                processed=self._events_processed,
+                cancelled=self._events_cancelled,
+                pending=self.pending_events,
+            )
         return self._now

@@ -17,6 +17,27 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+# Same-timestamp ordering across the stack follows a fixed priority ladder
+# (lower fires first).  Every ``engine.schedule_*`` call site must pass one of
+# these named constants (or a module-local ``*_PRIORITY`` alias of one) —
+# enforced by simlint rule SIM004 — so the ladder stays auditable in one place:
+#
+# 0. machine iteration finishes free capacity first,
+# 1. machine start kicks and fault injections mutate the world second,
+# 2. arrivals route against the post-fault state,
+# 3. request-lifecycle timers (deadlines, hedges, retry backoffs) and
+#    autoscaler ticks observe a settled instant — a completion beats its own
+#    deadline,
+# 4. the fleet provisioner reacts last, after every same-instant signal.
+
+FINISH_EVENT_PRIORITY = 0
+START_EVENT_PRIORITY = 1
+FAULT_EVENT_PRIORITY = 1
+ARRIVAL_EVENT_PRIORITY = 2
+LIFECYCLE_EVENT_PRIORITY = 3
+AUTOSCALER_TICK_PRIORITY = 3
+PROVISIONER_TICK_PRIORITY = 4
+
 
 @dataclass(order=True, frozen=True, slots=True)
 class Event:

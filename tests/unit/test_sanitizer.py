@@ -1,0 +1,225 @@
+"""Unit tests for the RunSanitizer and its engine wiring.
+
+Each invariant gets an injected violation that must raise
+:class:`SanitizerError` (with the offending tag in the message) plus a
+clean path that must stay silent.  Bit-parity of sanitized vs unsanitized
+runs is property-tested in ``tests/property/test_sanitizer_parity.py``.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import pytest
+
+from repro.analysis.sanitizer import RunSanitizer, SanitizerError
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import Event
+
+
+# ---------------------------------------------------------------------------
+# Stream discipline
+# ---------------------------------------------------------------------------
+
+
+class TestStreams:
+    def test_register_is_idempotent(self):
+        san = RunSanitizer()
+        first = san.register_stream("retry", run_phase=True)
+        again = san.register_stream("retry", run_phase=True)
+        assert first is again
+
+    def test_phase_flip_reregistration_raises(self):
+        san = RunSanitizer()
+        san.register_stream("fault", run_phase=False)
+        with pytest.raises(SanitizerError, match="different phase"):
+            san.register_stream("fault", run_phase=True)
+
+    def test_unregistered_draw_raises(self):
+        san = RunSanitizer()
+        with pytest.raises(SanitizerError, match="unregistered"):
+            san.note_draw("mystery")
+
+    def test_setup_stream_drawn_before_loop_ok(self):
+        san = RunSanitizer()
+        san.register_stream("trace", run_phase=False)
+        san.note_draw("trace")
+        san.note_draw("trace")
+        assert san.streams["trace"].draws == 2
+
+    def test_setup_stream_drawn_inside_event_raises(self):
+        san = RunSanitizer()
+        san.register_stream("fault", run_phase=False)
+        san.before_fire(1.0, "arrival")
+        with pytest.raises(SanitizerError, match="'fault'.*'arrival'"):
+            san.note_draw("fault")
+
+    def test_run_stream_drawn_outside_event_raises(self):
+        san = RunSanitizer()
+        san.register_stream("retry", run_phase=True)
+        with pytest.raises(SanitizerError, match="outside"):
+            san.note_draw("retry")
+
+    def test_run_stream_drawn_inside_event_ok(self):
+        san = RunSanitizer()
+        san.register_stream("retry", run_phase=True)
+        san.before_fire(1.0, "retry-timer")
+        san.note_draw("retry")
+        san.after_fire()
+        assert san.streams["retry"].draws == 1
+
+
+# ---------------------------------------------------------------------------
+# Schedule / monotonicity / closure primitives
+# ---------------------------------------------------------------------------
+
+
+class TestPrimitives:
+    def test_check_schedule_past_raises_with_tag(self):
+        san = RunSanitizer()
+        with pytest.raises(SanitizerError, match="'rogue'.*scheduled into the past"):
+            san.check_schedule(now=10.0, time=9.0, tag="rogue")
+
+    def test_check_schedule_future_ok(self):
+        RunSanitizer().check_schedule(now=10.0, time=10.0, tag="ok")
+
+    def test_monotonicity_violation_raises(self):
+        san = RunSanitizer()
+        san.before_fire(5.0, "late")
+        san.after_fire()
+        with pytest.raises(SanitizerError, match="monotonicity.*'early'"):
+            san.before_fire(4.0, "early")
+
+    def test_equal_times_are_monotone(self):
+        san = RunSanitizer()
+        san.before_fire(5.0, "a")
+        san.after_fire()
+        san.before_fire(5.0, "b")
+        san.after_fire()
+        assert san.events_checked == 2
+
+    def test_closure_mismatch_raises(self):
+        san = RunSanitizer()
+        with pytest.raises(SanitizerError, match="census leak"):
+            san.verify_closure(scheduled=5, processed=2, cancelled=1, pending=1)
+
+    def test_closure_match_counts(self):
+        san = RunSanitizer()
+        san.verify_closure(scheduled=5, processed=2, cancelled=1, pending=2)
+        assert san.closures_verified == 1
+
+    def test_snapshot_shape(self):
+        san = RunSanitizer()
+        san.register_stream("trace", run_phase=False)
+        san.note_draw("trace")
+        snap = san.snapshot()
+        assert snap == {
+            "events_checked": 0,
+            "closures_verified": 0,
+            "streams": {"trace": 1},
+        }
+
+
+# ---------------------------------------------------------------------------
+# Engine wiring
+# ---------------------------------------------------------------------------
+
+
+class TestEngineArming:
+    def test_unarmed_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        engine = SimulationEngine()
+        assert engine.sanitizer is None and not engine.sanitize
+
+    def test_env_flag_arms(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        engine = SimulationEngine()
+        assert engine.sanitizer is not None
+
+    def test_env_flag_other_values_do_not_arm(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert SimulationEngine().sanitizer is None
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert SimulationEngine(sanitize=False).sanitizer is None
+
+    def test_setter_arms_and_disarms(self):
+        engine = SimulationEngine(sanitize=False)
+        engine.sanitize = True
+        assert engine.sanitizer is not None
+        engine.sanitize = False
+        assert engine.sanitizer is None
+
+
+class TestEngineIntegration:
+    def test_past_schedule_upgrades_to_sanitizer_error(self):
+        engine = SimulationEngine(sanitize=True)
+        engine.schedule_at(5.0, lambda: None, tag="advance")
+        engine.run()
+        with pytest.raises(SanitizerError, match="'rogue'"):
+            engine.schedule_at(1.0, lambda: None, tag="rogue")
+
+    def test_past_schedule_unsanitized_stays_value_error(self):
+        engine = SimulationEngine(sanitize=False)
+        engine.schedule_at(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_heap_injection_breaks_monotonicity(self):
+        # Bypass schedule_at the way a buggy scheduler (or a future sharded
+        # engine merging heaps wrongly) would: push a stale-timestamped
+        # entry straight into the heap after the clock has moved past it.
+        engine = SimulationEngine(sanitize=True)
+        engine.schedule_at(5.0, lambda: None, tag="legit")
+        assert engine.step()
+        rogue = Event(time=1.0, priority=0, sequence=999, action=lambda: None, tag="stale")
+        heapq.heappush(engine._queue, (1.0, 0, 999, rogue))
+        with pytest.raises(SanitizerError, match="monotonicity.*'stale'"):
+            engine.step()
+
+    def test_setup_stream_draw_inside_callback_raises(self):
+        engine = SimulationEngine(sanitize=True)
+        engine.sanitizer.register_stream("fault", run_phase=False)
+        engine.schedule_at(
+            1.0, lambda: engine.sanitizer.note_draw("fault"), tag="mid-run-fault-draw"
+        )
+        with pytest.raises(SanitizerError, match="'fault'"):
+            engine.run()
+
+    def test_lost_event_fails_census(self):
+        engine = SimulationEngine(sanitize=True)
+        engine.schedule_at(1.0, lambda: None, tag="doomed")
+        engine._queue.clear()  # lose the event without firing or tombstoning
+        with pytest.raises(SanitizerError, match="census leak"):
+            engine.run()
+
+    def test_clean_run_passes_and_counts(self):
+        engine = SimulationEngine(sanitize=True)
+        fired: list[str] = []
+        engine.schedule_at(1.0, lambda: fired.append("a"), tag="a")
+        engine.schedule_at(2.0, lambda: fired.append("b"), tag="b")
+        doomed = engine.schedule_at(3.0, lambda: fired.append("c"), tag="c")
+        engine.cancel(doomed)
+        engine.run()
+        assert fired == ["a", "b"]
+        snap = engine.sanitizer.snapshot()
+        assert snap["events_checked"] == 2
+        assert snap["closures_verified"] == 1
+
+    def test_each_run_window_verifies_closure(self):
+        engine = SimulationEngine(sanitize=True)
+        engine.schedule_at(1.0, lambda: None)
+        engine.run(until=0.5)
+        engine.run()
+        assert engine.sanitizer.closures_verified == 2
+
+    def test_recurring_task_stays_clean(self):
+        engine = SimulationEngine(sanitize=True)
+        task = engine.schedule_recurring(1.0, lambda: None, tag="tick")
+        engine.run(until=5.5)
+        task.cancel()
+        engine.run()
+        assert task.fire_count == 5
+        assert engine.sanitizer.closures_verified == 2
