@@ -35,8 +35,10 @@ from repro.analysis.findings import Finding
 ORDER_SENSITIVE_DIRS = ("simulation/", "core/", "fleet/", "faults/")
 
 #: Modules allowed to read the wall clock (SIM002): performance measurement
-#: and CLI timing display are *about* wall time; benchmarks measure it.
-WALL_CLOCK_ALLOWLIST = ("metrics/perf.py", "cli.py")
+#: and CLI timing display are *about* wall time; benchmarks measure it, and
+#: the observability phase profiler attributes it (never armed by the
+#: simulation itself — only the perf bench attaches it).
+WALL_CLOCK_ALLOWLIST = ("metrics/perf.py", "cli.py", "obs/profiler.py")
 WALL_CLOCK_ALLOWED_DIRS = ("benchmarks/",)
 
 #: Modules allowed to read process environment (SIM007): the CLI and

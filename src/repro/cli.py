@@ -172,6 +172,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="strip the request-lifecycle layer (retries, hedging, deadlines, "
              "degraded service) — the pre-lifecycle baseline",
     )
+    fleet.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write a Chrome/Perfetto trace-event JSON of the run "
+             "(open it at ui.perfetto.dev); observes the burst run unless "
+             "--no-burst",
+    )
+    fleet.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the sim-time metrics series (.csv selects CSV, anything "
+             "else JSONL; a .prom Prometheus snapshot lands alongside)",
+    )
+    fleet.add_argument(
+        "--metrics-interval", type=float, default=1.0, metavar="S",
+        help="simulated seconds between metrics samples",
+    )
     fleet.add_argument("--timeline", action="store_true", help="print the provisioning timeline")
     fleet.add_argument("--json", action="store_true", help="print machine-readable JSON")
 
@@ -425,11 +440,27 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         deadline_ms=args.deadline_ms,
         reliability_off=args.no_reliability,
     )
+    observe = args.trace_out is not None or args.metrics_out is not None
+
+    def _arm_observability(fleet):
+        # Imported lazily, mirroring FleetSimulation.observe: plain runs
+        # never load the observability plane.
+        from repro.obs import ObservabilityConfig
+
+        return fleet.observe(
+            ObservabilityConfig(
+                trace_path=args.trace_out,
+                metrics_path=args.metrics_out,
+                interval_s=args.metrics_interval,
+            )
+        )
+
     static_fleet, trace, failures = prepare_fleet_run(
         preset, clusters=args.clusters, burst_clusters=args.burst_clusters, seed=args.seed,
         scale=args.scale, policy=args.policy, burst=False, model=model,
         chaos=args.chaos, fault_seed=args.fault_seed, **reliability_kwargs,
     )
+    plane = _arm_observability(static_fleet) if observe and args.no_burst else None
     static_result = static_fleet.run(trace, failures=failures)
     static_summary = fleet_run_summary(static_result)
     payload = {
@@ -468,6 +499,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             scale=args.scale, policy=args.policy, burst=True, model=model,
             chaos=args.chaos, fault_seed=args.fault_seed, **reliability_kwargs,
         )
+        if observe:
+            plane = _arm_observability(burst_fleet)
         burst_result = burst_fleet.run(trace, failures=failures)
         burst_summary = fleet_run_summary(burst_result)
         payload["burst"] = burst_summary
@@ -477,6 +510,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         if args.timeline or args.json:
             payload["timeline"] = burst_result.provisioner.timeline_as_dicts()
         exit_report = burst_summary["tenant_slo"]
+
+    if plane is not None:
+        # Self-describing artifacts: the paths, the ticker cadence, the span
+        # count, and the span census land in the --json payload.
+        payload["observability"] = plane.export()
 
     if args.json:
         print(json.dumps(payload, indent=2))
@@ -492,6 +530,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         )
         if chaos_name is not None:
             print(f"  chaos: {chaos_name} (fault seed {payload['fault_seed']})")
+        if "observability" in payload:
+            obs = payload["observability"]
+            print(
+                f"  observability: {obs['span_count']} spans, "
+                f"{obs['metric_samples']} metric samples -> "
+                f"{obs['trace_path'] or '-'} / {obs['metrics_path'] or '-'}"
+            )
         for label in ("static", "burst"):
             if label not in payload:
                 continue

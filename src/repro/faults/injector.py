@@ -92,6 +92,10 @@ class FaultInjector:
         fired = handler(self, injection)
         counts = self.fired if fired else self.skipped
         counts[injection.kind] = counts.get(injection.kind, 0) + 1
+        if self.fleet.obs is not None:
+            self.fleet.obs.note_injection(
+                injection.kind, injection.target, fired, self.fleet.engine.now
+            )
 
     def _serviceable(self, exclude: "FleetCluster | None" = None) -> int:
         """Clusters currently able to take traffic (routable and available)."""

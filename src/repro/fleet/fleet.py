@@ -39,6 +39,7 @@ from repro.fleet.router import AdmissionConfig, FleetRouter, ReliabilityConfig
 if TYPE_CHECKING:  # pragma: no cover - the fault plane layers above the fleet
     from repro.faults.injector import FaultInjector
     from repro.faults.plan import FaultPlanConfig
+    from repro.obs.plane import ObservabilityConfig, ObservabilityPlane
 from repro.hardware.machine import DGX_A100
 from repro.metrics.slo import DEFAULT_SLO, SloPolicy, TenantSloReport, evaluate_slo_by_tenant
 from repro.models.llm import LLAMA2_70B, ModelSpec
@@ -410,6 +411,20 @@ class FleetSimulation:
         self._expired = 0
         self.shed_by_tenant: dict[str, int] = {}
         self.expired_by_tenant: dict[str, int] = {}
+        #: Opt-in observability plane (``None`` = record nothing, pay
+        #: nothing beyond these guard checks on cold paths).
+        self.obs: "ObservabilityPlane | None" = None
+
+    def observe(self, config: "ObservabilityConfig") -> "ObservabilityPlane":
+        """Opt this fleet into span/metrics recording for its next run.
+
+        The ``repro.obs`` package is imported here, lazily — an unobserved
+        fleet never pays for (or depends on) the observability plane.
+        """
+        from repro.obs.plane import ObservabilityPlane
+
+        self.obs = ObservabilityPlane(config)
+        return self.obs
 
     @property
     def machines(self):
@@ -472,6 +487,10 @@ class FleetSimulation:
         for cluster in self.clusters:
             if cluster.simulation.autoscaler is not None:
                 cluster.simulation.autoscaler.stop()
+        if self.obs is not None:
+            # The metrics ticker is a recurring engine event too: left
+            # running it would advance the clock past the last completion.
+            self.obs.stop_ticker()
 
     def _submit(self, request: Request, readmit: bool = False) -> None:
         if not readmit and self.admission is not None:
@@ -483,6 +502,8 @@ class FleetSimulation:
                     # already-short request would defeat admission control
                     # without offloading anything.
                     self.lifecycle.degrade_admission(request)
+                    if self.obs is not None:
+                        self.obs.note_degraded_admission(request, self.engine.now)
                 else:
                     # Over this tenant's headroom: reject up front instead
                     # of queueing.  Evacuated requests being re-routed
@@ -494,6 +515,8 @@ class FleetSimulation:
                     self.shed_by_tenant[request.tenant] = (
                         self.shed_by_tenant.get(request.tenant, 0) + 1
                     )
+                    if self.obs is not None:
+                        self.obs.note_shed(request, self.engine.now)
                     if self._completed + self._shed + self._expired >= self._expected:
                         self._stop_controllers()
                     return
@@ -505,12 +528,18 @@ class FleetSimulation:
         """Route one attempt (original, retry, or hedge clone) to a cluster."""
         cluster = self.router.route(request, exclude=exclude)
         cluster.requests.append(request)
+        if self.obs is not None:
+            self.obs.note_route(request, cluster.name, self.engine.now, "route")
         cluster.scheduler.submit(request)
         if self.lifecycle is not None:
             self.lifecycle.on_routed(request, cluster.name)
 
     def _note_expired(self, request: Request) -> None:
         """Account a lifecycle-expired request toward the run's census."""
+        if self.obs is not None:
+            # ``Request.expire`` stores no timestamp, so the expiry instant
+            # must be captured here, while the engine clock still holds it.
+            self.obs.note_expired(request, self.engine.now)
         self._expired += 1
         self.expired_by_tenant[request.tenant] = (
             self.expired_by_tenant.get(request.tenant, 0) + 1
@@ -528,6 +557,8 @@ class FleetSimulation:
         The cluster stays ``available = False`` until :meth:`end_outage`.
         """
         cluster.available = False
+        if self.obs is not None:
+            self.obs.note_outage(cluster.name, True, self.engine.now)
         evacuated = cluster.scheduler.evacuate()
         self.router.note_evacuated(cluster.name, evacuated)
         if evacuated:
@@ -546,6 +577,8 @@ class FleetSimulation:
     def end_outage(self, cluster: FleetCluster) -> None:
         """Bring an outaged cluster back: repair done, machines rejoin empty."""
         cluster.available = True
+        if self.obs is not None:
+            self.obs.note_outage(cluster.name, False, self.engine.now)
         cluster.scheduler.recover_all()
 
     def revoke_cluster(self, cluster: FleetCluster) -> None:
@@ -657,6 +690,10 @@ class FleetSimulation:
 
             self.injector = FaultInjector(self, self.faults)
             self.injector.arm(trace.duration_s)
+        if self.obs is not None:
+            # Before the empty-trace check: the plane's metrics ticker is a
+            # recurring controller and must be stopped with the others.
+            self.obs.begin(self)
         if not requests:
             # Nothing will ever complete, so the completion-driven controller
             # stop below can never fire; with two or more recurring
@@ -698,7 +735,7 @@ class FleetSimulation:
         }
         if self.provisioner is not None:
             self.provisioner.finalize(duration)
-        return FleetResult(
+        result = FleetResult(
             trace_name=trace.name,
             requests=requests,
             clusters=self.clusters,
@@ -713,3 +750,6 @@ class FleetSimulation:
             expired_by_tenant=dict(self.expired_by_tenant),
             lifecycle=self.lifecycle,
         )
+        if self.obs is not None:
+            self.obs.finalize(result)
+        return result

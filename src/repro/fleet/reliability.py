@@ -419,6 +419,8 @@ class ReliabilityCoordinator:
             lifecycle.clone = None
             lifecycle.hedge_cluster = None
             lifecycle.primary_cluster = cluster_name
+            if self.fleet.obs is not None:
+                self.fleet.obs.note_hedge_won(primary, cluster_name, self.fleet.engine.now)
             return primary
         lifecycle = self._by_id.get(request_id)
         if lifecycle is None:
@@ -509,6 +511,8 @@ class ReliabilityCoordinator:
             tag=f"retry:{request.request_id}",
         )
         self.retries_scheduled += 1
+        if self.fleet.obs is not None:
+            self.fleet.obs.note_retry_scheduled(request, delay, self.fleet.engine.now)
 
     def _fire_retry(self, lifecycle: _Lifecycle) -> None:
         lifecycle.retry_event = None
@@ -634,6 +638,10 @@ class ReliabilityCoordinator:
         lifecycle.hedged = True
         self.hedges_launched += 1
         fleet._submit_attempt(clone, exclude=lifecycle.primary_cluster)
+        if fleet.obs is not None:
+            # ``on_routed`` (called inside ``_submit_attempt``) has recorded
+            # where the clone landed by now.
+            fleet.obs.note_hedge(request, lifecycle.hedge_cluster or "", fleet.engine.now)
 
     # -- internals ---------------------------------------------------------------------
 

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.core.cluster_scheduler import total_queue_load
 from repro.simulation.request import Request
@@ -153,6 +153,7 @@ class ClusterHealth:
         "probation_seen",
         "probation_errors",
         "bans",
+        "observer",
     )
 
     def __init__(self, config: ReliabilityConfig) -> None:
@@ -164,12 +165,15 @@ class ClusterHealth:
         self.probation_seen = 0
         self.probation_errors = 0
         self.bans = 0
+        #: Optional ``(state, now)`` callback fired on every state change
+        #: (wired by :meth:`FleetRouter.observe_health`; observe-only).
+        self.observer: Callable[[str, float], None] | None = None
 
     def is_banned(self, now: float) -> bool:
         """Whether the cluster is currently banned; expires lapsed bans."""
         if self.state == "banned":
             if now >= self.banned_until_s:
-                self._enter_probation()
+                self._enter_probation(now)
                 return False
             return True
         return False
@@ -179,7 +183,7 @@ class ClusterHealth:
         if self.state == "banned":
             if now < self.banned_until_s:
                 return  # straggler completions during a ban carry no signal
-            self._enter_probation()
+            self._enter_probation(now)
         if self.state == "probation":
             self.probation_seen += 1
             if error:
@@ -188,7 +192,7 @@ class ClusterHealth:
                 if self.probation_errors / self.probation_seen >= self.config.probation_threshold:
                     self._ban(now)
                 else:
-                    self._reset_healthy()
+                    self._reset_healthy(now)
             return
         outcomes = self.outcomes
         if len(outcomes) == outcomes.maxlen and outcomes[0]:
@@ -210,18 +214,24 @@ class ClusterHealth:
         self.errors = 0
         self.probation_seen = 0
         self.probation_errors = 0
+        if self.observer is not None:
+            self.observer("banned", now)
 
-    def _enter_probation(self) -> None:
+    def _enter_probation(self, now: float) -> None:
         self.state = "probation"
         self.probation_seen = 0
         self.probation_errors = 0
+        if self.observer is not None:
+            self.observer("probation", now)
 
-    def _reset_healthy(self) -> None:
+    def _reset_healthy(self, now: float) -> None:
         self.state = "healthy"
         self.outcomes.clear()
         self.errors = 0
         self.probation_seen = 0
         self.probation_errors = 0
+        if self.observer is not None:
+            self.observer("healthy", now)
 
 
 def _p99(values) -> float:
@@ -453,6 +463,18 @@ class FleetRouter:
         traffic = self.traffic[cluster_name]
         for request in requests:
             traffic.note_withdrawn(request)
+
+    def observe_health(self, callback: Callable[[str, str, float], None]) -> None:
+        """Subscribe ``callback(cluster_name, state, now)`` to health transitions.
+
+        Used by the observability plane to trace ban/probation/recovery
+        events as they happen (the state machine itself stores no history).
+        No-op without reliability tracking.
+        """
+        for name, health in self._health.items():
+            health.observer = (
+                lambda state, now, _name=name: callback(_name, state, now)
+            )
 
     def total_outstanding(self) -> int:
         """Fleet-wide in-flight requests (admission-control pressure signal)."""

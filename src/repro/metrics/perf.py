@@ -167,8 +167,17 @@ class PerfSample:
         self.requests_per_s = self.requests / self.wall_s if self.wall_s > 0 else 0.0
 
 
-def run_perf_scenario(scenario: PerfScenario) -> PerfSample:
-    """Build the scenario's cluster, replay its trace, and time the run."""
+def run_perf_scenario(scenario: PerfScenario, profiler=None) -> PerfSample:
+    """Build the scenario's cluster, replay its trace, and time the run.
+
+    Args:
+        scenario: The benchmark configuration to run.
+        profiler: Optional :class:`repro.obs.profiler.PhaseProfiler` to attach
+            to the scenario's engine for the timed region — attributes wall
+            time to subsystem phases (machine stepping, routing, faults, ...).
+            Like ``--profile``, an attached profiler perturbs wall times; its
+            samples feed the report's ``phase_profile`` section only.
+    """
     # Imported here rather than at module level: repro.core.cluster imports
     # repro.metrics.collectors, so a top-level import would be circular.
     from repro.core.cluster import ClusterSimulation
@@ -208,8 +217,14 @@ def run_perf_scenario(scenario: PerfScenario) -> PerfSample:
     # timed region so the sample measures the simulator, not generational
     # sweeps over another run's garbage.
     gc.collect()
+    if profiler is not None:
+        profiler.attach(simulation.engine)
     start = time.perf_counter()
-    result = simulation.run(trace, failures=failures)
+    try:
+        result = simulation.run(trace, failures=failures)
+    finally:
+        if profiler is not None:
+            profiler.detach()
     wall_s = time.perf_counter() - start
     tokens = sum(r.generated_tokens for r in result.requests)
     return PerfSample(
@@ -233,6 +248,7 @@ def build_bench_report(
     samples: Iterable[PerfSample],
     baseline: Mapping[str, Mapping[str, float]] | None = None,
     profile: Mapping | None = None,
+    phase_profile: Mapping | None = None,
 ) -> dict:
     """Assemble the ``BENCH_perf.json`` payload.
 
@@ -243,6 +259,9 @@ def build_bench_report(
             — typically the recorded seed-implementation measurements.
         profile: Optional embedded profile summary (see
             :func:`profile_top_functions`).
+        phase_profile: Optional per-scenario subsystem wall-time attribution
+            (scenario name -> :meth:`repro.obs.profiler.PhaseProfiler.snapshot`
+            buckets), embedded under ``"phase_profile"``.
 
     Returns:
         A JSON-serializable report with per-scenario measurements and, when a
@@ -264,6 +283,12 @@ def build_bench_report(
         report["scenarios"][sample.scenario] = entry
     if profile is not None:
         report["profile"] = dict(profile)
+    if phase_profile is not None:
+        report["phase_profile"] = {
+            "note": "wall seconds per subsystem bucket (event-callback self time); "
+            "an attached profiler perturbs wall_s like --profile does",
+            "scenarios": {name: dict(buckets) for name, buckets in phase_profile.items()},
+        }
     return report
 
 
@@ -272,9 +297,10 @@ def write_bench_report(
     samples: Iterable[PerfSample],
     baseline: Mapping[str, Mapping[str, float]] | None = None,
     profile: Mapping | None = None,
+    phase_profile: Mapping | None = None,
 ) -> dict:
     """Write :func:`build_bench_report` output to ``path`` and return it."""
-    report = build_bench_report(samples, baseline, profile)
+    report = build_bench_report(samples, baseline, profile, phase_profile)
     Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return report
 
@@ -316,6 +342,11 @@ def main(argv: list[str] | None = None) -> int:
     """
     parser = argparse.ArgumentParser(description="Simulator scaling self-benchmark")
     parser.add_argument("--profile", action="store_true", help="embed cProfile top functions in the report")
+    parser.add_argument(
+        "--phase-profile", action="store_true",
+        help="attach the subsystem phase profiler (wall time per engine-event "
+             "bucket) and embed per-scenario attribution in the report",
+    )
     parser.add_argument("--output", default="BENCH_perf.json", help="report path (default: ./BENCH_perf.json)")
     parser.add_argument(
         "--scenario",
@@ -328,19 +359,28 @@ def main(argv: list[str] | None = None) -> int:
 
     profiler = cProfile.Profile() if args.profile else None
     samples = []
+    phase_profiles: dict[str, dict] = {}
     for scenario in selected:
+        phase_profiler = None
+        if args.phase_profile:
+            # Imported on demand: plain benchmark runs stay free of repro.obs.
+            from repro.obs.profiler import PhaseProfiler
+
+            phase_profiler = PhaseProfiler()
         if profiler is not None:
             profiler.enable()
-        sample = run_perf_scenario(scenario)
+        sample = run_perf_scenario(scenario, profiler=phase_profiler)
         if profiler is not None:
             profiler.disable()
+        if phase_profiler is not None:
+            phase_profiles[scenario.name] = phase_profiler.snapshot()
         samples.append(sample)
         print(
             f"{sample.scenario}: wall={sample.wall_s:.3f}s events/s={sample.events_per_s:,.0f} "
             f"requests/s={sample.requests_per_s:,.0f} coalesced={sample.events_coalesced}"
         )
     profile = profile_top_functions(profiler) if profiler is not None else None
-    write_bench_report(args.output, samples, profile=profile)
+    write_bench_report(args.output, samples, profile=profile, phase_profile=phase_profiles or None)
     print(f"wrote {args.output}")
     return 0
 

@@ -1,0 +1,197 @@
+"""Chrome/Perfetto trace-event export for recorded spans.
+
+Emits the JSON trace-event format (the ``traceEvents`` array flavour) that
+both ``chrome://tracing`` and `ui.perfetto.dev <https://ui.perfetto.dev>`_
+load directly:
+
+* every logical *process* (the fleet control plane and each cluster) gets a
+  deterministic ``pid`` with an ``M``/``process_name`` metadata record;
+* every logical *thread* (machines, per-request journey tracks, and
+  control-plane tracks) gets a deterministic ``tid`` with an
+  ``M``/``thread_name`` record;
+* duration spans are complete ``X`` events (``ts``/``dur`` in microseconds
+  of *simulated* time) and point events are ``i`` instants.
+
+Requests get their own ``request-<id>`` track instead of being drawn on the
+machine that served them: journeys overlap freely in time, and interleaved
+``X`` events on one track would nest incorrectly in the viewer.  Causality
+back to the parent request is carried in ``args.parent``.
+
+Determinism: pids/tids are assigned by sorted order, events are sorted by
+``(ts, pid, tid, name)``, and the JSON is dumped with sorted keys — the
+trace file for a given run is byte-stable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.spans import FLEET_PROCESS, SpanRecorder
+
+#: Trace-event `ph` values used by the exporter.
+PH_COMPLETE = "X"
+PH_INSTANT = "i"
+PH_METADATA = "M"
+
+_US = 1_000_000  # simulated seconds -> microseconds
+
+
+def _sort_tracks(names: set[str]) -> list[str]:
+    """Deterministic, human-friendly track order.
+
+    Splits trailing integers so ``request-9`` sorts before ``request-10``.
+    """
+
+    def key(name: str) -> tuple:
+        head, _, tail = name.rpartition("-")
+        if tail.isdigit():
+            return (0, head, int(tail))
+        return (1, name, 0)
+
+    return sorted(names, key=key)
+
+
+def build_trace(recorder: SpanRecorder) -> dict[str, Any]:
+    """Assemble the trace-event payload from a recorder's spans."""
+    processes: dict[str, int] = {}
+    threads: dict[tuple[str, str], int] = {}
+    process_tracks: dict[str, set[str]] = {}
+    for span in recorder.spans:
+        process_tracks.setdefault(span.process, set()).add(span.thread)
+    ordered_processes = sorted(
+        process_tracks, key=lambda name: (name != FLEET_PROCESS, name)
+    )
+    events: list[dict[str, Any]] = []
+    next_tid = 1
+    for pid, process in enumerate(ordered_processes, start=1):
+        processes[process] = pid
+        events.append(
+            {
+                "ph": PH_METADATA,
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process},
+            }
+        )
+        for thread in _sort_tracks(process_tracks[process]):
+            threads[(process, thread)] = next_tid
+            events.append(
+                {
+                    "ph": PH_METADATA,
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": next_tid,
+                    "args": {"name": thread},
+                }
+            )
+            next_tid += 1
+    body: list[dict[str, Any]] = []
+    for span in recorder.spans:
+        pid = processes[span.process]
+        tid = threads[(span.process, span.thread)]
+        record: dict[str, Any] = {
+            "name": span.name,
+            "cat": span.cat,
+            "pid": pid,
+            "tid": tid,
+            "ts": round(span.start_s * _US, 3),
+            "args": span.args,
+        }
+        if span.end_s is None:
+            record["ph"] = PH_INSTANT
+            record["s"] = "t"  # thread-scoped instant
+        else:
+            record["ph"] = PH_COMPLETE
+            record["dur"] = round((span.end_s - span.start_s) * _US, 3)
+        body.append(record)
+    body.sort(key=lambda e: (e["ts"], e["pid"], e["tid"], e["name"]))
+    return {
+        "traceEvents": events + body,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated", "exporter": "repro.obs"},
+    }
+
+
+def export_trace(recorder: SpanRecorder, path: str | None = None) -> dict[str, Any]:
+    """Build the payload and optionally write it to ``path`` (byte-stable)."""
+    payload = build_trace(recorder)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+            handle.write("\n")
+    return payload
+
+
+def validate_trace(payload: dict[str, Any]) -> list[str]:
+    """Schema-check a trace payload; returns a list of problems (empty = ok).
+
+    Checks the invariants the satellite task names: ``X`` events are
+    complete (non-negative ``dur``), any ``B``/``E`` pairs balance per
+    track, timestamps are monotone in file order, and every event's
+    ``pid``/``tid`` maps to a named process/thread.
+    """
+    problems: list[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["payload has no traceEvents list"]
+    named_pids: set[int] = set()
+    named_tids: set[tuple[int, int]] = set()
+    for event in events:
+        if event.get("ph") != PH_METADATA:
+            continue
+        if event.get("name") == "process_name":
+            named_pids.add(event["pid"])
+        elif event.get("name") == "thread_name":
+            named_tids.add((event["pid"], event["tid"]))
+    last_ts: float | None = None
+    open_stacks: dict[tuple[int, int], int] = {}
+    for index, event in enumerate(events):
+        ph = event.get("ph")
+        if ph == PH_METADATA:
+            continue
+        for field in ("name", "ph", "pid", "tid", "ts"):
+            if field not in event:
+                problems.append(f"event {index} missing required field {field!r}")
+        pid = event.get("pid")
+        tid = event.get("tid")
+        if pid not in named_pids:
+            problems.append(f"event {index} references unnamed pid {pid}")
+        if (pid, tid) not in named_tids:
+            problems.append(f"event {index} references unnamed tid {tid} in pid {pid}")
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)):
+            if ts < 0:
+                problems.append(f"event {index} has negative ts {ts}")
+            if last_ts is not None and ts < last_ts:
+                problems.append(f"event {index} breaks ts monotonicity ({ts} < {last_ts})")
+            last_ts = float(ts)
+        if ph == PH_COMPLETE:
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {index} is an X event with bad dur {dur!r}")
+        elif ph == "B":
+            open_stacks[(pid, tid)] = open_stacks.get((pid, tid), 0) + 1
+        elif ph == "E":
+            depth = open_stacks.get((pid, tid), 0)
+            if depth == 0:
+                problems.append(f"event {index} is an E with no matching B on ({pid}, {tid})")
+            else:
+                open_stacks[(pid, tid)] = depth - 1
+        elif ph != PH_INSTANT:
+            problems.append(f"event {index} has unsupported ph {ph!r}")
+    for (pid, tid), depth in sorted(open_stacks.items()):
+        if depth:
+            problems.append(f"track ({pid}, {tid}) ends with {depth} unclosed B event(s)")
+    return problems
+
+
+def span_census(payload: dict[str, Any]) -> dict[str, int]:
+    """Count root request spans per ``outcome`` — closes the fleet census."""
+    census: dict[str, int] = {}
+    for event in payload.get("traceEvents", []):
+        if event.get("ph") == PH_COMPLETE and event.get("cat") == "request":
+            outcome = str(event.get("args", {}).get("outcome", "incomplete"))
+            census[outcome] = census.get(outcome, 0) + 1
+    return census

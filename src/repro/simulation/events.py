@@ -28,7 +28,9 @@ from typing import Callable
 # 3. request-lifecycle timers (deadlines, hedges, retry backoffs) and
 #    autoscaler ticks observe a settled instant — a completion beats its own
 #    deadline,
-# 4. the fleet provisioner reacts last, after every same-instant signal.
+# 4. the fleet provisioner reacts last, after every same-instant signal,
+# 5. the observability metrics ticker samples after everything else — it is a
+#    pure observer and must read an instant no controller will touch again.
 
 FINISH_EVENT_PRIORITY = 0
 START_EVENT_PRIORITY = 1
@@ -37,6 +39,7 @@ ARRIVAL_EVENT_PRIORITY = 2
 LIFECYCLE_EVENT_PRIORITY = 3
 AUTOSCALER_TICK_PRIORITY = 3
 PROVISIONER_TICK_PRIORITY = 4
+METRICS_TICK_PRIORITY = 5
 
 
 @dataclass(order=True, frozen=True, slots=True)

@@ -1,0 +1,84 @@
+"""Observed runs are bit-identical to unobserved runs.
+
+The observability plane only watches: the span recorder annotates cold
+paths, the metrics ticker is a bottom-priority recurring event that reads
+gauges (including the lazily-committed fast-forward counters, whose
+commit-on-observe path is already pinned bit-neutral), and neither draws
+randomness nor schedules anything that outlives the census.  These tests
+pin that contract on the failure-storm preset — the heaviest interleaving
+in the repo (machine churn, outages, retries, hedging, admission control)
+— by running the same fleet twice, once observed and once not, and
+comparing every simulation output.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.fleet_sweep import fleet_run_summary, prepare_fleet_run
+from repro.workload.scenarios import get_scenario
+
+
+def _storm_run(seed: int, observe: bool):
+    """One failure-storm fleet run; returns (result, fleet, plane)."""
+    fleet, trace, failures = prepare_fleet_run(
+        get_scenario("failure-storm"),
+        clusters=2,
+        burst_clusters=1,
+        seed=seed,
+        scale=0.2,
+        chaos="failure-storm",
+    )
+    plane = None
+    if observe:
+        from repro.obs import ObservabilityConfig
+
+        plane = fleet.observe(ObservabilityConfig(interval_s=0.5))
+    result = fleet.run(trace, failures=failures)
+    return result, fleet, plane
+
+
+def _fingerprint(result) -> str:
+    """Canonical serialization of everything a run reports."""
+    per_request = [
+        (
+            r.request_id,
+            r.tenant,
+            r.prompt_machine,
+            r.token_machine,
+            r.prompt_start_time,
+            r.first_token_time,
+            r.completion_time,
+            tuple(r.token_times),
+            r.restarts,
+        )
+        for r in result.requests
+    ]
+    summary = fleet_run_summary(result)
+    return json.dumps(
+        {"requests": per_request, "summary": summary, "duration": result.duration_s},
+        sort_keys=True,
+        default=str,
+    )
+
+
+class TestObservabilityParity:
+    @given(seed=st.integers(min_value=0, max_value=2**10))
+    @settings(max_examples=2, deadline=None)
+    def test_failure_storm_bit_identical(self, seed):
+        plain_result, _, _ = _storm_run(seed, observe=False)
+        observed_result, _, plane = _storm_run(seed, observe=True)
+        assert _fingerprint(plain_result) == _fingerprint(observed_result)
+        # The observed leg really recorded (not silently unarmed), and the
+        # trace closes the census of the run it watched.
+        assert plane.span_count > 0
+        assert plane.registry.num_samples > 0
+        assert sum(plane.census().values()) == len(observed_result.requests)
+
+    def test_unobserved_run_pays_nothing(self):
+        _, fleet, plane = _storm_run(0, observe=False)
+        assert plane is None
+        assert fleet.obs is None
