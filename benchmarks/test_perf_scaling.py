@@ -55,6 +55,12 @@ EXPECTED_SIM_TIME = {
     # Two mixed-tenant clusters plus one standby behind the slo-feedback
     # fleet router and the cloud-burst provisioner.
     "fleet-burst": "250.29238581678956",
+    # Five static mixed-tenant clusters (40 machines) under weighted-rr
+    # routing, serial vs sharded across 4 workers on the identical trace.
+    # The two entries pinning the SAME value is itself a parity gate: a
+    # sharded run that diverged from serial would trip here in tier-1.
+    "fleet-parallel": "258.6543126857196",
+    "fleet-parallel-4w": "258.6543126857196",
 }
 
 #: Regression floor for the headline scenario: the O(1)-accounting simulator
@@ -85,7 +91,21 @@ EVENTS_PER_S_FLOOR = {
     "diurnal-autoscale": 30_000.0,
     # Recording host: ~140-150k.
     "fleet-burst": 25_000.0,
+    # Recording host (1 CPU): ~64-70k serial; floors sit ~4-5x below so a
+    # slow runner doesn't trip them.
+    "fleet-parallel": 15_000.0,
+    "fleet-parallel-4w": 15_000.0,
 }
+
+#: Wall-clock speedup the sharded run must show over the serial run of the
+#: identical trace at 4 workers.  Only meaningful with real CPUs to put the
+#: workers on: the gate is enforced when REPRO_PERF_ENFORCE_FLOOR=1 *and*
+#: the host has at least MIN_PARALLEL_CPUS usable cores (GitHub's
+#: ubuntu-latest runners have 4).  On smaller hosts (e.g. a 1-CPU container,
+#: where time-sliced workers measure ~0.9x) the speedup is still recorded in
+#: BENCH_perf.json's parallel_speedup section, with host_cpus alongside.
+MIN_PARALLEL_SPEEDUP = 1.8
+MIN_PARALLEL_CPUS = 4
 
 _REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
@@ -134,4 +154,27 @@ def test_perf_scaling(run_once):
     assert headline["speedup"] > 0
     if os.environ.get("REPRO_PERF_ENFORCE_SPEEDUP") == "1":
         assert headline["speedup"] >= MIN_HEADLINE_SPEEDUP
+
+    # Sharded-engine gates: the serial/parallel pair must agree on every
+    # simulation output (wall time is the only legitimate difference), and
+    # on a multi-core enforcing host the 4-worker run must actually be fast.
+    parallel = report.get("parallel_speedup")
+    assert parallel is not None
+    serial_entry = report["scenarios"]["fleet-parallel"]
+    sharded_entry = report["scenarios"]["fleet-parallel-4w"]
+    for key in ("requests", "completed", "events", "events_cancelled",
+                "events_coalesced", "tokens_generated", "sim_time_s"):
+        assert serial_entry[key] == sharded_entry[key], (
+            f"serial/sharded divergence on {key}: "
+            f"{serial_entry[key]!r} != {sharded_entry[key]!r}"
+        )
+    assert sharded_entry["parallel_workers"] == 4
+    if (
+        os.environ.get("REPRO_PERF_ENFORCE_FLOOR") == "1"
+        and parallel["host_cpus"] >= MIN_PARALLEL_CPUS
+    ):
+        assert parallel["speedup"] >= MIN_PARALLEL_SPEEDUP, (
+            f"sharded fleet run shows {parallel['speedup']:.2f}x over serial "
+            f"on a {parallel['host_cpus']}-CPU host; floor is {MIN_PARALLEL_SPEEDUP}x"
+        )
     assert _REPORT_PATH.exists()

@@ -173,6 +173,19 @@ def build_parser() -> argparse.ArgumentParser:
              "degraded service) — the pre-lifecycle baseline",
     )
     fleet.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="shard the fleet across N engine workers (bit-identical to "
+             "serial; 1 runs the shard barrier loop in-process; coupled "
+             "configurations fall back to the serial engine with the "
+             "reasons recorded in --json provenance)",
+    )
+    fleet.add_argument(
+        "--epoch-s", type=float, default=None, metavar="S",
+        help="barrier spacing for --parallel in simulated seconds "
+             "(default: trace window / 64; any positive value is "
+             "parity-correct)",
+    )
+    fleet.add_argument(
         "--trace-out", default=None, metavar="FILE",
         help="write a Chrome/Perfetto trace-event JSON of the run "
              "(open it at ui.perfetto.dev); observes the burst run unless "
@@ -458,7 +471,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     static_fleet, trace, failures = prepare_fleet_run(
         preset, clusters=args.clusters, burst_clusters=args.burst_clusters, seed=args.seed,
         scale=args.scale, policy=args.policy, burst=False, model=model,
-        chaos=args.chaos, fault_seed=args.fault_seed, **reliability_kwargs,
+        chaos=args.chaos, fault_seed=args.fault_seed, parallel=args.parallel,
+        epoch_s=args.epoch_s, **reliability_kwargs,
     )
     plane = _arm_observability(static_fleet) if observe and args.no_burst else None
     static_result = static_fleet.run(trace, failures=failures)
@@ -489,6 +503,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         "hedge": static_fleet.lifecycle is not None
         and static_fleet.lifecycle.hedge is not None,
         "deadline_ms": args.deadline_ms,
+        # Execution-mode provenance: None without --parallel, otherwise the
+        # effective worker/shard counts (or the serial-fallback reasons).
+        # Deterministic content only — byte-compared artifacts stay stable.
+        "parallel": static_fleet.parallel_info,
         "static": static_summary,
     }
 
@@ -497,13 +515,15 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         burst_fleet, trace, failures = prepare_fleet_run(
             preset, clusters=args.clusters, burst_clusters=args.burst_clusters, seed=args.seed,
             scale=args.scale, policy=args.policy, burst=True, model=model,
-            chaos=args.chaos, fault_seed=args.fault_seed, **reliability_kwargs,
+            chaos=args.chaos, fault_seed=args.fault_seed, parallel=args.parallel,
+            epoch_s=args.epoch_s, **reliability_kwargs,
         )
         if observe:
             plane = _arm_observability(burst_fleet)
         burst_result = burst_fleet.run(trace, failures=failures)
         burst_summary = fleet_run_summary(burst_result)
         payload["burst"] = burst_summary
+        payload["burst_parallel"] = burst_fleet.parallel_info
         payload["machine_hours_saved"] = round(
             static_summary["machine_hours"] - burst_summary["machine_hours"], 3
         )
@@ -530,6 +550,15 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         )
         if chaos_name is not None:
             print(f"  chaos: {chaos_name} (fault seed {payload['fault_seed']})")
+        if payload["parallel"] is not None:
+            info = payload["parallel"]
+            if info["mode"] == "parallel":
+                print(
+                    f"  parallel: {info['shards']} shards / {info['workers']} workers, "
+                    f"{info['epochs']} epochs (bit-identical to serial)"
+                )
+            else:
+                print(f"  parallel: serial fallback — {'; '.join(info['reasons'])}")
         if "observability" in payload:
             obs = payload["observability"]
             print(

@@ -49,6 +49,8 @@ def prepare_fleet_run(
     hedge_override: bool | None = None,
     deadline_ms: float | None = None,
     reliability_off: bool = False,
+    parallel: int | None = None,
+    epoch_s: float | None = None,
     **cluster_kwargs,
 ) -> tuple[FleetSimulation, Trace, tuple[tuple[float, str], ...]]:
     """Build one fleet run: the simulation, its trace, and its failures.
@@ -98,6 +100,11 @@ def prepare_fleet_run(
         reliability_off: Strip the whole request-lifecycle layer (retry,
             hedge, deadlines, degraded service) regardless of the preset —
             the PR 6-equivalent baseline for goodput comparisons.
+        parallel: Request sharded execution with this many workers (see
+            :mod:`repro.simulation.sharding`); coupled configurations fall
+            back to the serial engine with recorded reasons.
+        epoch_s: Barrier spacing for sharded execution (``None`` derives a
+            default from the trace window).
         **cluster_kwargs: Forwarded to every member
             :class:`~repro.core.cluster.ClusterSimulation` (``fast_forward``,
             batching/routing overrides, ...).
@@ -150,6 +157,8 @@ def prepare_fleet_run(
             model=model,
             router=policy,
             provisioner=provisioner_config or FleetProvisionerConfig(),
+            parallel=parallel,
+            epoch_s=epoch_s,
             **chaos_kwargs,
             **cluster_kwargs,
         )
@@ -159,6 +168,8 @@ def prepare_fleet_run(
             num_clusters=clusters + burst_clusters,
             model=model,
             router=policy,
+            parallel=parallel,
+            epoch_s=epoch_s,
             **chaos_kwargs,
             **cluster_kwargs,
         )

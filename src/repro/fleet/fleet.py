@@ -40,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - the fault plane layers above the fleet
     from repro.faults.injector import FaultInjector
     from repro.faults.plan import FaultPlanConfig
     from repro.obs.plane import ObservabilityConfig, ObservabilityPlane
+    from repro.simulation.sharding import ShardPlan
 from repro.hardware.machine import DGX_A100
 from repro.metrics.slo import DEFAULT_SLO, SloPolicy, TenantSloReport, evaluate_slo_by_tenant
 from repro.models.llm import LLAMA2_70B, ModelSpec
@@ -321,6 +322,18 @@ class FleetSimulation:
             requests with a truncated output budget instead of dropping
             them.  Any of these four being set creates the fleet's
             :class:`~repro.fleet.reliability.ReliabilityCoordinator`.
+        parallel: Request sharded execution with this many workers (see
+            :mod:`repro.simulation.sharding`).  ``1`` runs the shard
+            barrier loop in-process (no worker processes); ``None`` (the
+            default) keeps the plain serial engine.  Fleets whose
+            configuration couples clusters mid-run (non-weighted-rr
+            routing, provisioner, reliability/admission/lifecycle, armed
+            faults, observability, autoscalers) fall back to the serial
+            path automatically, recording the reasons in
+            :attr:`parallel_info`.
+        epoch_s: Barrier spacing for sharded execution; ``None`` derives a
+            default from the trace window.  Any positive value is
+            parity-correct — this only bounds shard lag.
         **cluster_kwargs: Forwarded to every member
             :class:`ClusterSimulation` (batching, routing, thresholds,
             ``fast_forward``, ...).
@@ -343,6 +356,8 @@ class FleetSimulation:
         hedge: HedgeConfig | None = None,
         deadlines: DeadlineConfig | None = None,
         degraded: DegradedConfig | None = None,
+        parallel: int | None = None,
+        epoch_s: float | None = None,
         **cluster_kwargs,
     ) -> None:
         if num_clusters < 1:
@@ -357,7 +372,21 @@ class FleetSimulation:
             provisioner = None
         if burst_clusters and provisioner is None:
             raise ValueError("burst_clusters require a provisioner to activate them")
+        if parallel is not None and parallel < 1:
+            raise ValueError(f"parallel must be >= 1, got {parallel}")
+        if epoch_s is not None and epoch_s <= 0:
+            raise ValueError(f"epoch_s must be positive, got {epoch_s}")
         self.model = model
+        self.parallel = parallel
+        self.epoch_s = epoch_s
+        #: Provenance of the last run's execution mode: ``None`` until a
+        #: run with ``parallel`` set completes (or falls back), then a dict
+        #: with requested/effective worker and shard counts, the mode, and
+        #: (on fallback) the blocking reasons.  Deterministic content only —
+        #: no wall-clock times — so it is safe in byte-compared artifacts.
+        self.parallel_info: dict | None = None
+        self._design = design
+        self._cluster_kwargs = dict(cluster_kwargs)
         self.provisioner: FleetProvisioner | None = provisioner
         self.router = FleetRouter(router) if isinstance(router, str) else router
         if reliability is not None:
@@ -645,6 +674,22 @@ class FleetSimulation:
                     f"failure names machine {name!r} outside every cluster "
                     f"(expected a '<cluster>/' prefix)"
                 )
+        if self.parallel is not None:
+            from repro.simulation.sharding import plan_shards
+
+            plan = plan_shards(self, self.parallel, drain=drain, horizon_s=horizon_s)
+            if plan.mode == "parallel":
+                return self._run_sharded(trace, requests, failures, plan)
+            # Coupled configuration: fall through to the exact serial path
+            # below (results are trivially byte-identical to an unparallel
+            # run), keeping the blocking reasons as provenance.
+            self.parallel_info = {
+                "requested": plan.requested,
+                "mode": "serial",
+                "workers": 0,
+                "shards": 1,
+                "reasons": list(plan.reasons),
+            }
         sanitizer = self.engine.sanitizer
         if sanitizer is not None:
             # The trace and fault seams spend all their randomness before the
@@ -753,3 +798,111 @@ class FleetSimulation:
         if self.obs is not None:
             self.obs.finalize(result)
         return result
+
+    def _run_sharded(
+        self,
+        trace: Trace,
+        requests: list[Request],
+        failures: Sequence[tuple[float, str]],
+        plan: "ShardPlan",
+    ) -> FleetResult:
+        """Run a decomposable fleet as per-cluster-group engine shards.
+
+        The coordinator routes every arrival up front — serial fleets
+        execute arrivals in ``(arrival_time, trace_index)`` heap order, and
+        weighted-rr routing depends only on that order, so pre-routing
+        through the same router instance reproduces the serial assignment
+        exactly.  Shards then simulate their cluster groups between
+        bounded-lag barriers (:func:`repro.simulation.sharding.execute_shards`)
+        and the results merge positionally by trace index and machine name.
+        """
+        from repro.simulation import sharding
+
+        self._expected = len(requests)
+        self._completed = 0
+        self._shed = 0
+        self._expired = 0
+        self.shed_by_tenant = {}
+        self.expired_by_tenant = {}
+        shard_of: dict[str, int] = {}
+        for shard_index, names in enumerate(plan.assignments):
+            for name in names:
+                shard_of[name] = shard_index
+        order = sorted(range(len(requests)), key=lambda i: (requests[i].arrival_time, i))
+        arrivals: list[list[tuple[float, sharding.ArrivalMessage]]] = [
+            [] for _ in plan.assignments
+        ]
+        for index in order:
+            request = requests[index]
+            cluster = self.router.route(request)
+            cluster.requests.append(request)
+            arrivals[shard_of[cluster.name]].append(
+                (request.arrival_time, (index, request.descriptor, cluster.name))
+            )
+        epoch_s = (
+            self.epoch_s
+            if self.epoch_s is not None
+            else sharding.default_epoch_s(trace.duration_s)
+        )
+        cluster_kwargs = tuple(sorted(self._cluster_kwargs.items()))
+        specs = [
+            sharding.ShardSpec(
+                shard_id=shard_index,
+                cluster_names=names,
+                design=self._design,
+                model=self.model,
+                cluster_kwargs=cluster_kwargs,
+                failures=tuple(failures),
+                sanitize=self.engine.sanitize,
+            )
+            for shard_index, names in enumerate(plan.assignments)
+        ]
+        results, epochs, last_event_time = sharding.execute_shards(
+            specs, arrivals, epoch_s, use_processes=plan.workers > 0
+        )
+        by_name = {cluster.name: cluster for cluster in self.clusters}
+        for shard_result in results:
+            for row in shard_result.request_rows:
+                sharding.apply_request_row(requests[row[0]], row)
+            for cluster_name, exported in shard_result.machine_stats.items():
+                by_name[cluster_name].simulation.metrics.absorb_machine_stats(exported)
+        for cluster in self.clusters:
+            # Completion counts replicate the serial router's bookkeeping;
+            # the rolling latency windows are deliberately left empty — no
+            # decomposable configuration consumes them, and they are not
+            # part of any serialized result surface.
+            completed = sum(1 for request in cluster.requests if request.is_complete)
+            self.router.traffic[cluster.name].completed = completed
+            self._completed += completed
+        duration = max(last_event_time, trace.duration_s)
+        cluster_results = {
+            cluster.name: cluster.simulation.finish(cluster.requests, trace.name, duration)
+            for cluster in self.clusters
+        }
+        self.parallel_info = {
+            "requested": plan.requested,
+            "mode": "parallel",
+            "workers": plan.workers,
+            "shards": plan.shard_count,
+            "epoch_s": epoch_s,
+            "epochs": epochs,
+            "events_processed": sum(r.events_processed for r in results),
+            "events_cancelled": sum(r.events_cancelled for r in results),
+            "events_coalesced": sum(r.events_coalesced for r in results),
+            "heap_compactions": sum(r.heap_compactions for r in results),
+        }
+        return FleetResult(
+            trace_name=trace.name,
+            requests=requests,
+            clusters=self.clusters,
+            cluster_results=cluster_results,
+            duration_s=duration,
+            router=self.router,
+            provisioner=None,
+            model=self.model,
+            tenant_policies=self.tenant_policies,
+            shed_by_tenant={},
+            injector=None,
+            expired_by_tenant={},
+            lifecycle=None,
+        )

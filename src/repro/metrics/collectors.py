@@ -272,6 +272,49 @@ class MetricsCollector:
         """Names of all machines with recorded activity."""
         return sorted(name for name, stats in self._machines.items() if stats.iterations)
 
+    # -- shard transfer ------------------------------------------------------------
+
+    def export_machine_stats(self) -> dict[str, dict]:
+        """Serialize per-machine stats as plain picklable dicts.
+
+        Used by the sharded fleet runner: shard workers export their
+        collectors' rows, the coordinator absorbs them via
+        :meth:`absorb_machine_stats`.  Insertion (registration) order is
+        preserved so a round trip is deterministic.
+        """
+        return {
+            name: {
+                "busy_time_s": stats.busy_time_s,
+                "idle_time_s": stats.idle_time_s,
+                "energy_wh": stats.energy_wh,
+                "iterations": stats.iterations,
+                "prompt_tokens_processed": stats.prompt_tokens_processed,
+                "tokens_generated": stats.tokens_generated,
+                "occupancy": stats.occupancy.as_mapping(),
+            }
+            for name, stats in self._machines.items()
+        }
+
+    def absorb_machine_stats(self, exported: Mapping[str, Mapping]) -> None:
+        """Overwrite per-machine rows from :meth:`export_machine_stats` output.
+
+        Rows are assigned, not accumulated: the coordinator's collector holds
+        pre-registered empty rows for machines simulated remotely, and the
+        shard's exported row replaces each wholesale.
+        """
+        for name, row in exported.items():
+            stats = self._machines[name]
+            stats.busy_time_s = row["busy_time_s"]
+            stats.idle_time_s = row["idle_time_s"]
+            stats.energy_wh = row["energy_wh"]
+            stats.iterations = row["iterations"]
+            stats.prompt_tokens_processed = row["prompt_tokens_processed"]
+            stats.tokens_generated = row["tokens_generated"]
+            occupancy = BatchOccupancyTracker()
+            for tokens, duration in row["occupancy"].items():
+                occupancy._durations[tokens] = duration
+            stats.occupancy = occupancy
+
     # -- aggregation ---------------------------------------------------------------
 
     def total_energy_wh(self) -> float:

@@ -20,6 +20,7 @@ import argparse
 import cProfile
 import gc
 import json
+import os
 import pstats
 import time
 from dataclasses import asdict, dataclass, field
@@ -57,6 +58,11 @@ class PerfScenario:
             standbys under the burst provisioner) instead of one cluster.
         fleet_burst_clusters: Standby clusters of the fleet scenario.
         fleet_policy: Fleet router policy for the fleet scenario.
+        fleet_parallel: When positive, run the fleet sharded across this
+            many engine workers (``FleetSimulation(parallel=N)``); ``0``
+            keeps the serial engine.  Sharded runs are bit-identical to
+            serial, so a serial/parallel scenario pair measures pure
+            wall-clock speedup on one trace.
     """
 
     name: str
@@ -72,6 +78,7 @@ class PerfScenario:
     fleet_clusters: int = 0
     fleet_burst_clusters: int = 0
     fleet_policy: str = "slo-feedback"
+    fleet_parallel: int = 0
 
     @property
     def num_machines(self) -> int:
@@ -119,6 +126,38 @@ SCALING_SCENARIOS: tuple[PerfScenario, ...] = (
         fleet_clusters=2,
         fleet_burst_clusters=1,
     ),
+    # Sharded-engine regime: a 5-cluster / 40-machine static mixed-tenant
+    # fleet under weighted-rr routing — the decomposable configuration —
+    # measured serial and sharded across 4 workers on the identical trace.
+    # The pair shares every simulation input, so equal sim_time_s is a
+    # built-in parity pin and the wall-clock ratio is pure speedup.
+    PerfScenario(
+        name="fleet-parallel",
+        num_prompt=5,
+        num_token=3,
+        rate_rps=16.0,
+        num_requests=0,
+        seed=16,
+        preset="mixed-tenant",
+        preset_scale=1.6,
+        fleet_clusters=5,
+        fleet_burst_clusters=0,
+        fleet_policy="weighted-rr",
+    ),
+    PerfScenario(
+        name="fleet-parallel-4w",
+        num_prompt=5,
+        num_token=3,
+        rate_rps=16.0,
+        num_requests=0,
+        seed=16,
+        preset="mixed-tenant",
+        preset_scale=1.6,
+        fleet_clusters=5,
+        fleet_burst_clusters=0,
+        fleet_policy="weighted-rr",
+        fleet_parallel=4,
+    ),
 )
 
 
@@ -146,6 +185,9 @@ class PerfSample:
             events (executed + coalesced) so the trajectory metric stays
             comparable across coalescing changes.
         requests_per_s: End-to-end throughput (requests / wall second).
+        parallel_workers: Worker processes the run sharded across (0 for
+            serial execution — provenance for the bench payload).
+        parallel_shards: Engine shards of the run (0 for serial execution).
     """
 
     scenario: str
@@ -158,6 +200,8 @@ class PerfSample:
     tokens_generated: int
     wall_s: float
     sim_time_s: float
+    parallel_workers: int = 0
+    parallel_shards: int = 0
     events_per_s: float = field(init=False)
     requests_per_s: float = field(init=False)
 
@@ -197,6 +241,7 @@ def run_perf_scenario(scenario: PerfScenario, profiler=None) -> PerfSample:
             scale=scenario.preset_scale,
             policy=scenario.fleet_policy,
             burst=scenario.fleet_burst_clusters > 0,
+            parallel=scenario.fleet_parallel or None,
         )
     elif scenario.preset is not None:
         simulation, trace, failures = prepare_scenario_run(
@@ -227,6 +272,21 @@ def run_perf_scenario(scenario: PerfScenario, profiler=None) -> PerfSample:
             profiler.detach()
     wall_s = time.perf_counter() - start
     tokens = sum(r.generated_tokens for r in result.requests)
+    # Sharded fleet runs execute on worker engines; their merged counters
+    # live in parallel_info, and the coordinator engine stays idle.
+    parallel_info = getattr(simulation, "parallel_info", None)
+    if parallel_info is not None and parallel_info.get("mode") == "parallel":
+        events = parallel_info["events_processed"]
+        events_cancelled = parallel_info["events_cancelled"]
+        events_coalesced = parallel_info["events_coalesced"]
+        parallel_workers = parallel_info["workers"]
+        parallel_shards = parallel_info["shards"]
+    else:
+        events = simulation.engine.events_processed
+        events_cancelled = simulation.engine.events_cancelled
+        events_coalesced = simulation.engine.events_coalesced
+        parallel_workers = 0
+        parallel_shards = 0
     return PerfSample(
         scenario=scenario.name,
         # Counted from the built cluster, not the dataclass fields: preset
@@ -235,12 +295,14 @@ def run_perf_scenario(scenario: PerfScenario, profiler=None) -> PerfSample:
         machines=len(simulation.machines),
         requests=len(trace),
         completed=len(result.completed_requests),
-        events=simulation.engine.events_processed,
-        events_cancelled=simulation.engine.events_cancelled,
-        events_coalesced=simulation.engine.events_coalesced,
+        events=events,
+        events_cancelled=events_cancelled,
+        events_coalesced=events_coalesced,
         tokens_generated=tokens,
         wall_s=wall_s,
         sim_time_s=result.duration_s,
+        parallel_workers=parallel_workers,
+        parallel_shards=parallel_shards,
     )
 
 
@@ -273,7 +335,8 @@ def build_bench_report(
         "unit": {"wall_s": "seconds", "events_per_s": "logical events/sec", "requests_per_s": "requests/sec"},
         "scenarios": {},
     }
-    for sample in samples:
+    sample_list = list(samples)
+    for sample in sample_list:
         entry = asdict(sample)
         if baseline and sample.scenario in baseline:
             reference = baseline[sample.scenario]
@@ -281,6 +344,27 @@ def build_bench_report(
             if sample.wall_s > 0 and reference.get("wall_s"):
                 entry["speedup"] = reference["wall_s"] / sample.wall_s
         report["scenarios"][sample.scenario] = entry
+    by_name = {sample.scenario: sample for sample in sample_list}
+    serial = by_name.get("fleet-parallel")
+    sharded = by_name.get("fleet-parallel-4w")
+    if serial is not None and sharded is not None and sharded.wall_s > 0:
+        # Same trace, same simulation outputs (sim_time_s must match), so
+        # the wall-clock ratio is the sharded engine's pure speedup on this
+        # host.  host_cpus is recorded because the ratio is meaningless
+        # without it: a 1-CPU container time-slices the workers and can
+        # show <= 1x no matter how well the sharding scales.
+        report["parallel_speedup"] = {
+            "serial_scenario": "fleet-parallel",
+            "parallel_scenario": "fleet-parallel-4w",
+            "workers": sharded.parallel_workers,
+            "shards": sharded.parallel_shards,
+            "serial_wall_s": serial.wall_s,
+            "parallel_wall_s": sharded.wall_s,
+            "speedup": serial.wall_s / sharded.wall_s,
+            "serial_events_per_s": serial.events_per_s,
+            "parallel_events_per_s": sharded.events_per_s,
+            "host_cpus": os.cpu_count() or 1,
+        }
     if profile is not None:
         report["profile"] = dict(profile)
     if phase_profile is not None:

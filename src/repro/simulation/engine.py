@@ -13,7 +13,10 @@ for throughput:
   is resolved by C-level tuple comparison instead of ``Event.__lt__``.
 * Cancellation uses tombstones (:meth:`cancel`): the event stays in the heap
   but is discarded unexecuted when it reaches the head, which keeps
-  cancellation O(1) instead of O(n).
+  cancellation O(1) instead of O(n).  When tombstones come to dominate the
+  heap (cancel-heavy runs: deadlines, hedges, autoscaler timers) the heap is
+  compacted in place — live entries keep their ``(time, priority, sequence)``
+  keys, so compaction never reorders execution.
 * :meth:`schedule_recurring` provides self-rescheduling periodic tasks
   without allocating a fresh closure per occurrence.
 
@@ -108,6 +111,14 @@ class SimulationEngine:
             observes — sanitized runs are bit-identical to unsanitized ones.
     """
 
+    # Heap compaction policy: compact when at least COMPACT_MIN_TOMBSTONES
+    # tombstones have accumulated AND tombstones outnumber live entries by
+    # COMPACT_RATIO.  Class attributes so tests can tighten the trigger or
+    # effectively disable compaction (set the minimum very high) on a
+    # reference engine.
+    COMPACT_MIN_TOMBSTONES: int = 256
+    COMPACT_RATIO: float = 1.0
+
     def __init__(self, sanitize: bool | None = None) -> None:
         self._now = 0.0
         # Heap entries are (time, priority, sequence, event): comparison never
@@ -118,6 +129,8 @@ class SimulationEngine:
         self._events_cancelled = 0
         self._events_coalesced = 0
         self._tombstones = 0  # cancelled events still sitting in the heap
+        self._heap_compactions = 0
+        self._last_event_time = 0.0
         if sanitize is None:
             # Run-mode debug flag, deliberately env-driven so any entry point
             # can arm the sanitizer without plumbing; it only observes, so it
@@ -154,6 +167,16 @@ class SimulationEngine:
         return self._now
 
     @property
+    def last_event_time(self) -> float:
+        """Time of the last *executed* event (0.0 before any event fires).
+
+        Unlike :attr:`now`, never advanced by a ``run(until=...)`` horizon
+        clamp — the sharded fleet runner uses this to reconstruct the serial
+        engine's end-of-run clock from barrier-clamped shard engines.
+        """
+        return self._last_event_time
+
+    @property
     def events_processed(self) -> int:
         """Number of events executed so far (cancelled events are not counted)."""
         return self._events_processed
@@ -178,6 +201,11 @@ class SimulationEngine:
         """Credit ``count`` logical events that were executed without being scheduled."""
         if count > 0:
             self._events_coalesced += count
+
+    @property
+    def heap_compactions(self) -> int:
+        """Number of times the tombstoned heap has been compacted in place."""
+        return self._heap_compactions
 
     @property
     def pending_events(self) -> int:
@@ -253,7 +281,26 @@ class SimulationEngine:
         event._mark_cancelled()
         self._tombstones += 1
         self._events_cancelled += 1
+        tombstones = self._tombstones
+        if tombstones >= self.COMPACT_MIN_TOMBSTONES and tombstones >= self.COMPACT_RATIO * (
+            len(self._queue) - tombstones
+        ):
+            self._compact()
         return True
+
+    def _compact(self) -> None:
+        """Drop tombstoned entries and re-heapify, preserving execution order.
+
+        Mutates ``self._queue`` in place because :meth:`run` and :meth:`step`
+        hold local aliases to the list; rebinding would desynchronize them.
+        Live entries keep their ``(time, priority, sequence)`` keys — a strict
+        total order (sequence numbers are unique) — so the rebuilt heap pops
+        in exactly the order the tombstoned heap would have.
+        """
+        self._queue[:] = [entry for entry in self._queue if not entry[3].cancelled]
+        heapq.heapify(self._queue)
+        self._tombstones = 0
+        self._heap_compactions += 1
 
     # -- execution ------------------------------------------------------------
 
@@ -272,6 +319,7 @@ class SimulationEngine:
                 continue
             event._mark_fired()
             self._now = time
+            self._last_event_time = time
             self._events_processed += 1
             if sanitizer is None:
                 event.action()

@@ -1,0 +1,591 @@
+"""Sharded parallel execution of decomposable fleet simulations.
+
+A :class:`~repro.fleet.fleet.FleetSimulation` normally advances every member
+cluster on one shared :class:`~repro.simulation.engine.SimulationEngine`.
+This module partitions the fleet into *shards* — disjoint cluster groups,
+each with its own engine — that advance independently between bounded-lag
+barriers, optionally on ``multiprocessing`` workers.  Cross-shard
+interactions only occur at epoch boundaries: the coordinator routes every
+arrival up front (the router is the single cross-shard decision point of a
+decomposable fleet) and streams compact, deterministic arrival batches into
+each shard at each barrier; shards return completions, per-machine metrics,
+and engine counters after the final drain, and the coordinator merges them
+into one :class:`~repro.fleet.fleet.FleetResult`.
+
+Decomposability (:func:`plan_shards`) is conservative: a fleet qualifies for
+parallel execution only when no component feeds cross-cluster state back
+into routing or scheduling mid-run — the ``weighted-rr`` policy (a smooth
+weighted round-robin over static machine counts, no completion feedback,
+no RNG) with no provisioner, no reliability/admission/lifecycle layers, no
+armed fault plane, no observability plane, and no per-cluster autoscalers
+(their stop condition couples to the fleet-wide census).  Plain machine
+failure injections *are* shard-local (requests restart on the surviving
+machines of the same cluster) and stay eligible.  Anything else falls back
+to the serial engine with the blocking reasons recorded in the plan — the
+fallback is the exact serial code path, so results are trivially
+byte-identical.
+
+Determinism of the parallel path rests on three facts, each load-bearing:
+
+* Pre-routing order equals serial routing order.  Serial fleets schedule
+  arrivals at :data:`~repro.simulation.events.ARRIVAL_EVENT_PRIORITY` in
+  trace order, so the heap executes them by ``(arrival_time, trace_index)``;
+  the coordinator routes in exactly that sort order, through the *same*
+  router instance, so every request lands on the same cluster.
+* Epoch batches use a strict ``< barrier`` cut while the shard engine runs
+  ``until=barrier`` inclusively: local events at exactly the barrier time
+  (priorities 0/1) execute in the closing epoch, arrivals at exactly the
+  barrier (priority 2) fire first thing in the next epoch — the same
+  relative order the serial priority ladder produces.  A decomposable fleet
+  schedules no priority > 2 events, so nothing can fire between them.
+* Shard merge is positional: completions are keyed by trace index, machine
+  stats by machine name, so the merge is independent of worker count,
+  shard assignment, and message arrival order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from array import array
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import ARRIVAL_EVENT_PRIORITY
+from repro.simulation.request import Request, RequestPhase
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (fleet layers above simulation)
+    from multiprocessing.connection import Connection
+    from multiprocessing.context import BaseContext
+
+    from repro.core.cluster import ClusterSimulation
+    from repro.fleet.fleet import FleetSimulation
+
+
+#: Default number of epochs a trace window is divided into when the caller
+#: does not pin ``epoch_s``.  Any positive epoch length is parity-correct
+#: (barriers only bound shard lag, they never reorder events); this is a
+#: throughput knob balancing message batching against peak memory.
+DEFAULT_EPOCH_COUNT = 64
+
+#: A routed arrival crossing into a shard: ``(trace_index, descriptor,
+#: cluster_name)``.  The descriptor carries the arrival time.
+ArrivalMessage = tuple[int, Any, str]
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker raised; carries the worker-side traceback text."""
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Outcome of the decomposability analysis for one fleet run.
+
+    Attributes:
+        requested: Worker count the caller asked for (``parallel=N``).
+        workers: OS worker processes to launch (0 = in-process shard
+            execution, used for ``N=1`` so the barrier logic still runs).
+        shard_count: Engine shards (min of requested workers and clusters).
+        mode: ``"parallel"`` when the fleet decomposes, ``"serial"`` when it
+            must fall back to the single shared engine.
+        reasons: Human-readable couplings that blocked parallel execution
+            (empty when ``mode == "parallel"``).
+        assignments: Cluster names per shard (round-robin partition),
+            empty on serial fallback.
+    """
+
+    requested: int
+    workers: int
+    shard_count: int
+    mode: str
+    reasons: tuple[str, ...]
+    assignments: tuple[tuple[str, ...], ...]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker needs to rebuild its cluster group from scratch.
+
+    Picklable by construction: designs, models, and cluster kwargs are plain
+    frozen dataclasses / scalars.  Workers never receive live simulation
+    objects — each builds fresh :class:`~repro.core.cluster.ClusterSimulation`
+    instances on its own engine, which is what makes shard state trivially
+    serializable.
+    """
+
+    shard_id: int
+    cluster_names: tuple[str, ...]
+    design: Any
+    model: Any
+    cluster_kwargs: tuple[tuple[str, Any], ...]
+    failures: tuple[tuple[float, str], ...]
+    sanitize: bool
+
+
+@dataclass
+class ShardResult:
+    """A shard's complete output, shipped back after the final drain.
+
+    ``request_rows`` hold one tuple per routed request (see
+    :func:`request_row`); ``machine_stats`` maps cluster name to that
+    cluster's :meth:`~repro.metrics.collectors.MetricsCollector.export_machine_stats`
+    payload.  ``last_event_time`` is the shard engine's last *executed*
+    event time (its clock may sit later, clamped to the final barrier).
+    """
+
+    shard_id: int
+    last_event_time: float
+    events_processed: int
+    events_cancelled: int
+    events_coalesced: int
+    heap_compactions: int
+    request_rows: list[tuple]
+    machine_stats: dict[str, dict[str, dict]]
+
+
+def plan_shards(
+    fleet: "FleetSimulation",
+    requested: int,
+    drain: bool = True,
+    horizon_s: float | None = None,
+) -> ShardPlan:
+    """Decide whether (and how) a fleet run can execute as parallel shards.
+
+    Args:
+        fleet: The fleet about to run.
+        requested: Requested worker count (``parallel=N``, must be >= 1).
+        drain: The run's ``drain`` flag.
+        horizon_s: The run's ``horizon_s`` argument.
+
+    Returns:
+        A :class:`ShardPlan`; ``mode == "serial"`` lists every coupling that
+        forces the fallback.
+    """
+    if requested < 1:
+        raise ValueError(f"parallel worker count must be >= 1, got {requested}")
+    reasons: list[str] = []
+    if len(fleet.clusters) < 2:
+        reasons.append("fewer than two clusters: nothing to shard")
+    policy = fleet.router.policy
+    if policy != "weighted-rr":
+        reasons.append(
+            f"router policy {policy!r} feeds completion/outstanding state back into routing"
+        )
+    if fleet.router.reliability is not None:
+        reasons.append("router reliability tracking consumes cross-cluster error feedback")
+    if fleet.provisioner is not None:
+        reasons.append("provisioner acts on fleet-wide pressure at its own cadence")
+    if fleet.admission is not None:
+        reasons.append("admission control sheds on fleet-wide outstanding load")
+    if fleet.lifecycle is not None:
+        reasons.append("lifecycle layer re-routes retries/hedges across clusters")
+    if fleet.faults is not None and fleet.faults.enabled:
+        reasons.append("armed fault plane injects correlated cross-cluster outages")
+    if fleet.obs is not None:
+        reasons.append("observability plane records one fleet-wide timeline")
+    if any(cluster.simulation.autoscaler is not None for cluster in fleet.clusters):
+        reasons.append("per-cluster autoscaler stop couples to the fleet-wide census")
+    if not drain:
+        reasons.append("non-draining runs stop all clusters on one shared clock")
+    if horizon_s is not None:
+        reasons.append("horizon-bounded runs stop all clusters on one shared clock")
+    if reasons:
+        return ShardPlan(
+            requested=requested,
+            workers=0,
+            shard_count=1,
+            mode="serial",
+            reasons=tuple(reasons),
+            assignments=(),
+        )
+    names = [cluster.name for cluster in fleet.clusters]
+    shard_count = min(requested, len(names))
+    assignments = tuple(tuple(names[index::shard_count]) for index in range(shard_count))
+    workers = shard_count if requested > 1 else 0
+    return ShardPlan(
+        requested=requested,
+        workers=workers,
+        shard_count=shard_count,
+        mode="parallel",
+        reasons=(),
+        assignments=assignments,
+    )
+
+
+def default_epoch_s(duration_s: float) -> float:
+    """Default barrier spacing: the trace window split into a fixed epoch count."""
+    return max(duration_s, 1.0) / DEFAULT_EPOCH_COUNT
+
+
+# -- request row transfer ---------------------------------------------------------
+
+
+def request_row(index: int, request: Request) -> tuple:
+    """Pack one simulated request into a flat picklable row.
+
+    Columnar token-time segments are materialized into the packed
+    ``array('d')`` here, on the worker, so the row carries plain scalars and
+    one typed array — no live simulation objects cross the process boundary.
+    """
+    return (
+        index,
+        request.phase.value,
+        request.prompt_machine,
+        request.token_machine,
+        request.prompt_start_time,
+        request.first_token_time,
+        request.completion_time,
+        request.generated_tokens,
+        request.kv_transfer_start,
+        request.kv_transfer_end,
+        request.preemptions,
+        request.priority_boost,
+        request.restarts,
+        array("d", request.token_times),
+    )
+
+
+def apply_request_row(request: Request, row: tuple) -> None:
+    """Hydrate a coordinator-side request from a worker's :func:`request_row`.
+
+    The coordinator's request was never simulated, so its columnar segment
+    fields are still at their defaults; assigning the packed array makes
+    ``token_times`` return the worker-observed series bit-for-bit.
+    """
+    request.phase = RequestPhase(row[1])
+    request.prompt_machine = row[2]
+    request.token_machine = row[3]
+    request.prompt_start_time = row[4]
+    request.first_token_time = row[5]
+    request.completion_time = row[6]
+    request.generated_tokens = row[7]
+    request.kv_transfer_start = row[8]
+    request.kv_transfer_end = row[9]
+    request.preemptions = row[10]
+    request.priority_boost = row[11]
+    request.restarts = row[12]
+    request._token_times = row[13]
+
+
+# -- shard runtime (one engine, one cluster group) --------------------------------
+
+
+class _ShardRuntime:
+    """One shard's live state: a private engine driving its cluster group.
+
+    Shared verbatim by the in-process executor (``parallel=1``) and the
+    worker processes, so both paths execute identical code between barriers.
+    """
+
+    def __init__(self, spec: ShardSpec) -> None:
+        from repro.core.cluster import ClusterSimulation
+
+        self.spec = spec
+        self.engine = SimulationEngine(sanitize=spec.sanitize)
+        sanitizer = self.engine.sanitizer
+        if sanitizer is not None:
+            # Mirror the serial fleet's stream discipline: trace and fault
+            # randomness is spent before the event loop runs.
+            sanitizer.register_stream("trace", run_phase=False)
+            sanitizer.register_stream("fault", run_phase=False)
+        self.simulations: dict[str, ClusterSimulation] = {}
+        self.roster: list[tuple[int, Request]] = []
+        kwargs = dict(spec.cluster_kwargs)
+        for name in spec.cluster_names:
+            simulation = ClusterSimulation(
+                spec.design,
+                model=spec.model,
+                engine=self.engine,
+                name=name,
+                **kwargs,
+            )
+            prefix = f"{name}/"
+            simulation.prepare(
+                [(time_s, machine) for time_s, machine in spec.failures if machine.startswith(prefix)]
+            )
+            self.simulations[name] = simulation
+
+    def deliver(self, batch: Sequence[ArrivalMessage]) -> None:
+        """Schedule a barrier batch of routed arrivals on the shard engine."""
+        for index, descriptor, cluster_name in batch:
+            request = Request(descriptor=descriptor)
+            scheduler = self.simulations[cluster_name].scheduler
+            self.roster.append((index, request))
+            self.engine.schedule_at(
+                request.arrival_time,
+                lambda sched=scheduler, req=request: sched.submit(req),
+                priority=ARRIVAL_EVENT_PRIORITY,
+                tag=f"fleet-arrival:{request.request_id}",
+            )
+
+    def advance(self, barrier: float) -> None:
+        """Run the shard up to (and including events at) the barrier time."""
+        self.engine.run(until=barrier)
+
+    def drain(self) -> float:
+        """Run the shard to completion; returns its last executed event time."""
+        self.engine.run()
+        return self.engine.last_event_time
+
+    def finish(self) -> ShardResult:
+        """Package the shard's requests, metrics, and counters for the merge."""
+        engine = self.engine
+        return ShardResult(
+            shard_id=self.spec.shard_id,
+            last_event_time=engine.last_event_time,
+            events_processed=engine.events_processed,
+            events_cancelled=engine.events_cancelled,
+            events_coalesced=engine.events_coalesced,
+            heap_compactions=engine.heap_compactions,
+            request_rows=[request_row(index, request) for index, request in self.roster],
+            machine_stats={
+                name: simulation.metrics.export_machine_stats()
+                for name, simulation in self.simulations.items()
+            },
+        )
+
+
+# -- executors --------------------------------------------------------------------
+
+
+class _InProcessShard:
+    """Shard executor running in the coordinator process (``parallel=1``).
+
+    Work happens eagerly in the ``send_*`` calls; the ``wait_*`` calls just
+    return — the same two-phase protocol as :class:`_ProcessShard`, so the
+    epoch loop is executor-agnostic.
+    """
+
+    def __init__(self, spec: ShardSpec) -> None:
+        self._runtime = _ShardRuntime(spec)
+        self._last_event_time = 0.0
+        self._result: ShardResult | None = None
+
+    def send_epoch(self, barrier: float, batch: Sequence[ArrivalMessage]) -> None:
+        self._runtime.deliver(batch)
+        self._runtime.advance(barrier)
+
+    def wait_epoch(self) -> None:
+        return None
+
+    def send_drain(self) -> None:
+        self._last_event_time = self._runtime.drain()
+
+    def wait_drain(self) -> float:
+        return self._last_event_time
+
+    def send_finish(self) -> None:
+        self._result = self._runtime.finish()
+
+    def wait_finish(self) -> ShardResult:
+        assert self._result is not None
+        return self._result
+
+    def close(self) -> None:
+        return None
+
+
+def _worker_main(connection: "Connection", spec: ShardSpec) -> None:
+    """Worker-process entry point: build the shard, then serve barrier messages.
+
+    Protocol (one ack per message, errors carry the worker traceback)::
+
+        ("epoch", barrier, batch) -> ("ok", None)
+        ("drain",)                -> ("ok", last_event_time)
+        ("finish",)               -> ("ok", ShardResult)
+        ("exit",)                 -> no reply, worker exits
+    """
+    try:
+        runtime = _ShardRuntime(spec)
+        connection.send(("ready", spec.shard_id))
+        while True:
+            message = connection.recv()
+            kind = message[0]
+            if kind == "epoch":
+                runtime.deliver(message[2])
+                runtime.advance(message[1])
+                connection.send(("ok", None))
+            elif kind == "drain":
+                connection.send(("ok", runtime.drain()))
+            elif kind == "finish":
+                connection.send(("ok", runtime.finish()))
+            elif kind == "exit":
+                return
+            else:  # pragma: no cover - protocol misuse
+                raise ValueError(f"unknown shard message {kind!r}")
+    except EOFError:  # pragma: no cover - coordinator died; nothing to report to
+        return
+    except Exception:
+        try:
+            connection.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover - coordinator died
+            pass
+    finally:
+        connection.close()
+
+
+def spawn_context() -> "BaseContext":
+    """Pick the multiprocessing start method for shard workers.
+
+    ``fork`` is preferred (the coordinator has already imported everything,
+    so workers start instantly); platforms without it fall back to
+    ``spawn``.  ``REPRO_PARALLEL_START_METHOD`` overrides — a worker
+    bootstrap configuration read, not simulation state, so it cannot make
+    two equally-configured runs differ (shards are bit-identical under
+    either start method).
+    """
+    method = os.environ.get("REPRO_PARALLEL_START_METHOD")
+    if method:
+        return multiprocessing.get_context(method)
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        return multiprocessing.get_context("spawn")
+
+
+class _ProcessShard:
+    """Shard executor on a dedicated ``multiprocessing`` worker.
+
+    The coordinator sends to every shard before waiting on any
+    (``send_* ``/``wait_*`` split), so all workers simulate their epochs
+    concurrently.
+    """
+
+    def __init__(self, spec: ShardSpec, context: "BaseContext") -> None:
+        parent, child = context.Pipe()
+        self._connection = parent
+        self._process = context.Process(
+            target=_worker_main,
+            args=(child, spec),
+            name=f"repro-shard-{spec.shard_id}",
+            daemon=True,
+        )
+        self._process.start()
+        child.close()
+        kind, _payload = self._receive()
+        if kind != "ready":  # pragma: no cover - protocol misuse
+            raise ShardWorkerError(f"shard {spec.shard_id} sent {kind!r} before ready")
+
+    def _receive(self) -> tuple[str, Any]:
+        try:
+            message = self._connection.recv()
+        except EOFError as exc:  # pragma: no cover - worker crashed hard
+            raise ShardWorkerError("shard worker exited without replying") from exc
+        if message[0] == "error":
+            raise ShardWorkerError(f"shard worker failed:\n{message[1]}")
+        return (message[0], message[1])
+
+    def _ack(self) -> Any:
+        kind, payload = self._receive()
+        if kind != "ok":  # pragma: no cover - protocol misuse
+            raise ShardWorkerError(f"expected ok from shard worker, got {kind!r}")
+        return payload
+
+    def send_epoch(self, barrier: float, batch: Sequence[ArrivalMessage]) -> None:
+        self._connection.send(("epoch", barrier, batch))
+
+    def wait_epoch(self) -> None:
+        self._ack()
+
+    def send_drain(self) -> None:
+        self._connection.send(("drain",))
+
+    def wait_drain(self) -> float:
+        return float(self._ack())
+
+    def send_finish(self) -> None:
+        self._connection.send(("finish",))
+
+    def wait_finish(self) -> ShardResult:
+        result = self._ack()
+        if not isinstance(result, ShardResult):  # pragma: no cover - protocol misuse
+            raise ShardWorkerError(f"expected ShardResult, got {type(result).__name__}")
+        return result
+
+    def close(self) -> None:
+        try:
+            self._connection.send(("exit",))
+        except (BrokenPipeError, OSError):  # pragma: no cover - worker already gone
+            pass
+        self._connection.close()
+        self._process.join(timeout=10.0)
+        if self._process.is_alive():  # pragma: no cover - wedged worker
+            self._process.terminate()
+            self._process.join(timeout=5.0)
+
+
+def execute_shards(
+    specs: Sequence[ShardSpec],
+    arrivals: Sequence[Sequence[tuple[float, ArrivalMessage]]],
+    epoch_s: float,
+    use_processes: bool,
+) -> tuple[list[ShardResult], int, float]:
+    """Drive every shard through the epoch/barrier loop and collect results.
+
+    Args:
+        specs: One spec per shard.
+        arrivals: Per-shard routed arrivals as ``(arrival_time, message)``,
+            each list in serial routing order (sorted by arrival time with
+            trace order breaking ties).
+        epoch_s: Barrier spacing (bounded shard lag).
+        use_processes: Launch one worker process per shard; ``False`` runs
+            every shard in-process through the identical barrier protocol.
+
+    Returns:
+        ``(results, epochs, last_event_time)`` — shard results in shard-id
+        order, the number of barrier epochs executed, and the fleet-wide
+        last executed event time (the serial engine's end-of-run clock).
+
+    Each epoch's barrier is the minimum next undelivered arrival time across
+    all shards plus ``epoch_s``: every shard receives its arrivals strictly
+    before the barrier and advances to exactly the barrier, so no shard ever
+    leads another by more than one epoch of simulated time while arrivals
+    remain.  After the last arrival, shards drain to completion.
+    """
+    if epoch_s <= 0.0:
+        raise ValueError(f"epoch_s must be positive, got {epoch_s}")
+    shards: list[Any] = []
+    try:
+        if use_processes:
+            context = spawn_context()
+            shards = [_ProcessShard(spec, context) for spec in specs]
+        else:
+            shards = [_InProcessShard(spec) for spec in specs]
+        cursors = [0] * len(specs)
+        epochs = 0
+        while True:
+            pending = [
+                index for index in range(len(specs)) if cursors[index] < len(arrivals[index])
+            ]
+            if not pending:
+                break
+            next_time = min(arrivals[index][cursors[index]][0] for index in pending)
+            barrier = next_time + epoch_s
+            for index, shard in enumerate(shards):
+                rows = arrivals[index]
+                cursor = cursors[index]
+                batch: list[ArrivalMessage] = []
+                while cursor < len(rows) and rows[cursor][0] < barrier:
+                    batch.append(rows[cursor][1])
+                    cursor += 1
+                cursors[index] = cursor
+                shard.send_epoch(barrier, batch)
+            for shard in shards:
+                shard.wait_epoch()
+            epochs += 1
+        for shard in shards:
+            shard.send_drain()
+        last_event_time = 0.0
+        for shard in shards:
+            shard_last = shard.wait_drain()
+            if shard_last > last_event_time:
+                last_event_time = shard_last
+        for shard in shards:
+            shard.send_finish()
+        results = [shard.wait_finish() for shard in shards]
+        return results, epochs, last_event_time
+    finally:
+        for shard in shards:
+            shard.close()

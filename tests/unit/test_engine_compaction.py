@@ -1,0 +1,122 @@
+"""Tombstoned-heap compaction is behavior-invisible.
+
+Cancelled events stay in the engine heap as tombstones until they surface at
+the head; cancel-heavy runs (autoscaler churn, fault-plane withdrawals,
+hedge cancellations) can leave the heap mostly dead weight, and every push
+then pays ``log`` of a size dominated by garbage.  ``SimulationEngine``
+therefore compacts the heap — drops tombstones and re-heapifies — when
+enough accumulate.  Compaction must be *pure mechanism*: live entries keep
+their ``(time, priority, sequence)`` keys, a strict total order, so pop
+order (and with it every simulation output) is bit-identical whether
+compaction ran zero times or on every cancellation.
+
+The thresholds are class attributes precisely so these tests can pin both
+extremes on one workload: an engine with compaction effectively disabled
+(huge minimum) against one compacting eagerly (tiny minimum, near-zero
+ratio).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.scenarios import prepare_scenario_run
+from repro.simulation.engine import SimulationEngine
+from repro.workload.scenarios import get_scenario
+
+
+def _configure(engine, *, disabled):
+    """Per-instance threshold override (shadows the class attributes)."""
+    if disabled:
+        engine.COMPACT_MIN_TOMBSTONES = 10**9
+    else:
+        engine.COMPACT_MIN_TOMBSTONES = 16
+        engine.COMPACT_RATIO = 0.01
+
+
+def _cancel_heavy_pattern(engine):
+    """Schedule a lattice of events and cancel most of them mid-run.
+
+    Returns the executed tag order.  The cull event cancels from *inside*
+    the run loop, which is the hazardous path: ``run``/``step`` hold local
+    aliases to the heap list, so compaction must mutate it in place.
+    """
+    log = []
+    events = []
+    for i in range(1500):
+        time_s = 10.0 + (i % 300) * 0.25 + (i // 300) * 0.01
+        events.append(
+            engine.schedule_at(time_s, lambda i=i: log.append(i), priority=i % 3, tag=f"ev-{i}")
+        )
+
+    def cull():
+        for i, event in enumerate(events):
+            if i % 4 != 0:
+                engine.cancel(event)
+
+    engine.schedule_at(5.0, cull, tag="cull")
+    engine.run()
+    return log
+
+
+class TestCompactionParity:
+    def test_pop_order_identical_with_and_without_compaction(self):
+        reference = SimulationEngine()
+        _configure(reference, disabled=True)
+        compacting = SimulationEngine()
+        _configure(compacting, disabled=False)
+
+        assert _cancel_heavy_pattern(reference) == _cancel_heavy_pattern(compacting)
+        assert reference.heap_compactions == 0
+        assert compacting.heap_compactions > 0
+        # Same live events executed either way; tombstones never fire.
+        assert reference.events_processed == compacting.events_processed
+        assert reference.events_cancelled == compacting.events_cancelled
+        assert reference.now == compacting.now
+
+    def test_default_thresholds_compact_under_sustained_cancellation(self):
+        """The stock trigger (256 tombstones outnumbering live entries)
+        fires without any tuning when a big backlog is mass-cancelled."""
+        engine = SimulationEngine()
+        events = [
+            engine.schedule_at(float(i) + 1.0, lambda: None, tag=f"bulk-{i}")
+            for i in range(600)
+        ]
+        for event in events[:500]:
+            engine.cancel(event)
+        assert engine.heap_compactions >= 1
+        engine.run()
+        assert engine.events_processed == 100
+
+    def test_diurnal_autoscale_run_bit_identical(self):
+        """The repo's cancel-heaviest real scenario (day-scale diurnal trace,
+        pool autoscaler re-purposing and parking machines; ~2.5k tombstones)
+        produces byte-identical results with compaction disabled and with it
+        forced to run on almost every cancellation."""
+        fingerprints = []
+        compactions = []
+        for disabled in (True, False):
+            simulation, trace, failures = prepare_scenario_run(
+                get_scenario("diurnal"), seed=14, scale=4.0, autoscaled=True
+            )
+            _configure(simulation.engine, disabled=disabled)
+            result = simulation.run(trace, failures=failures)
+            assert simulation.engine.events_cancelled > 2_000
+            fingerprints.append(
+                (
+                    repr(result.duration_s),
+                    simulation.engine.events_processed,
+                    [
+                        (
+                            r.request_id,
+                            r.prompt_start_time,
+                            r.first_token_time,
+                            r.completion_time,
+                            tuple(r.token_times),
+                        )
+                        for r in result.requests
+                    ],
+                )
+            )
+            compactions.append(simulation.engine.heap_compactions)
+        assert fingerprints[0] == fingerprints[1]
+        assert compactions[0] == 0
+        assert compactions[1] > 0
